@@ -1,0 +1,18 @@
+// Shared helpers for the figure-reproduction benches.
+#pragma once
+
+#include <cstdlib>
+#include <string>
+
+namespace ilc::bench {
+
+/// Integer knob from the environment (e.g. ILC_FIG2A_BUDGET=20000),
+/// falling back to a default sized for a ~1-minute single-core run.
+inline unsigned env_unsigned(const char* name, unsigned fallback) {
+  const char* v = std::getenv(name);
+  if (v == nullptr || *v == '\0') return fallback;
+  const long parsed = std::strtol(v, nullptr, 10);
+  return parsed > 0 ? static_cast<unsigned>(parsed) : fallback;
+}
+
+}  // namespace ilc::bench

@@ -1,0 +1,179 @@
+// Hardware design-space exploration with predictive models — the
+// "quick prototyping of architectures" motivation from the paper's
+// introduction and the CASES'06 / PACT'07 line of work its conclusion
+// cites: learn how programs, optimizations, and architectures interact,
+// then predict the performance of *unseen* machine configurations without
+// simulating them.
+//
+// Protocol: a grid of machine configurations (L1/L2 capacity, DRAM
+// latency, issue width). Each config is characterized ONLY through the
+// microbenchmark prober (never by reading its parameters); each program
+// by its static features. A regressor learns (arch features ⊕ program
+// features) -> log cycles. Leave-one-CONFIG-out: the model ranks all
+// programs' performance on a configuration it has never seen. The metric
+// is Spearman rank correlation — ranking is what an architect exploring
+// alternatives needs (the paper's relative-accuracy argument again).
+#include <algorithm>
+#include <cmath>
+#include <cstdio>
+#include <functional>
+#include <memory>
+
+#include "bench_common.hpp"
+#include "features/arch_probe.hpp"
+#include "features/features.hpp"
+#include "ml/regress.hpp"
+#include "sim/interpreter.hpp"
+#include "support/stats.hpp"
+#include "support/table.hpp"
+#include "workloads/workloads.hpp"
+
+using namespace ilc;
+
+namespace {
+
+std::vector<sim::MachineConfig> design_grid() {
+  std::vector<sim::MachineConfig> grid;
+  int id = 0;
+  for (std::uint32_t l1 : {2048u, 4096u, 8192u}) {
+    for (std::uint32_t l2 : {16384u, 32768u, 65536u}) {
+      for (std::uint32_t mem : {100u, 200u}) {
+        for (std::uint32_t width : {1u, 2u}) {
+          sim::MachineConfig m = sim::amd_like();
+          m.name = "cfg" + std::to_string(id++);
+          m.l1.size_bytes = l1;
+          m.l2.size_bytes = l2;
+          m.mem_latency = mem;
+          m.issue_width = width;
+          grid.push_back(std::move(m));
+        }
+      }
+    }
+  }
+  return grid;
+}
+
+}  // namespace
+
+int main() {
+  const auto grid = design_grid();
+  // A representative sub-suite keeps the bench fast; ILC_DSE_FULL=1 uses
+  // all programs.
+  std::vector<std::string> names = {"adpcm",  "mcf_lite", "matmul",
+                                    "crc32",  "stencil",  "sha_lite",
+                                    "linklist", "histogram"};
+  if (bench::env_unsigned("ILC_DSE_FULL", 0) != 0)
+    names = wl::workload_names();
+
+  std::printf("=== Design-space exploration: predicting unseen machine "
+              "configurations (%zu configs x %zu programs) ===\n\n",
+              grid.size(), names.size());
+
+  // Characterize each configuration by microbenchmark only.
+  std::vector<std::vector<double>> arch_features;
+  for (const auto& cfg : grid)
+    arch_features.push_back(feat::probe_architecture(cfg).to_features());
+
+  // Program features + ground-truth cycles on every configuration.
+  std::vector<std::vector<double>> prog_features;
+  std::vector<std::vector<double>> truth(grid.size());  // [config][program]
+  for (const auto& name : names) {
+    wl::Workload w = wl::make_workload(name);
+    prog_features.push_back(feat::extract_static(w.module));
+    for (std::size_t c = 0; c < grid.size(); ++c) {
+      sim::Simulator sim(w.module, grid[c]);
+      truth[c].push_back(static_cast<double>(sim.run().cycles));
+    }
+  }
+
+  // Normalize the joint feature space.
+  std::vector<std::vector<double>> joint_rows;
+  for (std::size_t c = 0; c < grid.size(); ++c)
+    for (std::size_t p = 0; p < names.size(); ++p) {
+      std::vector<double> row = arch_features[c];
+      row.insert(row.end(), prog_features[p].begin(),
+                 prog_features[p].end());
+      joint_rows.push_back(std::move(row));
+    }
+  feat::Scaler scaler;
+  scaler.fit(joint_rows);
+
+  // Leave-one-config-out evaluation for two model classes.
+  struct ModelKind {
+    const char* label;
+    std::function<std::unique_ptr<ml::Regressor>()> make;
+  };
+  const std::vector<ModelKind> models = {
+      {"ridge (linear)", [] { return std::make_unique<ml::RidgeRegression>(); }},
+      {"3-NN (weighted)", [] { return std::make_unique<ml::KnnRegressor>(3); }},
+  };
+
+  support::Table table({"model", "mean Spearman (rank programs on unseen "
+                        "config)", "mean Spearman (rank configs for unseen "
+                        "config's programs)", "rel. RMSE of log-cycles"});
+  double best_rho = -1;
+  for (const auto& kind : models) {
+    std::vector<double> rho_programs, rmse_rel;
+    std::vector<double> rho_configs;
+    for (std::size_t hold = 0; hold < grid.size(); ++hold) {
+      ml::RegressionData train;
+      for (std::size_t c = 0; c < grid.size(); ++c) {
+        if (c == hold) continue;
+        for (std::size_t p = 0; p < names.size(); ++p) {
+          std::vector<double> row = arch_features[c];
+          row.insert(row.end(), prog_features[p].begin(),
+                     prog_features[p].end());
+          train.add(scaler.transform(row), std::log(truth[c][p]));
+        }
+      }
+      auto model = kind.make();
+      model->fit(train);
+
+      std::vector<double> pred;
+      for (std::size_t p = 0; p < names.size(); ++p) {
+        std::vector<double> row = arch_features[hold];
+        row.insert(row.end(), prog_features[p].begin(),
+                   prog_features[p].end());
+        pred.push_back(model->predict(scaler.transform(row)));
+      }
+      std::vector<double> truth_log;
+      for (double t : truth[hold]) truth_log.push_back(std::log(t));
+      rho_programs.push_back(ml::spearman(pred, truth_log));
+
+      double se = 0;
+      for (std::size_t p = 0; p < names.size(); ++p) {
+        const double e = pred[p] - truth_log[p];
+        se += e * e;
+      }
+      rmse_rel.push_back(std::sqrt(se / static_cast<double>(names.size())));
+
+      // Per-program ranking across configurations (which config is the
+      // fastest for this program?) — evaluated for the held-out column.
+      for (std::size_t p = 0; p < names.size(); ++p) {
+        std::vector<double> pred_col, true_col;
+        for (std::size_t c = 0; c < grid.size(); ++c) {
+          std::vector<double> row = arch_features[c];
+          row.insert(row.end(), prog_features[p].begin(),
+                     prog_features[p].end());
+          pred_col.push_back(model->predict(scaler.transform(row)));
+          true_col.push_back(std::log(truth[c][p]));
+        }
+        rho_configs.push_back(ml::spearman(pred_col, true_col));
+      }
+    }
+    const double mr = support::mean(rho_programs);
+    best_rho = std::max(best_rho, mr);
+    table.add_row({kind.label, support::Table::num(mr, 3),
+                   support::Table::num(support::mean(rho_configs), 3),
+                   support::Table::num(support::mean(rmse_rel), 3)});
+  }
+  std::printf("%s\n", table.render().c_str());
+  std::printf("(Rank correlation 1.0 = perfect ordering; the CASES'06 "
+              "models achieved strong rank fidelity on unseen designs.)\n");
+  std::printf("Shape check: %s\n",
+              best_rho > 0.8
+                  ? "PASS — models rank programs on unseen configurations "
+                    "with high fidelity from microbenchmark features alone"
+                  : "MISMATCH — see EXPERIMENTS.md");
+  return 0;
+}

@@ -1,0 +1,142 @@
+// Reproduces Fig. 2(b): RANDOM vs FOCUSSED iterative search on adpcm
+// (C6713-like machine), averaged over 20 trials. The paper reports that
+// after 10 evaluations random search reaches ~38% of the available
+// improvement while the focused (model-driven) search reaches ~86%, a
+// level random search needs over 80 evaluations to match.
+#include <algorithm>
+#include <cstdio>
+
+#include "bench_common.hpp"
+#include "controller/controller.hpp"
+#include "controller/kb_builder.hpp"
+#include "search/focused.hpp"
+#include "search/strategies.hpp"
+#include "support/csv.hpp"
+#include "support/stats.hpp"
+#include "support/table.hpp"
+#include "workloads/workloads.hpp"
+
+using namespace ilc;
+
+int main() {
+  const unsigned trials = bench::env_unsigned("ILC_FIG2B_TRIALS", 20);
+  const unsigned evals = bench::env_unsigned("ILC_FIG2B_EVALS", 100);
+  const unsigned kb_budget = bench::env_unsigned("ILC_FIG2B_KB", 150);
+  const unsigned ref_budget = bench::env_unsigned("ILC_FIG2B_REF", 4000);
+  const std::string target = "adpcm";
+  const sim::MachineConfig machine = sim::c6713_like();
+  const search::SequenceSpace space;
+
+  std::printf("=== Fig. 2(b): RANDOM vs FOCUSSED search on %s (%s), "
+              "%u trials x %u evaluations ===\n\n",
+              target.c_str(), machine.name.c_str(), trials, evals);
+
+  wl::Workload adpcm = wl::make_workload(target);
+  search::Evaluator eval(adpcm.module, machine);
+  const std::uint64_t o0 = eval.eval_sequence({}).cycles;
+
+  // Reference "100%" point: a large random search (cache-accelerated).
+  std::uint64_t best_known = o0;
+  {
+    support::Rng ref_rng(0x42ef);
+    const auto t = search::random_search(eval, space, ref_rng, ref_budget);
+    best_known = t.best_metric;
+  }
+  std::printf("O0 = %llu cycles; best known = %llu "
+              "(from %u reference evaluations)\n\n",
+              static_cast<unsigned long long>(o0),
+              static_cast<unsigned long long>(best_known), ref_budget);
+
+  // Train the model on the rest of the suite (leave adpcm out).
+  std::vector<wl::Workload> suite;
+  for (const auto& name : wl::workload_names())
+    if (name != target) suite.push_back(wl::make_workload(name));
+  std::vector<ctrl::SuiteProgram> programs;
+  for (const auto& w : suite) programs.push_back({w.name, &w.module});
+  const kb::KnowledgeBase base = ctrl::build_knowledge_base(
+      programs, machine, kb_budget, 0, /*seed=*/1234);
+  auto model = ctrl::build_focused_model(base, target, machine.name, space);
+  model.set_target(feat::extract_static(adpcm.module));
+  // Model-class ablation (Agakov et al. compared exactly these): an IID
+  // per-position model vs the first-order Markov model.
+  auto iid_model = ctrl::build_focused_model(base, target, machine.name,
+                                             space, 0.1,
+                                             search::FocusedKind::Iid);
+  iid_model.set_target(feat::extract_static(adpcm.module));
+
+  // percent of achievable improvement for a cycle count.
+  auto pct = [&](std::uint64_t c) {
+    if (o0 <= best_known) return 0.0;
+    const double num = static_cast<double>(o0) - static_cast<double>(c);
+    const double den =
+        static_cast<double>(o0) - static_cast<double>(best_known);
+    return std::clamp(100.0 * num / den, 0.0, 100.0);
+  };
+
+  // --- run the trials ---------------------------------------------------
+  std::vector<double> random_curve(evals, 0.0), focused_curve(evals, 0.0),
+      iid_curve(evals, 0.0);
+  support::Rng root(0xf2b);
+  for (unsigned t = 0; t < trials; ++t) {
+    support::Rng r1 = root.fork(3 * t);
+    support::Rng r2 = root.fork(3 * t + 1);
+    support::Rng r3 = root.fork(3 * t + 2);
+    const auto rnd = search::random_search(eval, space, r1, evals);
+    const auto foc = search::generator_search(
+        eval, [&] { return model.sample(r2); }, evals);
+    const auto iid = search::generator_search(
+        eval, [&] { return iid_model.sample(r3); }, evals);
+    for (unsigned e = 0; e < evals; ++e) {
+      random_curve[e] += pct(rnd.best_so_far[e]);
+      focused_curve[e] += pct(foc.best_so_far[e]);
+      iid_curve[e] += pct(iid.best_so_far[e]);
+    }
+  }
+  for (double& v : random_curve) v /= trials;
+  for (double& v : focused_curve) v /= trials;
+  for (double& v : iid_curve) v /= trials;
+
+  // --- report ----------------------------------------------------------
+  support::Table table({"evaluations", "RANDOM %", "FOCUSSED (Markov) %",
+                        "FOCUSSED (IID) %"});
+  for (unsigned e : {1u, 2u, 5u, 10u, 20u, 40u, 60u, 80u, 100u}) {
+    if (e > evals) break;
+    table.add_row({std::to_string(e),
+                   support::Table::num(random_curve[e - 1], 1),
+                   support::Table::num(focused_curve[e - 1], 1),
+                   support::Table::num(iid_curve[e - 1], 1)});
+  }
+  std::printf("%s\n", table.render().c_str());
+
+  const double rand10 = random_curve[std::min(9u, evals - 1)];
+  const double foc10 = focused_curve[std::min(9u, evals - 1)];
+  unsigned crossover = evals + 1;
+  for (unsigned e = 0; e < evals; ++e)
+    if (random_curve[e] >= foc10) {
+      crossover = e + 1;
+      break;
+    }
+  std::printf("At 10 evaluations: RANDOM %.0f%%, FOCUSSED %.0f%% "
+              "(paper: 38%% vs 86%%)\n", rand10, foc10);
+  if (crossover <= evals)
+    std::printf("RANDOM needs %u evaluations to reach FOCUSSED@10 "
+                "(paper: > 80)\n", crossover);
+  else
+    std::printf("RANDOM never reaches FOCUSSED@10 within %u evaluations "
+                "(paper: > 80)\n", evals);
+  std::printf("Shape check: %s\n",
+              foc10 > rand10 + 10.0 && crossover > 10
+                  ? "PASS — focused search dominates early evaluations"
+                  : "MISMATCH — see EXPERIMENTS.md");
+
+  support::CsvWriter csv;
+  csv.row({"evaluations", "random_pct", "focused_markov_pct",
+           "focused_iid_pct"});
+  for (unsigned e = 0; e < evals; ++e)
+    csv.row({std::to_string(e + 1), std::to_string(random_curve[e]),
+             std::to_string(focused_curve[e]),
+             std::to_string(iid_curve[e])});
+  if (csv.save("fig2b_curves.csv"))
+    std::printf("Wrote fig2b_curves.csv (%u rows).\n", evals);
+  return 0;
+}

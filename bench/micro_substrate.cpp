@@ -1,0 +1,100 @@
+// google-benchmark micro-benchmarks of the substrate itself: interpreter
+// throughput, per-pass cost, cache-model ops, feature extraction, and the
+// fingerprint-memoization ablation (DESIGN.md design decision #4).
+#include <benchmark/benchmark.h>
+
+#include "features/features.hpp"
+#include "ir/fingerprint.hpp"
+#include "opt/pass.hpp"
+#include "opt/pipelines.hpp"
+#include "search/evaluator.hpp"
+#include "search/space.hpp"
+#include "sim/cache.hpp"
+#include "sim/interpreter.hpp"
+#include "support/rng.hpp"
+#include "workloads/workloads.hpp"
+
+using namespace ilc;
+
+static void BM_InterpreterThroughput(benchmark::State& state) {
+  wl::Workload w = wl::make_workload("adpcm");
+  std::uint64_t instructions = 0;
+  for (auto _ : state) {
+    sim::Simulator sim(w.module, sim::amd_like());
+    const auto rr = sim.run();
+    instructions += rr.instructions;
+    benchmark::DoNotOptimize(rr.ret);
+  }
+  state.counters["instr/s"] = benchmark::Counter(
+      static_cast<double>(instructions), benchmark::Counter::kIsRate);
+}
+BENCHMARK(BM_InterpreterThroughput);
+
+static void BM_Pass(benchmark::State& state) {
+  const auto id = static_cast<opt::PassId>(state.range(0));
+  wl::Workload w = wl::make_workload("adpcm");
+  for (auto _ : state) {
+    ir::Module m = w.module;
+    opt::run_pass(id, m);
+    benchmark::DoNotOptimize(m.code_size());
+  }
+  state.SetLabel(opt::pass_name(id));
+}
+BENCHMARK(BM_Pass)->DenseRange(0, static_cast<int>(opt::kNumPasses) - 1);
+
+static void BM_FastPipeline(benchmark::State& state) {
+  wl::Workload w = wl::make_workload("mcf_lite");
+  const auto pipeline = opt::fast_pipeline();
+  for (auto _ : state) {
+    ir::Module m = w.module;
+    opt::run_sequence(m, pipeline);
+    benchmark::DoNotOptimize(m.code_size());
+  }
+}
+BENCHMARK(BM_FastPipeline);
+
+static void BM_CacheAccess(benchmark::State& state) {
+  sim::Cache cache({32768, 64, 8, 1});
+  support::Rng rng(1);
+  std::uint64_t hits = 0;
+  for (auto _ : state) {
+    hits += cache.access(rng.next_below(1 << 20)) ? 1 : 0;
+  }
+  benchmark::DoNotOptimize(hits);
+}
+BENCHMARK(BM_CacheAccess);
+
+static void BM_Fingerprint(benchmark::State& state) {
+  wl::Workload w = wl::make_workload("mcf_lite");
+  for (auto _ : state)
+    benchmark::DoNotOptimize(ir::fingerprint(w.module));
+}
+BENCHMARK(BM_Fingerprint);
+
+static void BM_StaticFeatures(benchmark::State& state) {
+  wl::Workload w = wl::make_workload("mcf_lite");
+  for (auto _ : state)
+    benchmark::DoNotOptimize(feat::extract_static(w.module));
+}
+BENCHMARK(BM_StaticFeatures);
+
+/// Ablation: sequence evaluation with and without the fingerprint memo
+/// cache, over a stream of random sequences (many collapse to the same
+/// optimized code).
+static void BM_EvalSequence(benchmark::State& state) {
+  const bool cache_on = state.range(0) != 0;
+  wl::Workload w = wl::make_workload("crc32");
+  search::Evaluator eval(w.module, sim::amd_like());
+  eval.set_cache_enabled(cache_on);
+  search::SequenceSpace space;
+  support::Rng rng(7);
+  for (auto _ : state) {
+    benchmark::DoNotOptimize(eval.eval_sequence(space.sample(rng)).cycles);
+  }
+  state.SetLabel(cache_on ? "memo-cache on" : "memo-cache off");
+  state.counters["simulations"] =
+      static_cast<double>(eval.simulations());
+}
+BENCHMARK(BM_EvalSequence)->Arg(0)->Arg(1);
+
+BENCHMARK_MAIN();

@@ -1,0 +1,205 @@
+// Learned unroll-factor prediction — the single-heuristic experiments
+// the paper's related work builds on: Monsifrot et al. (decision trees
+// deciding which loops to unroll, ~3% over the hand-tuned heuristic) and
+// Stephenson & Amarasinghe (predicting unroll factors with supervised
+// classification). The paper's argument: such single-optimization gains
+// are modest — which is precisely what this bench shows, motivating the
+// whole-compiler approach of Figs. 2-4.
+//
+// Per innermost unrollable loop: features -> best factor in {1,2,4,8}
+// (label measured by selectively unrolling that loop, simplifying,
+// scheduling, and simulating). Leave-one-benchmark-out training; then the
+// induced predictor drives per-loop unrolling and is compared against no
+// unrolling, fixed x4, and the per-loop oracle.
+#include <algorithm>
+#include <cstdio>
+#include <memory>
+
+#include "bench_common.hpp"
+#include "features/features.hpp"
+#include "ir/analysis.hpp"
+#include "ml/ml.hpp"
+#include "opt/pass.hpp"
+#include "opt/pipelines.hpp"
+#include "sim/interpreter.hpp"
+#include "support/stats.hpp"
+#include "support/table.hpp"
+#include "workloads/workloads.hpp"
+
+using namespace ilc;
+
+namespace {
+
+constexpr unsigned kFactors[4] = {1, 2, 4, 8};
+
+/// Cycles of the program after unrolling exactly one loop (identified by
+/// the index of its header in find_loops order, within function `f`) by
+/// `factor`, then cleaning up.
+std::uint64_t cycles_with_factor(const ir::Module& base, std::size_t f,
+                                 ir::BlockId header, unsigned factor) {
+  ir::Module m = base;
+  ir::Function& fn = m.functions()[f];
+  if (factor > 1) opt::unroll_single_loop(fn, header, factor);
+  opt::simplify_cfg(fn);
+  opt::schedule_blocks(fn);
+  sim::Simulator sim(m, sim::amd_like());
+  return sim.run().cycles;
+}
+
+struct LoopCase {
+  std::size_t program;                 // suite index
+  std::size_t function;                // function index within module
+  ir::BlockId header;
+  std::vector<double> features;
+  int best = 0;                        // index into kFactors
+  std::uint64_t cycles[4] = {0, 0, 0, 0};
+};
+
+}  // namespace
+
+int main() {
+  std::printf("=== Related-work case study: learned unroll factors "
+              "(Monsifrot / Stephenson) ===\n\n");
+
+  // --- harvest loops and label them ------------------------------------
+  std::vector<wl::Workload> suite;
+  for (const auto& name : wl::workload_names())
+    suite.push_back(wl::make_workload(name));
+  // Canonicalize so the loops match what a real pipeline would see.
+  for (auto& w : suite) opt::canonicalize(w.module);
+
+  std::vector<LoopCase> cases;
+  for (std::size_t p = 0; p < suite.size(); ++p) {
+    const ir::Module& m = suite[p].module;
+    for (std::size_t f = 0; f < m.functions().size(); ++f) {
+      const ir::Function& fn = m.functions()[f];
+      const auto loops = ir::find_loops(fn);
+      for (const auto& loop : loops) {
+        // Only loops the transform accepts (checked by attempting x2 on a
+        // scratch copy).
+        {
+          ir::Module scratch = m;
+          if (!opt::unroll_single_loop(scratch.functions()[f], loop.header,
+                                       2))
+            continue;
+        }
+        LoopCase c;
+        c.program = p;
+        c.function = f;
+        c.header = loop.header;
+        c.features = feat::extract_loop_features(fn, loop);
+        for (int k = 0; k < 4; ++k)
+          c.cycles[k] = cycles_with_factor(m, f, loop.header, kFactors[k]);
+        c.best = 0;
+        for (int k = 1; k < 4; ++k)
+          if (c.cycles[k] < c.cycles[c.best]) c.best = k;
+        cases.push_back(std::move(c));
+      }
+    }
+  }
+  std::printf("Labeled %zu unrollable innermost loops across %zu programs "
+              "(factors 1/2/4/8, each measured on the simulator).\n\n",
+              cases.size(), suite.size());
+
+  ml::Dataset data;
+  data.num_classes = 4;
+  std::vector<int> groups;
+  for (const auto& c : cases) {
+    data.add(c.features, c.best);
+    groups.push_back(static_cast<int>(c.program));
+  }
+
+  // --- leave-one-benchmark-out classification accuracy ------------------
+  const auto accs = ml::logo_accuracy(
+      [] {
+        ml::DecisionTree::Config cfg;
+        cfg.max_depth = 5;
+        cfg.min_leaf = 1;
+        return std::make_unique<ml::DecisionTree>(cfg);
+      },
+      data, groups, static_cast<int>(suite.size()));
+  std::vector<double> nonempty;
+  for (std::size_t g = 0; g < accs.size(); ++g) {
+    bool has = false;
+    for (int gg : groups)
+      if (gg == static_cast<int>(g)) has = true;
+    if (has) nonempty.push_back(accs[g]);
+  }
+  std::printf("Leave-one-benchmark-out factor-prediction accuracy "
+              "(decision tree): %.1f%% mean\n\n",
+              100 * support::mean(nonempty));
+
+  // --- integrate: per-loop predicted factors vs baselines ---------------
+  support::Table table({"benchmark", "no unroll", "fixed x4",
+                        "learned (dtree)", "oracle", "learned / oracle"});
+  std::vector<double> learned_vs_oracle, fixed_vs_oracle, none_vs_oracle;
+  for (std::size_t p = 0; p < suite.size(); ++p) {
+    std::vector<const LoopCase*> mine;
+    for (const auto& c : cases)
+      if (c.program == p) mine.push_back(&c);
+    if (mine.empty()) continue;
+
+    auto [train, test] =
+        ml::Dataset::split_by_group(data, groups, static_cast<int>(p));
+    ml::DecisionTree::Config cfg;
+    cfg.max_depth = 5;
+    cfg.min_leaf = 1;
+    ml::DecisionTree model(cfg);
+    model.fit(train);
+
+    // Apply a per-loop factor assignment and measure the whole program.
+    auto run_with = [&](auto pick_factor) {
+      ir::Module m = suite[p].module;
+      for (const LoopCase* c : mine) {
+        const unsigned factor = pick_factor(*c);
+        if (factor > 1)
+          opt::unroll_single_loop(m.functions()[c->function], c->header,
+                                  factor);
+      }
+      for (auto& fn : m.functions()) {
+        opt::simplify_cfg(fn);
+        opt::schedule_blocks(fn);
+      }
+      sim::Simulator sim(m, sim::amd_like());
+      return sim.run().cycles;
+    };
+
+    const std::uint64_t none = run_with([](const LoopCase&) { return 1u; });
+    const std::uint64_t fixed4 = run_with([](const LoopCase&) { return 4u; });
+    const std::uint64_t learned = run_with([&](const LoopCase& c) {
+      return kFactors[model.predict(c.features)];
+    });
+    const std::uint64_t oracle =
+        run_with([&](const LoopCase& c) { return kFactors[c.best]; });
+
+    const double ratio = static_cast<double>(learned) /
+                         static_cast<double>(oracle);
+    learned_vs_oracle.push_back(ratio);
+    fixed_vs_oracle.push_back(static_cast<double>(fixed4) /
+                              static_cast<double>(oracle));
+    none_vs_oracle.push_back(static_cast<double>(none) /
+                             static_cast<double>(oracle));
+    table.add_row({wl::workload_names()[p],
+                   support::Table::num(static_cast<long long>(none)),
+                   support::Table::num(static_cast<long long>(fixed4)),
+                   support::Table::num(static_cast<long long>(learned)),
+                   support::Table::num(static_cast<long long>(oracle)),
+                   support::Table::num(ratio, 3)});
+  }
+  std::printf("%s\n", table.render().c_str());
+
+  const double geo_learned = support::geomean(learned_vs_oracle);
+  const double geo_fixed = support::geomean(fixed_vs_oracle);
+  const double geo_none = support::geomean(none_vs_oracle);
+  std::printf("Geomean vs per-loop oracle: learned %.3f, fixed-x4 %.3f, "
+              "no-unroll %.3f\n", geo_learned, geo_fixed, geo_none);
+  std::printf("(Monsifrot et al. reported ~3%% over the hand-tuned "
+              "heuristic; the paper's point is that single-optimization "
+              "gains are modest.)\n");
+  std::printf("Shape check: %s\n",
+              geo_learned <= geo_fixed + 1e-9 && geo_learned < geo_none
+                  ? "PASS — the induced per-loop heuristic matches or "
+                    "beats the fixed factor and beats not unrolling"
+                  : "MISMATCH — see EXPERIMENTS.md");
+  return 0;
+}

@@ -1,0 +1,65 @@
+// One-shot counter-guided optimization (the Fig. 3/4 story as an API
+// walkthrough): profile a program once at -O0, hand its hardware-counter
+// signature to the counter model, and compile with the predicted setting
+// — no search on the new program at all.
+//
+//   $ ./counter_guided [workload]          (default: mcf_lite)
+#include <cstdio>
+#include <string>
+
+#include "controller/controller.hpp"
+#include "controller/kb_builder.hpp"
+#include "features/features.hpp"
+#include "search/evaluator.hpp"
+#include "workloads/workloads.hpp"
+
+using namespace ilc;
+
+int main(int argc, char** argv) {
+  const std::string target = argc > 1 ? argv[1] : "mcf_lite";
+  const sim::MachineConfig machine = sim::amd_like();
+  wl::Workload w = wl::make_workload(target);
+
+  // 1. Profile the new program once at -O0.
+  const auto profile = ctrl::make_profile_record(target, w.module, machine);
+  std::printf("Profiled %s at -O0: %llu cycles, CPI %.2f\n", target.c_str(),
+              static_cast<unsigned long long>(profile.cycles),
+              profile.dynamic_features[0]);
+  std::printf("Counter signature (per kilo-instruction):\n");
+  const auto& names = feat::dynamic_feature_names();
+  for (std::size_t i = 1; i < names.size(); ++i)
+    std::printf("  %-24s %10.3f\n", names[i].c_str(),
+                profile.dynamic_features[i]);
+
+  // 2. Training period on the rest of the suite (flag-space searches).
+  std::vector<wl::Workload> suite;
+  for (const auto& name : wl::workload_names())
+    if (name != target) suite.push_back(wl::make_workload(name));
+  std::vector<ctrl::SuiteProgram> programs;
+  for (const auto& p : suite) programs.push_back({p.name, &p.module});
+  const kb::KnowledgeBase base = ctrl::build_knowledge_base(
+      programs, machine, /*sequence_budget=*/0, /*flag_budget=*/40,
+      /*seed=*/2007);
+
+  // 3. One-shot prediction.
+  ctrl::CounterModel model(base, target, machine.name);
+  const opt::OptFlags predicted = model.predict(profile.dynamic_features);
+  std::printf("\nNearest program in the knowledge base: %s\n",
+              model.nearest_program().c_str());
+  std::printf("Predicted setting: %s\n", predicted.to_string().c_str());
+
+  // 4. Compare against O0 and FAST.
+  search::Evaluator eval(w.module, machine);
+  const auto o0 = eval.eval_flags(opt::o0_flags());
+  const auto fast = eval.eval_flags(opt::fast_flags());
+  const auto pc = eval.eval_flags(predicted);
+  std::printf("\nO0      %12llu cycles  1.00x\n",
+              static_cast<unsigned long long>(o0.cycles));
+  std::printf("FAST    %12llu cycles  %.2fx\n",
+              static_cast<unsigned long long>(fast.cycles),
+              static_cast<double>(o0.cycles) / fast.cycles);
+  std::printf("PCModel %12llu cycles  %.2fx\n",
+              static_cast<unsigned long long>(pc.cycles),
+              static_cast<double>(o0.cycles) / pc.cycles);
+  return 0;
+}

@@ -1,0 +1,113 @@
+// kb_tool — build, save, load, and inspect knowledge bases in the
+// standard format (paper Section III-E: "it is important to build a
+// standardized database to store learning data in order to facilitate the
+// communication between machine learning components, optimization
+// algorithms, compiler and instrumentation tools ...").
+//
+//   $ ./kb_tool build my.kb 30         # training period -> my.kb
+//   $ ./kb_tool summary my.kb          # per-program best settings
+//   $ ./kb_tool predict my.kb mcf_lite # one-shot prediction from the file
+#include <cstdio>
+#include <cstdlib>
+#include <cstring>
+
+#include "controller/controller.hpp"
+#include "controller/kb_builder.hpp"
+#include "search/evaluator.hpp"
+#include "support/table.hpp"
+#include "workloads/workloads.hpp"
+
+using namespace ilc;
+
+namespace {
+
+int cmd_build(const char* path, unsigned budget) {
+  std::vector<wl::Workload> suite = wl::make_suite();
+  std::vector<ctrl::SuiteProgram> programs;
+  for (const auto& w : suite) programs.push_back({w.name, &w.module});
+  const kb::KnowledgeBase base = ctrl::build_knowledge_base(
+      programs, sim::amd_like(), /*sequence_budget=*/budget,
+      /*flag_budget=*/budget, /*seed=*/2008);
+  if (!base.save(path)) {
+    std::fprintf(stderr, "cannot write %s\n", path);
+    return 1;
+  }
+  std::printf("wrote %zu records for %zu programs to %s\n", base.size(),
+              base.programs().size(), path);
+  return 0;
+}
+
+int cmd_summary(const char* path) {
+  const auto base = kb::KnowledgeBase::load(path);
+  if (!base) {
+    std::fprintf(stderr, "cannot parse %s as an ilc knowledge base\n", path);
+    return 1;
+  }
+  support::Table table({"program", "records", "best sequence cycles",
+                        "best flag setting", "flag cycles"});
+  for (const auto& program : base->programs()) {
+    const auto* best_seq = base->best_for_program(program, "sequence");
+    const auto* best_flags = base->best_for_program(program, "flags");
+    table.add_row(
+        {program,
+         support::Table::num(
+             static_cast<long long>(base->for_program(program).size())),
+         best_seq ? support::Table::num(
+                        static_cast<long long>(best_seq->cycles))
+                  : "-",
+         best_flags ? opt::OptFlags::decode(static_cast<std::uint32_t>(
+                          std::stoul(best_flags->config)))
+                          .to_string()
+                    : "-",
+         best_flags ? support::Table::num(
+                          static_cast<long long>(best_flags->cycles))
+                    : "-"});
+  }
+  std::printf("%s", table.render().c_str());
+  return 0;
+}
+
+int cmd_predict(const char* path, const char* target) {
+  const auto base = kb::KnowledgeBase::load(path);
+  if (!base) {
+    std::fprintf(stderr, "cannot parse %s\n", path);
+    return 1;
+  }
+  wl::Workload w = wl::make_workload(target);
+  const auto profile =
+      ctrl::make_profile_record(target, w.module, sim::amd_like());
+  ctrl::CounterModel model(*base, target, "amd-like");
+  const opt::OptFlags flags = model.predict(profile.dynamic_features);
+  std::printf("nearest program: %s\npredicted setting: %s\n",
+              model.nearest_program().c_str(), flags.to_string().c_str());
+  search::Evaluator eval(w.module, sim::amd_like());
+  const auto o0 = eval.eval_flags(opt::o0_flags());
+  const auto pc = eval.eval_flags(flags);
+  std::printf("speedup over O0: %.2fx\n",
+              static_cast<double>(o0.cycles) / static_cast<double>(pc.cycles));
+  return 0;
+}
+
+void usage() {
+  std::fprintf(stderr,
+               "usage: kb_tool build <file> [budget]\n"
+               "       kb_tool summary <file>\n"
+               "       kb_tool predict <file> <workload>\n");
+}
+
+}  // namespace
+
+int main(int argc, char** argv) {
+  if (argc < 3) {
+    usage();
+    return 2;
+  }
+  if (std::strcmp(argv[1], "build") == 0)
+    return cmd_build(argv[2],
+                     argc > 3 ? static_cast<unsigned>(std::atoi(argv[3])) : 30);
+  if (std::strcmp(argv[1], "summary") == 0) return cmd_summary(argv[2]);
+  if (std::strcmp(argv[1], "predict") == 0 && argc > 3)
+    return cmd_predict(argv[2], argv[3]);
+  usage();
+  return 2;
+}

@@ -1,0 +1,97 @@
+#include "controller/kb_builder.hpp"
+
+#include "features/features.hpp"
+#include "search/evaluator.hpp"
+#include "search/strategies.hpp"
+#include "sim/interpreter.hpp"
+
+namespace ilc::ctrl {
+
+kb::ExperimentRecord make_profile_record(const std::string& name,
+                                         const ir::Module& mod,
+                                         const sim::MachineConfig& machine) {
+  sim::Simulator sim(mod, machine);
+  const sim::RunResult rr = sim.run();
+  kb::ExperimentRecord rec;
+  rec.program = name;
+  rec.machine = machine.name;
+  rec.kind = "profile";
+  rec.config = "O0";
+  rec.cycles = rr.cycles;
+  rec.code_size = mod.code_size();
+  rec.instructions = rr.instructions;
+  rec.counters = rr.counters;
+  rec.static_features = feat::extract_static(mod);
+  rec.dynamic_features = feat::extract_dynamic(rr.counters);
+  return rec;
+}
+
+void add_sequence_search_records(kb::KnowledgeBase& base,
+                                 const std::string& name,
+                                 const ir::Module& mod,
+                                 const sim::MachineConfig& machine,
+                                 const search::SequenceSpace& space,
+                                 support::Rng& rng, unsigned budget) {
+  search::Evaluator eval(mod, machine);
+  const auto static_features = feat::extract_static(mod);
+  for (unsigned i = 0; i < budget; ++i) {
+    const auto seq = space.sample(rng);
+    const auto res = eval.eval_sequence(seq);
+    kb::ExperimentRecord rec;
+    rec.program = name;
+    rec.machine = machine.name;
+    rec.kind = "sequence";
+    rec.config = search::sequence_to_string(seq);
+    rec.cycles = res.cycles;
+    rec.code_size = res.code_size;
+    rec.instructions = res.instructions;
+    rec.counters = res.counters;
+    rec.static_features = static_features;
+    base.add(std::move(rec));
+  }
+}
+
+void add_flag_search_records(kb::KnowledgeBase& base, const std::string& name,
+                             const ir::Module& mod,
+                             const sim::MachineConfig& machine,
+                             support::Rng& rng, unsigned budget) {
+  search::Evaluator eval(mod, machine);
+  const auto static_features = feat::extract_static(mod);
+  for (const auto& pt : search::flag_search(eval, rng, budget)) {
+    kb::ExperimentRecord rec;
+    rec.program = name;
+    rec.machine = machine.name;
+    rec.kind = "flags";
+    rec.config = std::to_string(pt.flags.encode());
+    rec.cycles = pt.result.cycles;
+    rec.code_size = pt.result.code_size;
+    rec.instructions = pt.result.instructions;
+    rec.counters = pt.result.counters;
+    rec.static_features = static_features;
+    rec.dynamic_features = feat::extract_dynamic(pt.result.counters);
+    base.add(std::move(rec));
+  }
+}
+
+kb::KnowledgeBase build_knowledge_base(const std::vector<SuiteProgram>& suite,
+                                       const sim::MachineConfig& machine,
+                                       unsigned sequence_budget,
+                                       unsigned flag_budget,
+                                       std::uint64_t seed) {
+  kb::KnowledgeBase base;
+  support::Rng root(seed);
+  const search::SequenceSpace space;
+  for (const SuiteProgram& prog : suite) {
+    support::Rng rng = root.fork(base.size() + 1);
+    base.add(make_profile_record(prog.name, *prog.module, machine));
+    if (sequence_budget > 0)
+      add_sequence_search_records(base, prog.name, *prog.module, machine,
+                                  space, rng, sequence_budget);
+    if (flag_budget > 0)
+      add_flag_search_records(base, prog.name, *prog.module, machine, rng,
+                              flag_budget);
+  }
+  return base;
+}
+
+}  // namespace ilc::ctrl

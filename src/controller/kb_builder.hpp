@@ -1,0 +1,51 @@
+// Knowledge-base population harness: runs the "significant training
+// period" the paper describes (Section III-C) — profiling runs, sequence
+// searches, and flag searches per program — and stores everything in the
+// standard format. Shared by the benches, examples, and tests.
+#pragma once
+
+#include <string>
+#include <vector>
+
+#include "ir/module.hpp"
+#include "kb/knowledge_base.hpp"
+#include "search/space.hpp"
+#include "sim/machine.hpp"
+#include "support/rng.hpp"
+
+namespace ilc::ctrl {
+
+struct SuiteProgram {
+  std::string name;
+  const ir::Module* module = nullptr;
+};
+
+/// Profile a program at -O0: counters, static and dynamic features.
+kb::ExperimentRecord make_profile_record(const std::string& name,
+                                         const ir::Module& mod,
+                                         const sim::MachineConfig& machine);
+
+/// Random sequence search, recording every evaluated point.
+void add_sequence_search_records(kb::KnowledgeBase& base,
+                                 const std::string& name,
+                                 const ir::Module& mod,
+                                 const sim::MachineConfig& machine,
+                                 const search::SequenceSpace& space,
+                                 support::Rng& rng, unsigned budget);
+
+/// Random flag-space search (anchored at O0/FAST/FAST+ptrcompress),
+/// recording every evaluated point.
+void add_flag_search_records(kb::KnowledgeBase& base, const std::string& name,
+                             const ir::Module& mod,
+                             const sim::MachineConfig& machine,
+                             support::Rng& rng, unsigned budget);
+
+/// Full training period over a suite: profile + sequence + flag records
+/// per program. Deterministic in `seed`.
+kb::KnowledgeBase build_knowledge_base(const std::vector<SuiteProgram>& suite,
+                                       const sim::MachineConfig& machine,
+                                       unsigned sequence_budget,
+                                       unsigned flag_budget,
+                                       std::uint64_t seed);
+
+}  // namespace ilc::ctrl

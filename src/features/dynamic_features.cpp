@@ -1,0 +1,72 @@
+#include <cmath>
+
+#include "features/features.hpp"
+#include "support/assert.hpp"
+
+namespace ilc::feat {
+
+const std::vector<std::string>& dynamic_feature_names() {
+  static std::vector<std::string> names = [] {
+    std::vector<std::string> out;
+    out.push_back("CPI");
+    for (unsigned c = 0; c < sim::kNumCounters; ++c) {
+      const auto ctr = static_cast<sim::Counter>(c);
+      if (ctr == sim::TOT_INS || ctr == sim::TOT_CYC) continue;
+      out.push_back(std::string(sim::counter_name(ctr)) + "_per_kilo_ins");
+    }
+    return out;
+  }();
+  return names;
+}
+
+std::vector<double> extract_dynamic(const sim::Counters& counters) {
+  const double ins =
+      std::max<double>(1.0, static_cast<double>(counters[sim::TOT_INS]));
+  std::vector<double> f;
+  f.push_back(static_cast<double>(counters[sim::TOT_CYC]) / ins);
+  for (unsigned c = 0; c < sim::kNumCounters; ++c) {
+    const auto ctr = static_cast<sim::Counter>(c);
+    if (ctr == sim::TOT_INS || ctr == sim::TOT_CYC) continue;
+    f.push_back(1000.0 * static_cast<double>(counters[ctr]) / ins);
+  }
+  ILC_ASSERT(f.size() == dynamic_feature_names().size());
+  return f;
+}
+
+void Scaler::fit(const std::vector<std::vector<double>>& rows) {
+  ILC_CHECK(!rows.empty());
+  const std::size_t dim = rows[0].size();
+  mean_.assign(dim, 0.0);
+  inv_std_.assign(dim, 1.0);
+  for (const auto& r : rows) {
+    ILC_CHECK(r.size() == dim);
+    for (std::size_t j = 0; j < dim; ++j) mean_[j] += r[j];
+  }
+  for (double& m : mean_) m /= static_cast<double>(rows.size());
+  std::vector<double> var(dim, 0.0);
+  for (const auto& r : rows)
+    for (std::size_t j = 0; j < dim; ++j)
+      var[j] += (r[j] - mean_[j]) * (r[j] - mean_[j]);
+  for (std::size_t j = 0; j < dim; ++j) {
+    const double sd = std::sqrt(var[j] / static_cast<double>(rows.size()));
+    inv_std_[j] = sd > 1e-12 ? 1.0 / sd : 0.0;  // constant feature -> 0
+  }
+}
+
+std::vector<double> Scaler::transform(const std::vector<double>& row) const {
+  ILC_CHECK(fitted());
+  ILC_CHECK(row.size() == mean_.size());
+  std::vector<double> out(row.size());
+  for (std::size_t j = 0; j < row.size(); ++j)
+    out[j] = (row[j] - mean_[j]) * inv_std_[j];
+  return out;
+}
+
+double euclidean(const std::vector<double>& a, const std::vector<double>& b) {
+  ILC_CHECK(a.size() == b.size());
+  double s = 0.0;
+  for (std::size_t i = 0; i < a.size(); ++i) s += (a[i] - b[i]) * (a[i] - b[i]);
+  return std::sqrt(s);
+}
+
+}  // namespace ilc::feat

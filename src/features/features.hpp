@@ -1,0 +1,64 @@
+// Application characterization (paper Section III-B / III-E): static code
+// features extracted by compiler analysis and dynamic features derived
+// from performance counters. Both are plain double vectors with stable
+// names, suitable for the ML layer and the knowledge base's standard
+// format.
+#pragma once
+
+#include <string>
+#include <vector>
+
+#include "ir/analysis.hpp"
+#include "ir/module.hpp"
+#include "sim/counters.hpp"
+
+namespace ilc::feat {
+
+/// Names of the static features, index-aligned with extract_static().
+const std::vector<std::string>& static_feature_names();
+
+/// Extract static code features from a module. Instruction-mix ratios are
+/// weighted by estimated block frequency (10^loop-depth), approximating
+/// dynamic importance without running the program.
+std::vector<double> extract_static(const ir::Module& mod);
+
+/// Names of the per-loop features, index-aligned with
+/// extract_loop_features(). Used by the learned unroll-factor case study
+/// (the Stephenson/Monsifrot-style single-heuristic experiments the paper
+/// discusses in related work).
+const std::vector<std::string>& loop_feature_names();
+
+/// Static features of one natural loop.
+std::vector<double> extract_loop_features(const ir::Function& fn,
+                                          const ir::Loop& loop);
+
+/// Names of the dynamic features, index-aligned with extract_dynamic().
+const std::vector<std::string>& dynamic_feature_names();
+
+/// Derive dynamic features from a counter sample: CPI plus per-kilo-
+/// instruction event rates — the representation the paper's Fig. 3 uses
+/// (counter values relative to instruction count).
+std::vector<double> extract_dynamic(const sim::Counters& counters);
+
+/// z-score normalizer fit over a feature matrix (rows = programs).
+class Scaler {
+ public:
+  void fit(const std::vector<std::vector<double>>& rows);
+  std::vector<double> transform(const std::vector<double>& row) const;
+  bool fitted() const { return !mean_.empty(); }
+
+ private:
+  std::vector<double> mean_;
+  std::vector<double> inv_std_;
+};
+
+/// Euclidean distance between equal-length vectors.
+double euclidean(const std::vector<double>& a, const std::vector<double>& b);
+
+/// Mutual information (in bits) between a feature column and integer
+/// labels, with the feature discretized into `bins` equal-frequency bins.
+/// The paper recommends exactly this statistic for feature selection.
+double mutual_information(const std::vector<double>& feature,
+                          const std::vector<int>& labels, unsigned bins = 4);
+
+}  // namespace ilc::feat

@@ -1,0 +1,100 @@
+// Per-loop static features for single-heuristic learning experiments
+// (the "which loops to unroll / what factor" problem of Monsifrot et al.
+// and Stephenson & Amarasinghe, which the paper's related-work section
+// positions intelligent compilers against).
+#include <cmath>
+
+#include "features/features.hpp"
+#include "support/assert.hpp"
+
+namespace ilc::feat {
+
+using namespace ir;
+
+const std::vector<std::string>& loop_feature_names() {
+  static const std::vector<std::string> names = {
+      "body_size",        // total instructions in the loop
+      "num_blocks",       // basic blocks in the loop
+      "ratio_loads",      // loads / body size
+      "ratio_stores",
+      "ratio_muldiv",
+      "ratio_branches",   // conditional branches / body size
+      "has_call",
+      "max_block_size",   // largest straight-line stretch
+      "dep_chain_est",    // serial-latency estimate of the largest block
+      "uses_ptr_mem",     // any pointer-typed access in the body
+  };
+  return names;
+}
+
+namespace {
+
+/// Crude serial-latency estimate of a block: sum of producer latencies
+/// along the register def-use chain (upper-bounds the critical path).
+double dep_chain_estimate(const BasicBlock& bb) {
+  double chain = 0;
+  for (const Instr& inst : bb.insts) {
+    switch (inst.op) {
+      case Opcode::Mul: chain += 3; break;
+      case Opcode::Div:
+      case Opcode::Rem: chain += 20; break;
+      case Opcode::Load: chain += 4; break;
+      default: chain += is_pure(inst) ? 1 : 0; break;
+    }
+  }
+  return chain;
+}
+
+}  // namespace
+
+std::vector<double> extract_loop_features(const Function& fn,
+                                          const Loop& loop) {
+  double body = 0, loads = 0, stores = 0, muldiv = 0, branches = 0;
+  double has_call = 0, max_block = 0, max_chain = 0, ptr_mem = 0;
+  for (BlockId b : loop.blocks) {
+    const BasicBlock& bb = fn.blocks[b];
+    body += static_cast<double>(bb.insts.size());
+    max_block = std::max(max_block, static_cast<double>(bb.insts.size()));
+    max_chain = std::max(max_chain, dep_chain_estimate(bb));
+    for (const Instr& inst : bb.insts) {
+      switch (inst.op) {
+        case Opcode::Load:
+          loads += 1;
+          if (inst.is_ptr) ptr_mem = 1;
+          break;
+        case Opcode::Store:
+          stores += 1;
+          if (inst.is_ptr) ptr_mem = 1;
+          break;
+        case Opcode::Mul:
+        case Opcode::Div:
+        case Opcode::Rem:
+          muldiv += 1;
+          break;
+        case Opcode::Br:
+          branches += 1;
+          break;
+        case Opcode::Call:
+          has_call = 1;
+          break;
+        default:
+          break;
+      }
+    }
+  }
+  const double denom = std::max(1.0, body);
+  std::vector<double> f = {body,
+                           static_cast<double>(loop.blocks.size()),
+                           loads / denom,
+                           stores / denom,
+                           muldiv / denom,
+                           branches / denom,
+                           has_call,
+                           max_block,
+                           max_chain,
+                           ptr_mem};
+  ILC_ASSERT(f.size() == loop_feature_names().size());
+  return f;
+}
+
+}  // namespace ilc::feat

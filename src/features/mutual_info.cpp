@@ -1,0 +1,48 @@
+#include <algorithm>
+#include <cmath>
+#include <map>
+
+#include "features/features.hpp"
+#include "support/assert.hpp"
+
+namespace ilc::feat {
+
+double mutual_information(const std::vector<double>& feature,
+                          const std::vector<int>& labels, unsigned bins) {
+  ILC_CHECK(feature.size() == labels.size());
+  ILC_CHECK(!feature.empty());
+  ILC_CHECK(bins >= 2);
+  const std::size_t n = feature.size();
+
+  // Equal-frequency discretization via rank.
+  std::vector<std::size_t> order(n);
+  for (std::size_t i = 0; i < n; ++i) order[i] = i;
+  std::sort(order.begin(), order.end(), [&](std::size_t a, std::size_t b) {
+    return feature[a] < feature[b];
+  });
+  std::vector<unsigned> bin_of(n);
+  for (std::size_t rank = 0; rank < n; ++rank)
+    bin_of[order[rank]] = static_cast<unsigned>(rank * bins / n);
+
+  // Joint and marginal counts.
+  std::map<std::pair<unsigned, int>, double> joint;
+  std::map<unsigned, double> pf;
+  std::map<int, double> pl;
+  for (std::size_t i = 0; i < n; ++i) {
+    joint[{bin_of[i], labels[i]}] += 1.0;
+    pf[bin_of[i]] += 1.0;
+    pl[labels[i]] += 1.0;
+  }
+
+  double mi = 0.0;
+  const double dn = static_cast<double>(n);
+  for (const auto& [key, count] : joint) {
+    const double pxy = count / dn;
+    const double px = pf[key.first] / dn;
+    const double py = pl[key.second] / dn;
+    mi += pxy * std::log2(pxy / (px * py));
+  }
+  return std::max(0.0, mi);
+}
+
+}  // namespace ilc::feat

@@ -1,0 +1,121 @@
+#include <cmath>
+
+#include "features/features.hpp"
+#include "ir/analysis.hpp"
+
+namespace ilc::feat {
+
+using namespace ir;
+
+const std::vector<std::string>& static_feature_names() {
+  static const std::vector<std::string> names = {
+      "log_total_insts",   // code size scale
+      "num_functions",
+      "avg_block_size",
+      "num_loops",
+      "max_loop_depth",
+      "frac_insts_in_loops",
+      "ratio_loads",       // frequency-weighted instruction mix
+      "ratio_stores",
+      "ratio_branches",
+      "ratio_muldiv",
+      "ratio_calls",
+      "ratio_ptr_mem",     // pointer-typed memory accesses
+      "ratio_alu",
+      "avg_loop_body",
+      "branch_fanout",     // conditional branches per block
+      "leaf_fraction",     // fraction of functions that are leaves
+  };
+  return names;
+}
+
+std::vector<double> extract_static(const ir::Module& mod) {
+  double total_insts = 0, total_blocks = 0;
+  double num_loops = 0, max_depth = 0, insts_in_loops = 0;
+  double w_loads = 0, w_stores = 0, w_branches = 0, w_muldiv = 0;
+  double w_calls = 0, w_ptr_mem = 0, w_alu = 0, w_total = 0;
+  double loop_body_insts = 0;
+  double cond_branches = 0;
+  double leaves = 0;
+
+  for (const Function& fn : mod.functions()) {
+    total_insts += static_cast<double>(fn.size());
+    total_blocks += static_cast<double>(fn.blocks.size());
+
+    const auto loops = find_loops(fn);
+    num_loops += static_cast<double>(loops.size());
+    const auto freq = block_frequencies(fn);
+    bool is_leaf = true;
+
+    std::vector<unsigned> depth(fn.blocks.size(), 0);
+    for (const Loop& l : loops)
+      for (BlockId b : l.blocks) depth[b] += 1;
+    for (unsigned d : depth)
+      max_depth = std::max(max_depth, static_cast<double>(d));
+    for (const Loop& l : loops) {
+      double body = 0;
+      for (BlockId b : l.blocks)
+        body += static_cast<double>(fn.blocks[b].insts.size());
+      loop_body_insts += body;
+    }
+
+    for (std::size_t b = 0; b < fn.blocks.size(); ++b) {
+      const double w = freq[b];
+      if (depth[b] > 0)
+        insts_in_loops += static_cast<double>(fn.blocks[b].insts.size());
+      for (const Instr& inst : fn.blocks[b].insts) {
+        w_total += w;
+        switch (inst.op) {
+          case Opcode::Load:
+            w_loads += w;
+            if (inst.is_ptr) w_ptr_mem += w;
+            break;
+          case Opcode::Store:
+            w_stores += w;
+            if (inst.is_ptr) w_ptr_mem += w;
+            break;
+          case Opcode::Br:
+            w_branches += w;
+            cond_branches += 1;
+            break;
+          case Opcode::Mul:
+          case Opcode::Div:
+          case Opcode::Rem:
+            w_muldiv += w;
+            break;
+          case Opcode::Call:
+            w_calls += w;
+            is_leaf = false;
+            break;
+          default:
+            if (is_pure(inst)) w_alu += w;
+            break;
+        }
+      }
+    }
+    if (is_leaf) leaves += 1;
+  }
+
+  const double nf = std::max(1.0, static_cast<double>(mod.functions().size()));
+  const double wt = std::max(1.0, w_total);
+  std::vector<double> f;
+  f.push_back(std::log2(std::max(1.0, total_insts)));
+  f.push_back(nf);
+  f.push_back(total_insts / std::max(1.0, total_blocks));
+  f.push_back(num_loops);
+  f.push_back(max_depth);
+  f.push_back(insts_in_loops / std::max(1.0, total_insts));
+  f.push_back(w_loads / wt);
+  f.push_back(w_stores / wt);
+  f.push_back(w_branches / wt);
+  f.push_back(w_muldiv / wt);
+  f.push_back(w_calls / wt);
+  f.push_back(w_ptr_mem / wt);
+  f.push_back(w_alu / wt);
+  f.push_back(loop_body_insts / std::max(1.0, num_loops));
+  f.push_back(cond_branches / std::max(1.0, total_blocks));
+  f.push_back(leaves / nf);
+  return f;
+}
+
+}  // namespace ilc::feat

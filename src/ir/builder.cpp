@@ -1,0 +1,262 @@
+#include "ir/builder.hpp"
+
+#include "support/assert.hpp"
+
+namespace ilc::ir {
+
+FunctionBuilder::FunctionBuilder(Module& mod, std::string name,
+                                 unsigned num_args, unsigned frame_size)
+    : mod_(mod) {
+  fn_.name = std::move(name);
+  fn_.num_args = num_args;
+  fn_.num_regs = num_args;
+  fn_.frame_size = frame_size;
+  cur_ = fn_.new_block();
+}
+
+BlockId FunctionBuilder::new_block() { return fn_.new_block(); }
+
+void FunctionBuilder::switch_to(BlockId block) {
+  ILC_CHECK(block < fn_.blocks.size());
+  cur_ = block;
+}
+
+Reg FunctionBuilder::arg(unsigned i) const {
+  ILC_CHECK(i < fn_.num_args);
+  return i;
+}
+
+Instr& FunctionBuilder::emit(Instr inst) {
+  ILC_CHECK(!finished_);
+  BasicBlock& bb = fn_.blocks[cur_];
+  ILC_CHECK_MSG(!bb.has_terminator(),
+                "emitting into already-terminated block in " << fn_.name);
+  bb.insts.push_back(inst);
+  return bb.insts.back();
+}
+
+Reg FunctionBuilder::imm(std::int64_t value) {
+  Instr i;
+  i.op = Opcode::LoadImm;
+  i.dst = fn_.new_reg();
+  i.imm = value;
+  emit(i);
+  return i.dst;
+}
+
+Reg FunctionBuilder::imm_record_stride(RecordId rec) {
+  Instr i;
+  i.op = Opcode::LoadImm;
+  i.dst = fn_.new_reg();
+  i.imm = static_cast<std::int64_t>(mod_.record_layout(rec).stride);
+  i.tag = ImmTag::RecordStride;
+  i.rec = rec;
+  emit(i);
+  return i.dst;
+}
+
+Reg FunctionBuilder::imm_ptr_width() {
+  Instr i;
+  i.op = Opcode::LoadImm;
+  i.dst = fn_.new_reg();
+  i.imm = static_cast<std::int64_t>(mod_.ptr_bytes());
+  i.tag = ImmTag::PtrWidth;
+  emit(i);
+  return i.dst;
+}
+
+Reg FunctionBuilder::binop(Opcode op, Reg lhs, Reg rhs) {
+  Instr i;
+  i.op = op;
+  i.dst = fn_.new_reg();
+  i.a = lhs;
+  i.b = rhs;
+  emit(i);
+  return i.dst;
+}
+
+Reg FunctionBuilder::unop(Opcode op, Reg a) {
+  Instr i;
+  i.op = op;
+  i.dst = fn_.new_reg();
+  i.a = a;
+  emit(i);
+  return i.dst;
+}
+
+void FunctionBuilder::mov_to(Reg dst, Reg src) {
+  ILC_CHECK(dst < fn_.num_regs);
+  Instr i;
+  i.op = Opcode::Mov;
+  i.dst = dst;
+  i.a = src;
+  emit(i);
+}
+
+void FunctionBuilder::imm_to(Reg dst, std::int64_t value) {
+  ILC_CHECK(dst < fn_.num_regs);
+  Instr i;
+  i.op = Opcode::LoadImm;
+  i.dst = dst;
+  i.imm = value;
+  emit(i);
+}
+
+Reg FunctionBuilder::global_addr(GlobalId gid) {
+  Instr i;
+  i.op = Opcode::GlobalAddr;
+  i.dst = fn_.new_reg();
+  i.gid = gid;
+  emit(i);
+  return i.dst;
+}
+
+Reg FunctionBuilder::frame_addr(std::int64_t offset) {
+  ILC_CHECK(offset >= 0 &&
+            static_cast<std::uint64_t>(offset) < fn_.frame_size);
+  Instr i;
+  i.op = Opcode::FrameAddr;
+  i.dst = fn_.new_reg();
+  i.imm = offset;
+  emit(i);
+  return i.dst;
+}
+
+Reg FunctionBuilder::load(Reg addr, std::int64_t offset, MemWidth width,
+                          bool is_ptr) {
+  Instr i;
+  i.op = Opcode::Load;
+  i.dst = fn_.new_reg();
+  i.a = addr;
+  i.imm = offset;
+  i.width = width;
+  i.is_ptr = is_ptr;
+  emit(i);
+  return i.dst;
+}
+
+void FunctionBuilder::store(Reg addr, std::int64_t offset, Reg value,
+                            MemWidth width, bool is_ptr) {
+  Instr i;
+  i.op = Opcode::Store;
+  i.a = addr;
+  i.b = value;
+  i.imm = offset;
+  i.width = width;
+  i.is_ptr = is_ptr;
+  emit(i);
+}
+
+void FunctionBuilder::prefetch(Reg addr, std::int64_t offset) {
+  Instr i;
+  i.op = Opcode::Prefetch;
+  i.a = addr;
+  i.imm = offset;
+  emit(i);
+}
+
+Reg FunctionBuilder::record_elem_addr(GlobalId gid, Reg index) {
+  const Global& g = mod_.global(gid);
+  ILC_CHECK(g.kind == GlobalKind::RecordArray);
+  Reg base = global_addr(gid);
+  Reg stride = imm_record_stride(g.record);
+  Reg off = mul(index, stride);
+  return add(base, off);
+}
+
+Reg FunctionBuilder::load_field(Reg rec_addr, RecordId rec, FieldId field) {
+  const RecordType& type = mod_.record(rec);
+  ILC_CHECK(field < type.fields.size());
+  const RecordLayout lay = mod_.record_layout(rec);
+  Instr i;
+  i.op = Opcode::Load;
+  i.dst = fn_.new_reg();
+  i.a = rec_addr;
+  i.imm = lay.offsets[field];
+  i.width = static_cast<MemWidth>(lay.widths[field]);
+  i.is_ptr = type.fields[field].kind == FieldKind::Ptr;
+  i.tag = ImmTag::FieldOffset;
+  i.rec = rec;
+  i.field = field;
+  emit(i);
+  return i.dst;
+}
+
+void FunctionBuilder::store_field(Reg rec_addr, RecordId rec, FieldId field,
+                                  Reg value) {
+  const RecordType& type = mod_.record(rec);
+  ILC_CHECK(field < type.fields.size());
+  const RecordLayout lay = mod_.record_layout(rec);
+  Instr i;
+  i.op = Opcode::Store;
+  i.a = rec_addr;
+  i.b = value;
+  i.imm = lay.offsets[field];
+  i.width = static_cast<MemWidth>(lay.widths[field]);
+  i.is_ptr = type.fields[field].kind == FieldKind::Ptr;
+  i.tag = ImmTag::FieldOffset;
+  i.rec = rec;
+  i.field = field;
+  emit(i);
+}
+
+Reg FunctionBuilder::call(FuncId callee, std::initializer_list<Reg> args) {
+  ILC_CHECK(args.size() <= kMaxCallArgs);
+  Instr i;
+  i.op = Opcode::Call;
+  i.dst = fn_.new_reg();
+  i.callee = callee;
+  i.nargs = static_cast<std::uint8_t>(args.size());
+  unsigned k = 0;
+  for (Reg r : args) i.args[k++] = r;
+  emit(i);
+  return i.dst;
+}
+
+void FunctionBuilder::call_void(FuncId callee,
+                                std::initializer_list<Reg> args) {
+  ILC_CHECK(args.size() <= kMaxCallArgs);
+  Instr i;
+  i.op = Opcode::Call;
+  i.dst = kNoReg;
+  i.callee = callee;
+  i.nargs = static_cast<std::uint8_t>(args.size());
+  unsigned k = 0;
+  for (Reg r : args) i.args[k++] = r;
+  emit(i);
+}
+
+void FunctionBuilder::jump(BlockId target) {
+  Instr i;
+  i.op = Opcode::Jump;
+  i.t1 = target;
+  emit(i);
+}
+
+void FunctionBuilder::br(Reg cond, BlockId if_true, BlockId if_false) {
+  Instr i;
+  i.op = Opcode::Br;
+  i.a = cond;
+  i.t1 = if_true;
+  i.t2 = if_false;
+  emit(i);
+}
+
+void FunctionBuilder::ret(Reg value) {
+  Instr i;
+  i.op = Opcode::Ret;
+  i.a = value;
+  emit(i);
+}
+
+FuncId FunctionBuilder::finish() {
+  ILC_CHECK(!finished_);
+  finished_ = true;
+  for (const BasicBlock& bb : fn_.blocks) {
+    ILC_CHECK_MSG(bb.has_terminator(),
+                  "unterminated block in " << fn_.name);
+  }
+  return mod_.add_function(std::move(fn_));
+}
+
+}  // namespace ilc::ir

@@ -1,0 +1,114 @@
+// FunctionBuilder — the ergonomic construction API the workload suite and
+// the tests use to write IR programs. Maintains a current-block cursor;
+// every emit_* helper appends to it. Record-field accesses are emitted with
+// tagged immediates so layout-changing passes stay sound.
+#pragma once
+
+#include <initializer_list>
+#include <string>
+
+#include "ir/module.hpp"
+
+namespace ilc::ir {
+
+class FunctionBuilder {
+ public:
+  /// Starts a function with `num_args` arguments (in r0..r(num_args-1)).
+  /// Block 0 (the entry) is created and selected.
+  FunctionBuilder(Module& mod, std::string name, unsigned num_args,
+                  unsigned frame_size = 0);
+
+  Module& module() { return mod_; }
+
+  // --- blocks ---------------------------------------------------------
+  BlockId new_block();
+  void switch_to(BlockId block);
+  BlockId current() const { return cur_; }
+
+  // --- registers / constants ------------------------------------------
+  Reg arg(unsigned i) const;
+  Reg fresh() { return fn_.new_reg(); }
+  Reg imm(std::int64_t value);
+  /// Stride of `rec` as a tagged immediate (survives re-layout).
+  Reg imm_record_stride(RecordId rec);
+  /// Module pointer width as a tagged immediate.
+  Reg imm_ptr_width();
+
+  // --- arithmetic -------------------------------------------------------
+  Reg binop(Opcode op, Reg lhs, Reg rhs);
+  Reg add(Reg a, Reg b) { return binop(Opcode::Add, a, b); }
+  Reg sub(Reg a, Reg b) { return binop(Opcode::Sub, a, b); }
+  Reg mul(Reg a, Reg b) { return binop(Opcode::Mul, a, b); }
+  Reg div(Reg a, Reg b) { return binop(Opcode::Div, a, b); }
+  Reg rem(Reg a, Reg b) { return binop(Opcode::Rem, a, b); }
+  Reg and_(Reg a, Reg b) { return binop(Opcode::And, a, b); }
+  Reg or_(Reg a, Reg b) { return binop(Opcode::Or, a, b); }
+  Reg xor_(Reg a, Reg b) { return binop(Opcode::Xor, a, b); }
+  Reg shl(Reg a, Reg b) { return binop(Opcode::Shl, a, b); }
+  Reg shr(Reg a, Reg b) { return binop(Opcode::Shr, a, b); }
+  Reg min(Reg a, Reg b) { return binop(Opcode::Min, a, b); }
+  Reg max(Reg a, Reg b) { return binop(Opcode::Max, a, b); }
+  Reg unop(Opcode op, Reg a);
+  Reg neg(Reg a) { return unop(Opcode::Neg, a); }
+  Reg not_(Reg a) { return unop(Opcode::Not, a); }
+  Reg mov(Reg a) { return unop(Opcode::Mov, a); }
+  /// Copy into a specific destination register.
+  void mov_to(Reg dst, Reg src);
+  void imm_to(Reg dst, std::int64_t value);
+
+  Reg cmp_eq(Reg a, Reg b) { return binop(Opcode::CmpEq, a, b); }
+  Reg cmp_ne(Reg a, Reg b) { return binop(Opcode::CmpNe, a, b); }
+  Reg cmp_lt(Reg a, Reg b) { return binop(Opcode::CmpLt, a, b); }
+  Reg cmp_le(Reg a, Reg b) { return binop(Opcode::CmpLe, a, b); }
+  Reg cmp_gt(Reg a, Reg b) { return binop(Opcode::CmpGt, a, b); }
+  Reg cmp_ge(Reg a, Reg b) { return binop(Opcode::CmpGe, a, b); }
+
+  // Convenience immediate-operand forms (emit a LoadImm then the op).
+  Reg add_i(Reg a, std::int64_t v) { return add(a, imm(v)); }
+  Reg sub_i(Reg a, std::int64_t v) { return sub(a, imm(v)); }
+  Reg mul_i(Reg a, std::int64_t v) { return mul(a, imm(v)); }
+  Reg and_i(Reg a, std::int64_t v) { return and_(a, imm(v)); }
+  Reg shl_i(Reg a, std::int64_t v) { return shl(a, imm(v)); }
+  Reg shr_i(Reg a, std::int64_t v) { return shr(a, imm(v)); }
+  Reg cmp_lt_i(Reg a, std::int64_t v) { return cmp_lt(a, imm(v)); }
+
+  // --- addressing / memory ---------------------------------------------
+  Reg global_addr(GlobalId gid);
+  Reg frame_addr(std::int64_t offset);
+  Reg load(Reg addr, std::int64_t offset, MemWidth width,
+           bool is_ptr = false);
+  void store(Reg addr, std::int64_t offset, Reg value, MemWidth width,
+             bool is_ptr = false);
+  void prefetch(Reg addr, std::int64_t offset);
+
+  /// Address of element `index` (register) of record-array global `gid`:
+  /// base + index * stride, with the stride emitted as a tagged immediate.
+  Reg record_elem_addr(GlobalId gid, Reg index);
+
+  /// Load/store field `field` of the record at `rec_addr`. Width, offset
+  /// and pointer-ness come from the record layout; the offset immediate is
+  /// tagged for re-layout.
+  Reg load_field(Reg rec_addr, RecordId rec, FieldId field);
+  void store_field(Reg rec_addr, RecordId rec, FieldId field, Reg value);
+
+  // --- calls / control ---------------------------------------------------
+  Reg call(FuncId callee, std::initializer_list<Reg> args);
+  void call_void(FuncId callee, std::initializer_list<Reg> args);
+  void jump(BlockId target);
+  void br(Reg cond, BlockId if_true, BlockId if_false);
+  void ret(Reg value = kNoReg);
+
+  /// Finish: installs the function into the module and returns its id.
+  /// The builder must not be used afterwards.
+  FuncId finish();
+
+ private:
+  Instr& emit(Instr inst);
+
+  Module& mod_;
+  Function fn_;
+  BlockId cur_ = 0;
+  bool finished_ = false;
+};
+
+}  // namespace ilc::ir

@@ -1,0 +1,51 @@
+#include "ir/fingerprint.hpp"
+
+#include "support/hash.hpp"
+
+namespace ilc::ir {
+
+namespace {
+
+void hash_instr(support::Hasher& h, const Instr& inst) {
+  h.pod(inst.op).pod(inst.dst).pod(inst.a).pod(inst.b).pod(inst.imm);
+  h.pod(inst.width).pod(inst.is_ptr).pod(inst.tag).pod(inst.rec);
+  h.pod(inst.field).pod(inst.t1).pod(inst.t2).pod(inst.callee).pod(inst.gid);
+  h.pod(inst.nargs);
+  for (unsigned i = 0; i < inst.nargs; ++i) h.pod(inst.args[i]);
+}
+
+}  // namespace
+
+std::uint64_t fingerprint(const Function& fn) {
+  support::Hasher h;
+  h.str(fn.name).pod(fn.num_args).pod(fn.num_regs).pod(fn.frame_size);
+  h.pod(fn.blocks.size());
+  for (const BasicBlock& bb : fn.blocks) {
+    h.pod(bb.insts.size());
+    for (const Instr& inst : bb.insts) hash_instr(h, inst);
+  }
+  return h.digest();
+}
+
+std::uint64_t fingerprint(const Module& mod) {
+  support::Hasher h;
+  h.str(mod.name);
+  h.pod(mod.ptr_bytes());
+  h.pod(mod.functions().size());
+  for (const Function& fn : mod.functions()) h.pod(fingerprint(fn));
+  // Globals and records participate because layout changes (pointer
+  // compression) alter the executed image even with identical code.
+  h.pod(mod.records().size());
+  for (const RecordType& r : mod.records()) {
+    h.str(r.name);
+    for (const RecordField& f : r.fields) h.str(f.name).pod(f.kind);
+  }
+  h.pod(mod.globals().size());
+  for (const Global& g : mod.globals()) {
+    h.str(g.name).pod(g.kind).pod(g.count).pod(g.elem_width);
+    h.pod(g.elem_is_ptr).pod(g.record);
+  }
+  return h.digest();
+}
+
+}  // namespace ilc::ir

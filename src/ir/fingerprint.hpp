@@ -1,0 +1,16 @@
+// Structural fingerprint of a module: identical optimized code (including
+// layout-affecting state) hashes identically, which lets the search
+// harness memoize simulator runs across optimization sequences that
+// converge to the same code.
+#pragma once
+
+#include <cstdint>
+
+#include "ir/module.hpp"
+
+namespace ilc::ir {
+
+std::uint64_t fingerprint(const Function& fn);
+std::uint64_t fingerprint(const Module& mod);
+
+}  // namespace ilc::ir

@@ -1,0 +1,73 @@
+// The Instr value type plus structural predicates used by every pass.
+#pragma once
+
+#include <array>
+#include <cstdint>
+
+#include "ir/types.hpp"
+
+namespace ilc::ir {
+
+inline constexpr unsigned kMaxCallArgs = 6;
+
+/// A single three-address instruction. Trivially copyable; passes clone
+/// and rewrite instructions freely.
+struct Instr {
+  Opcode op = Opcode::Nop;
+  Reg dst = kNoReg;
+  Reg a = kNoReg;
+  Reg b = kNoReg;
+  std::int64_t imm = 0;  // LoadImm value; Load/Store/Prefetch/FrameAddr offset
+
+  MemWidth width = MemWidth::W8;  // Load/Store access width
+  bool is_ptr = false;            // memory access holds a pointer value
+
+  ImmTag tag = ImmTag::None;  // provenance of `imm` (see types.hpp)
+  RecordId rec = kNoRecord;
+  FieldId field = kNoField;
+
+  BlockId t1 = kNoBlock;  // Jump target / Br taken target
+  BlockId t2 = kNoBlock;  // Br fall-through target
+  FuncId callee = kNoFunc;
+  GlobalId gid = kNoGlobal;
+
+  std::uint8_t nargs = 0;
+  std::array<Reg, kMaxCallArgs> args{};
+
+  bool operator==(const Instr&) const = default;
+};
+
+/// True for Jump/Br/Ret — the only instructions allowed (and required)
+/// at the end of a basic block.
+bool is_terminator(const Instr& inst);
+
+/// True if the instruction writes a register (dst is meaningful).
+bool has_dst(const Instr& inst);
+
+/// Number of register sources and their values (excluding call args).
+unsigned num_srcs(const Instr& inst);
+std::array<Reg, 2> srcs(const Instr& inst);
+
+/// Register sources including call arguments, appended to `out`.
+void append_uses(const Instr& inst, std::array<Reg, 2 + kMaxCallArgs>& out,
+                 unsigned& n);
+
+/// True if the instruction has no side effects and its result depends only
+/// on its register sources (legal to remove when dead, to CSE, to hoist).
+/// Loads are NOT pure (memory may change); Div/Rem are pure here because
+/// the interpreter defines division by zero (yields 0 / leaves a).
+bool is_pure(const Instr& inst);
+
+bool reads_memory(const Instr& inst);
+bool writes_memory(const Instr& inst);
+
+/// True for binary ops where operand order does not matter.
+bool is_commutative(Opcode op);
+
+/// Fold a binary/unary/compare opcode over constants, per interpreter
+/// semantics (wrapping 64-bit, division by zero yields 0, x % 0 yields x,
+/// shifts masked to 0..63). Returns false if op is not foldable.
+bool fold_constant(Opcode op, std::int64_t a, std::int64_t b,
+                   std::int64_t& out);
+
+}  // namespace ilc::ir

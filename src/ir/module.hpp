@@ -1,0 +1,110 @@
+// Module: functions + record types + globals + pointer width, and the
+// construction of the initial memory image the simulator executes against.
+//
+// Pointer initialization is symbolic: a pointer-valued initializer holds an
+// *element index* into a target global (or -1 for null) and is resolved to
+// an absolute address only when the image is built. This keeps initial data
+// valid across re-layouts (e.g. after 64→32-bit pointer compression).
+#pragma once
+
+#include <cstdint>
+#include <string>
+#include <vector>
+
+#include "ir/function.hpp"
+#include "ir/types.hpp"
+
+namespace ilc::ir {
+
+enum class GlobalKind : std::uint8_t { RawArray, RecordArray };
+
+/// Initializer for one field of a record-array global.
+struct FieldInit {
+  /// One value per element; empty means zero-fill. For Ptr fields the value
+  /// is an element index into `ptr_target` (-1 = null).
+  std::vector<std::int64_t> values;
+  GlobalId ptr_target = kNoGlobal;
+};
+
+struct Global {
+  std::string name;
+  GlobalKind kind = GlobalKind::RawArray;
+  std::uint64_t count = 0;  // number of elements / records
+
+  // RawArray only:
+  std::uint8_t elem_width = 8;  // 1, 2, 4, or 8 bytes
+  bool elem_is_ptr = false;     // width follows module pointer width
+  GlobalId ptr_target = kNoGlobal;     // target for pointer elements
+  std::vector<std::int64_t> init;      // empty = zero-fill
+
+  // RecordArray only:
+  RecordId record = kNoRecord;
+  std::vector<FieldInit> field_init;  // one per record field (or empty)
+};
+
+/// The executable image: initial memory contents plus resolved addresses.
+/// Address 0..kNullGuard-1 is never mapped (null-dereference detection).
+struct MemoryImage {
+  static constexpr std::uint64_t kNullGuard = 64;
+
+  std::vector<std::uint8_t> bytes;          // full address space contents
+  std::vector<std::uint64_t> global_base;   // base address per global
+  std::uint64_t stack_base = 0;             // frames grow upward from here
+  std::uint64_t stack_size = 0;
+  unsigned ptr_bytes = 8;
+
+  std::uint64_t size() const { return bytes.size(); }
+};
+
+class Module {
+ public:
+  std::string name;
+
+  // --- construction -------------------------------------------------
+  FuncId add_function(Function fn);
+  RecordId add_record(RecordType rec);
+  GlobalId add_global(Global g);
+
+  // --- access --------------------------------------------------------
+  Function& function(FuncId id);
+  const Function& function(FuncId id) const;
+  FuncId find_function(const std::string& fn_name) const;  // kNoFunc if absent
+
+  const std::vector<Function>& functions() const { return funcs_; }
+  std::vector<Function>& functions() { return funcs_; }
+
+  const RecordType& record(RecordId id) const;
+  const std::vector<RecordType>& records() const { return records_; }
+
+  Global& global(GlobalId id);
+  const Global& global(GlobalId id) const;
+  GlobalId find_global(const std::string& g_name) const;
+  const std::vector<Global>& globals() const { return globals_; }
+
+  // --- layout ---------------------------------------------------------
+  /// Current pointer width in bytes (8 by default; 4 after compression).
+  unsigned ptr_bytes() const { return ptr_bytes_; }
+  void set_ptr_bytes(unsigned bytes);
+
+  /// Layout of `rec` under the current pointer width.
+  RecordLayout record_layout(RecordId rec) const;
+
+  /// Element stride in bytes of a global under the current pointer width.
+  std::uint64_t global_stride(GlobalId id) const;
+  /// Total byte size of a global under the current pointer width.
+  std::uint64_t global_bytes(GlobalId id) const;
+
+  /// Build the initial memory image (globals serialized, stack reserved).
+  MemoryImage build_image(std::uint64_t stack_size = 1 << 20) const;
+
+  /// Total static instruction count across functions.
+  std::size_t code_size() const;
+
+ private:
+  std::vector<Function> funcs_;
+  std::vector<RecordType> records_;
+  std::vector<Global> globals_;
+  unsigned ptr_bytes_ = 8;
+};
+
+}  // namespace ilc::ir

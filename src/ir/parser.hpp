@@ -1,0 +1,19 @@
+// Parser for the textual IR form produced by printer.hpp, completing the
+// round trip: modules (records, global declarations, functions) can be
+// exchanged as text — e.g. stored in the knowledge base next to the
+// experiment that produced them. The format serializes code and
+// declarations; global *initial data* is not part of the text form (it
+// belongs to the program's build recipe / the KB record).
+#pragma once
+
+#include <string>
+
+#include "ir/module.hpp"
+
+namespace ilc::ir {
+
+/// Parse a module from its textual form. Throws support::CheckError with
+/// a line-numbered message on malformed input.
+Module parse_module(const std::string& text);
+
+}  // namespace ilc::ir

@@ -1,0 +1,14 @@
+// Textual rendering of IR for debugging, golden tests, and KB provenance.
+#pragma once
+
+#include <string>
+
+#include "ir/module.hpp"
+
+namespace ilc::ir {
+
+std::string to_string(const Instr& inst);
+std::string to_string(const Function& fn);
+std::string to_string(const Module& mod);
+
+}  // namespace ilc::ir

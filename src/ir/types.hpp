@@ -1,0 +1,105 @@
+// Core identifier types, opcodes, and record-layout vocabulary of the ilc
+// intermediate representation.
+//
+// The IR is a non-SSA three-address code over an unbounded virtual register
+// file, organized as functions of basic blocks. Memory is a flat,
+// byte-addressable address space populated from module globals; structured
+// data is described by RecordTypes whose strides/field offsets appear in
+// the instruction stream as *tagged immediates*, which is what allows the
+// 64→32-bit pointer-compression optimization (the key transformation in
+// the paper's Fig. 4 case study) to re-layout data and patch code safely.
+#pragma once
+
+#include <cstdint>
+#include <string>
+#include <vector>
+
+namespace ilc::ir {
+
+using Reg = std::uint32_t;
+using BlockId = std::uint32_t;
+using FuncId = std::uint32_t;
+using GlobalId = std::uint32_t;
+using RecordId = std::uint16_t;
+using FieldId = std::uint16_t;
+
+inline constexpr Reg kNoReg = 0xffffffffu;
+inline constexpr BlockId kNoBlock = 0xffffffffu;
+inline constexpr FuncId kNoFunc = 0xffffffffu;
+inline constexpr GlobalId kNoGlobal = 0xffffffffu;
+inline constexpr RecordId kNoRecord = 0xffffu;
+inline constexpr FieldId kNoField = 0xffffu;
+
+/// Instruction opcodes. All arithmetic is on signed 64-bit values.
+enum class Opcode : std::uint8_t {
+  Nop,
+  Mov,       // dst = a
+  LoadImm,   // dst = imm
+  // Binary arithmetic / logic: dst = a OP b
+  Add, Sub, Mul, Div, Rem,
+  And, Or, Xor, Shl, Shr,
+  Min, Max,
+  // Unary: dst = OP a
+  Neg, Not,
+  // Comparisons: dst = (a OP b) ? 1 : 0
+  CmpEq, CmpNe, CmpLt, CmpLe, CmpGt, CmpGe,
+  // Addressing
+  GlobalAddr,  // dst = base address of global `gid`
+  FrameAddr,   // dst = frame pointer + imm
+  // Memory: addresses are a + imm
+  Load,      // dst = mem[a + imm] (width bytes, sign-extended)
+  Store,     // mem[a + imm] = b (width bytes)
+  Prefetch,  // touch mem[a + imm] (non-binding, no fault)
+  // Control flow (terminators)
+  Jump,  // goto t1
+  Br,    // if (a != 0) goto t1 else goto t2
+  Ret,   // return a (or nothing if a == kNoReg)
+  // Calls are not terminators.
+  Call,  // dst = callee(args[0..nargs)); dst may be kNoReg
+};
+
+const char* opcode_name(Opcode op);
+
+/// Access width for Load/Store in bytes.
+enum class MemWidth : std::uint8_t { W1 = 1, W2 = 2, W4 = 4, W8 = 8 };
+
+inline unsigned width_bytes(MemWidth w) { return static_cast<unsigned>(w); }
+
+/// Marks an immediate as derived from a record layout so layout-changing
+/// passes (pointer compression) can recompute it.
+enum class ImmTag : std::uint8_t {
+  None,
+  RecordStride,  // imm == stride of record `rec`
+  FieldOffset,   // imm == offset of field `field` of record `rec`
+  PtrWidth,      // imm == module pointer width in bytes
+};
+
+/// Field element kinds. Ptr fields store addresses whose in-memory width
+/// follows the module's pointer width (8 bytes, or 4 after compression).
+enum class FieldKind : std::uint8_t { I8, I16, I32, I64, Ptr };
+
+unsigned field_kind_bytes(FieldKind kind, unsigned ptr_bytes);
+const char* field_kind_name(FieldKind kind);
+
+struct RecordField {
+  std::string name;
+  FieldKind kind = FieldKind::I64;
+};
+
+/// A named aggregate type; layout is computed per pointer width.
+struct RecordType {
+  std::string name;
+  std::vector<RecordField> fields;
+};
+
+/// Concrete layout of a RecordType for a given pointer width: naturally
+/// aligned fields in declaration order, stride rounded up to max alignment.
+struct RecordLayout {
+  std::uint32_t stride = 0;
+  std::vector<std::uint32_t> offsets;  // one per field
+  std::vector<std::uint8_t> widths;    // bytes, one per field
+};
+
+RecordLayout layout_record(const RecordType& type, unsigned ptr_bytes);
+
+}  // namespace ilc::ir

@@ -1,0 +1,19 @@
+// Structural well-formedness checks. Run after construction and after
+// every optimization pass in testing; the property "verify(optimized)
+// holds for every pass × workload" is one of the core test suites.
+#pragma once
+
+#include <string>
+
+#include "ir/module.hpp"
+
+namespace ilc::ir {
+
+/// Returns an empty string if well-formed, else a diagnostic message.
+std::string verify(const Function& fn, const Module& mod);
+std::string verify(const Module& mod);
+
+/// Throws support::CheckError on failure.
+void verify_or_throw(const Module& mod);
+
+}  // namespace ilc::ir

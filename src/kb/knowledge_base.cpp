@@ -1,0 +1,138 @@
+#include "kb/knowledge_base.hpp"
+
+#include <fstream>
+#include <sstream>
+
+#include "support/csv.hpp"
+#include "support/string_utils.hpp"
+
+namespace ilc::kb {
+
+namespace {
+
+constexpr const char* kHeader = "ilc-kb v1";
+
+std::string join_doubles(const std::vector<double>& v) {
+  std::ostringstream os;
+  os.precision(17);
+  for (std::size_t i = 0; i < v.size(); ++i) {
+    if (i) os << ';';
+    os << v[i];
+  }
+  return os.str();
+}
+
+std::vector<double> parse_doubles(const std::string& s) {
+  std::vector<double> out;
+  if (s.empty()) return out;
+  for (const std::string& part : support::split(s, ';'))
+    out.push_back(std::stod(part));
+  return out;
+}
+
+std::string join_counters(const sim::Counters& c) {
+  std::ostringstream os;
+  for (unsigned i = 0; i < sim::kNumCounters; ++i) {
+    if (i) os << ';';
+    os << c.v[i];
+  }
+  return os.str();
+}
+
+sim::Counters parse_counters(const std::string& s) {
+  sim::Counters c;
+  if (s.empty()) return c;
+  const auto parts = support::split(s, ';');
+  for (std::size_t i = 0; i < parts.size() && i < sim::kNumCounters; ++i)
+    c.v[i] = std::stoull(parts[i]);
+  return c;
+}
+
+}  // namespace
+
+void KnowledgeBase::add(ExperimentRecord rec) {
+  records_.push_back(std::move(rec));
+}
+
+std::vector<const ExperimentRecord*> KnowledgeBase::for_program(
+    const std::string& program, const std::string& kind) const {
+  std::vector<const ExperimentRecord*> out;
+  for (const auto& r : records_)
+    if (r.program == program && (kind.empty() || r.kind == kind))
+      out.push_back(&r);
+  return out;
+}
+
+const ExperimentRecord* KnowledgeBase::best_for_program(
+    const std::string& program, const std::string& kind) const {
+  const ExperimentRecord* best = nullptr;
+  for (const auto* r : for_program(program, kind))
+    if (best == nullptr || r->cycles < best->cycles) best = r;
+  return best;
+}
+
+std::vector<std::string> KnowledgeBase::programs() const {
+  std::vector<std::string> out;
+  for (const auto& r : records_) {
+    bool seen = false;
+    for (const auto& p : out)
+      if (p == r.program) seen = true;
+    if (!seen) out.push_back(r.program);
+  }
+  return out;
+}
+
+std::string KnowledgeBase::serialize() const {
+  support::CsvWriter w;
+  w.row({kHeader});
+  w.row({"program", "machine", "kind", "config", "cycles", "code_size",
+         "instructions", "counters", "static_features", "dynamic_features"});
+  for (const auto& r : records_) {
+    w.row({r.program, r.machine, r.kind, r.config, std::to_string(r.cycles),
+           std::to_string(r.code_size), std::to_string(r.instructions),
+           join_counters(r.counters), join_doubles(r.static_features),
+           join_doubles(r.dynamic_features)});
+  }
+  return w.str();
+}
+
+std::optional<KnowledgeBase> KnowledgeBase::parse(const std::string& text) {
+  const auto rows = support::parse_csv(text);
+  if (rows.size() < 2 || rows[0].empty() || rows[0][0] != kHeader)
+    return std::nullopt;
+  KnowledgeBase out;
+  for (std::size_t i = 2; i < rows.size(); ++i) {
+    const auto& row = rows[i];
+    if (row.size() != 10) return std::nullopt;
+    ExperimentRecord r;
+    r.program = row[0];
+    r.machine = row[1];
+    r.kind = row[2];
+    r.config = row[3];
+    r.cycles = std::stoull(row[4]);
+    r.code_size = std::stoull(row[5]);
+    r.instructions = std::stoull(row[6]);
+    r.counters = parse_counters(row[7]);
+    r.static_features = parse_doubles(row[8]);
+    r.dynamic_features = parse_doubles(row[9]);
+    out.add(std::move(r));
+  }
+  return out;
+}
+
+bool KnowledgeBase::save(const std::string& path) const {
+  std::ofstream f(path, std::ios::binary);
+  if (!f) return false;
+  f << serialize();
+  return static_cast<bool>(f);
+}
+
+std::optional<KnowledgeBase> KnowledgeBase::load(const std::string& path) {
+  std::ifstream f(path, std::ios::binary);
+  if (!f) return std::nullopt;
+  std::ostringstream os;
+  os << f.rdbuf();
+  return parse(os.str());
+}
+
+}  // namespace ilc::kb

@@ -1,0 +1,116 @@
+#include <algorithm>
+#include <cmath>
+
+#include "ml/ml.hpp"
+#include "support/assert.hpp"
+
+namespace ilc::ml {
+
+namespace {
+
+double gini(const std::vector<double>& counts, double total) {
+  if (total <= 0) return 0.0;
+  double g = 1.0;
+  for (double c : counts) {
+    const double p = c / total;
+    g -= p * p;
+  }
+  return g;
+}
+
+}  // namespace
+
+int DecisionTree::build(const Dataset& data,
+                        const std::vector<std::size_t>& rows,
+                        unsigned depth) {
+  Node node;
+  node.class_probs.assign(data.num_classes, 0.0);
+  for (std::size_t r : rows) node.class_probs[data.y[r]] += 1.0;
+  const double total = static_cast<double>(rows.size());
+  const double impurity = gini(node.class_probs, total);
+  for (double& p : node.class_probs) p /= total;
+
+  const bool stop = depth >= cfg_.max_depth || rows.size() < 2 * cfg_.min_leaf ||
+                    impurity < 1e-12;
+  if (!stop) {
+    // Find the best (feature, threshold) split by Gini gain.
+    int best_feature = -1;
+    double best_threshold = 0.0, best_score = impurity;
+    const std::size_t dim = data.dim();
+    for (std::size_t f = 0; f < dim; ++f) {
+      std::vector<std::size_t> sorted = rows;
+      std::sort(sorted.begin(), sorted.end(),
+                [&](std::size_t a, std::size_t b) {
+                  return data.x[a][f] < data.x[b][f];
+                });
+      std::vector<double> left_counts(data.num_classes, 0.0);
+      std::vector<double> right_counts(data.num_classes, 0.0);
+      for (std::size_t r : sorted) right_counts[data.y[r]] += 1.0;
+      for (std::size_t i = 0; i + 1 < sorted.size(); ++i) {
+        left_counts[data.y[sorted[i]]] += 1.0;
+        right_counts[data.y[sorted[i]]] -= 1.0;
+        const double xv = data.x[sorted[i]][f];
+        const double xn = data.x[sorted[i + 1]][f];
+        if (xv == xn) continue;  // no threshold between equal values
+        const double nl = static_cast<double>(i + 1);
+        const double nr = total - nl;
+        if (nl < cfg_.min_leaf || nr < cfg_.min_leaf) continue;
+        const double score =
+            (nl * gini(left_counts, nl) + nr * gini(right_counts, nr)) / total;
+        if (score + 1e-12 < best_score) {
+          best_score = score;
+          best_feature = static_cast<int>(f);
+          best_threshold = (xv + xn) / 2.0;
+        }
+      }
+    }
+
+    if (best_feature >= 0) {
+      std::vector<std::size_t> left, right;
+      for (std::size_t r : rows) {
+        (data.x[r][best_feature] <= best_threshold ? left : right)
+            .push_back(r);
+      }
+      node.feature = best_feature;
+      node.threshold = best_threshold;
+      const int id = static_cast<int>(nodes_.size());
+      nodes_.push_back(node);
+      const int l = build(data, left, depth + 1);
+      const int r = build(data, right, depth + 1);
+      nodes_[id].left = l;
+      nodes_[id].right = r;
+      return id;
+    }
+  }
+
+  const int id = static_cast<int>(nodes_.size());
+  nodes_.push_back(node);  // leaf
+  return id;
+}
+
+void DecisionTree::fit(const Dataset& data) {
+  ILC_CHECK(data.size() > 0);
+  num_classes_ = data.num_classes;
+  nodes_.clear();
+  std::vector<std::size_t> rows(data.size());
+  for (std::size_t i = 0; i < rows.size(); ++i) rows[i] = i;
+  build(data, rows, 0);
+}
+
+std::vector<double> DecisionTree::predict_proba(
+    const std::vector<double>& x) const {
+  ILC_CHECK(!nodes_.empty());
+  int id = 0;
+  while (nodes_[id].feature >= 0) {
+    const Node& n = nodes_[id];
+    id = x[n.feature] <= n.threshold ? n.left : n.right;
+  }
+  return nodes_[id].class_probs;
+}
+
+int DecisionTree::predict(const std::vector<double>& x) const {
+  const auto p = predict_proba(x);
+  return static_cast<int>(std::max_element(p.begin(), p.end()) - p.begin());
+}
+
+}  // namespace ilc::ml

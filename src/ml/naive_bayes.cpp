@@ -1,0 +1,66 @@
+#include <algorithm>
+#include <cmath>
+
+#include "ml/ml.hpp"
+#include "support/assert.hpp"
+
+namespace ilc::ml {
+
+void NaiveBayes::fit(const Dataset& data) {
+  ILC_CHECK(data.size() > 0);
+  num_classes_ = data.num_classes;
+  const std::size_t dim = data.dim();
+  prior_.assign(num_classes_, 0.0);
+  mean_.assign(num_classes_, std::vector<double>(dim, 0.0));
+  var_.assign(num_classes_, std::vector<double>(dim, 0.0));
+
+  std::vector<double> count(num_classes_, 0.0);
+  for (std::size_t i = 0; i < data.size(); ++i) {
+    count[data.y[i]] += 1.0;
+    for (std::size_t j = 0; j < dim; ++j)
+      mean_[data.y[i]][j] += data.x[i][j];
+  }
+  for (int c = 0; c < num_classes_; ++c) {
+    prior_[c] = (count[c] + 1.0) / (static_cast<double>(data.size()) +
+                                    static_cast<double>(num_classes_));
+    if (count[c] > 0)
+      for (double& m : mean_[c]) m /= count[c];
+  }
+  for (std::size_t i = 0; i < data.size(); ++i)
+    for (std::size_t j = 0; j < dim; ++j) {
+      const double d = data.x[i][j] - mean_[data.y[i]][j];
+      var_[data.y[i]][j] += d * d;
+    }
+  for (int c = 0; c < num_classes_; ++c)
+    for (std::size_t j = 0; j < dim; ++j)
+      var_[c][j] = count[c] > 0 ? var_[c][j] / count[c] + 1e-6 : 1.0;
+}
+
+std::vector<double> NaiveBayes::predict_proba(
+    const std::vector<double>& x) const {
+  ILC_CHECK(!prior_.empty());
+  std::vector<double> logp(num_classes_, 0.0);
+  for (int c = 0; c < num_classes_; ++c) {
+    logp[c] = std::log(prior_[c]);
+    for (std::size_t j = 0; j < x.size(); ++j) {
+      const double d = x[j] - mean_[c][j];
+      logp[c] += -0.5 * std::log(2.0 * M_PI * var_[c][j]) -
+                 d * d / (2.0 * var_[c][j]);
+    }
+  }
+  const double mx = *std::max_element(logp.begin(), logp.end());
+  double total = 0.0;
+  for (double& v : logp) {
+    v = std::exp(v - mx);
+    total += v;
+  }
+  for (double& v : logp) v /= total;
+  return logp;
+}
+
+int NaiveBayes::predict(const std::vector<double>& x) const {
+  const auto p = predict_proba(x);
+  return static_cast<int>(std::max_element(p.begin(), p.end()) - p.begin());
+}
+
+}  // namespace ilc::ml

@@ -1,0 +1,54 @@
+#include "ml/ml.hpp"
+
+#include "support/assert.hpp"
+
+namespace ilc::ml {
+
+double accuracy(const Classifier& clf, const Dataset& test) {
+  ILC_CHECK(test.size() > 0);
+  std::size_t correct = 0;
+  for (std::size_t i = 0; i < test.size(); ++i)
+    if (clf.predict(test.x[i]) == test.y[i]) ++correct;
+  return static_cast<double>(correct) / static_cast<double>(test.size());
+}
+
+double loocv_accuracy(const ClassifierFactory& make, const Dataset& data) {
+  ILC_CHECK(data.size() > 1);
+  std::size_t correct = 0;
+  for (std::size_t i = 0; i < data.size(); ++i) {
+    const Dataset train = data.without(i);
+    auto clf = make();
+    clf->fit(train);
+    if (clf->predict(data.x[i]) == data.y[i]) ++correct;
+  }
+  return static_cast<double>(correct) / static_cast<double>(data.size());
+}
+
+std::vector<double> logo_accuracy(const ClassifierFactory& make,
+                                  const Dataset& data,
+                                  const std::vector<int>& groups,
+                                  int num_groups) {
+  std::vector<double> out;
+  for (int g = 0; g < num_groups; ++g) {
+    auto [train, test] = Dataset::split_by_group(data, groups, g);
+    if (test.size() == 0 || train.size() == 0) {
+      out.push_back(0.0);
+      continue;
+    }
+    auto clf = make();
+    clf->fit(train);
+    out.push_back(accuracy(*clf, test));
+  }
+  return out;
+}
+
+std::vector<std::vector<unsigned>> confusion(const Classifier& clf,
+                                             const Dataset& test) {
+  std::vector<std::vector<unsigned>> m(
+      test.num_classes, std::vector<unsigned>(test.num_classes, 0));
+  for (std::size_t i = 0; i < test.size(); ++i)
+    m[test.y[i]][clf.predict(test.x[i])] += 1;
+  return m;
+}
+
+}  // namespace ilc::ml

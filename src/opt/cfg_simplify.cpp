@@ -1,0 +1,137 @@
+// Control-flow graph simplification: unreachable-block removal, jump
+// threading through empty forwarding blocks, straight-line block merging,
+// and degenerate-branch collapsing.
+#include <vector>
+
+#include "ir/analysis.hpp"
+#include "opt/pass.hpp"
+#include "support/assert.hpp"
+
+namespace ilc::opt {
+
+using namespace ir;
+
+namespace {
+
+/// Follow chains of blocks that contain only `jump` — with a hop limit so
+/// degenerate jump cycles cannot loop forever.
+BlockId thread_target(const Function& fn, BlockId b) {
+  for (int hops = 0; hops < 8; ++hops) {
+    const BasicBlock& bb = fn.blocks[b];
+    if (bb.insts.size() != 1 || bb.insts[0].op != Opcode::Jump) return b;
+    const BlockId next = bb.insts[0].t1;
+    if (next == b) return b;
+    b = next;
+  }
+  return b;
+}
+
+bool remove_unreachable(Function& fn) {
+  const auto rpo = reverse_post_order(fn);
+  std::vector<std::uint8_t> keep(fn.blocks.size(), 0);
+  for (BlockId b : rpo) keep[b] = 1;
+
+  bool any_dead = false;
+  for (std::uint8_t k : keep)
+    if (!k) any_dead = true;
+  if (!any_dead) return false;
+
+  std::vector<BlockId> remap(fn.blocks.size(), kNoBlock);
+  std::vector<BasicBlock> kept;
+  for (std::size_t b = 0; b < fn.blocks.size(); ++b) {
+    if (keep[b]) {
+      remap[b] = static_cast<BlockId>(kept.size());
+      kept.push_back(std::move(fn.blocks[b]));
+    }
+  }
+  fn.blocks = std::move(kept);
+  for (BasicBlock& bb : fn.blocks) {
+    Instr& t = bb.terminator();
+    if (t.op == Opcode::Jump) t.t1 = remap[t.t1];
+    if (t.op == Opcode::Br) {
+      t.t1 = remap[t.t1];
+      t.t2 = remap[t.t2];
+    }
+  }
+  return true;
+}
+
+bool thread_jumps(Function& fn) {
+  bool changed = false;
+  for (std::size_t b = 0; b < fn.blocks.size(); ++b) {
+    Instr& t = fn.blocks[b].terminator();
+    if (t.op == Opcode::Jump) {
+      const BlockId nt = thread_target(fn, t.t1);
+      if (nt != t.t1) {
+        t.t1 = nt;
+        changed = true;
+      }
+    } else if (t.op == Opcode::Br) {
+      const BlockId n1 = thread_target(fn, t.t1);
+      const BlockId n2 = thread_target(fn, t.t2);
+      if (n1 != t.t1 || n2 != t.t2) {
+        t.t1 = n1;
+        t.t2 = n2;
+        changed = true;
+      }
+      if (t.t1 == t.t2) {
+        Instr repl;
+        repl.op = Opcode::Jump;
+        repl.t1 = t.t1;
+        t = repl;
+        changed = true;
+      }
+    }
+  }
+  return changed;
+}
+
+bool merge_blocks(Function& fn) {
+  bool changed = false;
+  const Cfg cfg(fn);
+  // Recompute predecessor counts lazily as we merge.
+  std::vector<std::size_t> pred_count(fn.blocks.size());
+  for (std::size_t b = 0; b < fn.blocks.size(); ++b)
+    pred_count[b] = cfg.preds[b].size();
+
+  for (std::size_t b = 0; b < fn.blocks.size(); ++b) {
+    for (;;) {
+      Instr& t = fn.blocks[b].terminator();
+      if (t.op != Opcode::Jump) break;
+      const BlockId s = t.t1;
+      if (s == b || s == 0 || pred_count[s] != 1) break;
+      // Splice s into b.
+      BasicBlock& src = fn.blocks[s];
+      fn.blocks[b].insts.pop_back();  // drop the jump
+      fn.blocks[b].insts.insert(fn.blocks[b].insts.end(), src.insts.begin(),
+                                src.insts.end());
+      src.insts.clear();
+      // s is now unreachable but must stay structurally valid until the
+      // unreachable-removal step; park a self-loop terminator in it.
+      Instr park;
+      park.op = Opcode::Jump;
+      park.t1 = s;
+      src.insts.push_back(park);
+      pred_count[s] = 0;
+      changed = true;
+    }
+  }
+  return changed;
+}
+
+}  // namespace
+
+bool simplify_cfg(Function& fn) {
+  bool changed = false;
+  for (int round = 0; round < 8; ++round) {
+    bool round_changed = false;
+    round_changed |= thread_jumps(fn);
+    round_changed |= merge_blocks(fn);
+    round_changed |= remove_unreachable(fn);
+    if (!round_changed) break;
+    changed = true;
+  }
+  return changed;
+}
+
+}  // namespace ilc::opt

@@ -1,0 +1,152 @@
+// Leaf-function inlining. A call site is inlined when the callee contains
+// no calls of its own and is small; the callee's blocks are cloned into
+// the caller with register and frame offsets, argument copies replace the
+// call, and returns become jumps to the continuation block.
+#include <vector>
+
+#include "opt/pass.hpp"
+#include "support/assert.hpp"
+
+namespace ilc::opt {
+
+using namespace ir;
+
+namespace {
+
+constexpr std::size_t kMaxCalleeSize = 48;    // instructions
+constexpr std::size_t kMaxCallerGrowth = 512;  // added instructions budget
+
+bool is_leaf(const Function& fn) {
+  for (const BasicBlock& bb : fn.blocks)
+    for (const Instr& inst : bb.insts)
+      if (inst.op == Opcode::Call) return false;
+  return true;
+}
+
+/// Inline one call site. `site` identifies (block, index) of the Call.
+void inline_site(Function& caller, const Function& callee, BlockId block,
+                 std::size_t index) {
+  const Instr call = caller.blocks[block].insts[index];
+  const Reg reg_off = caller.num_regs;
+  caller.num_regs += callee.num_regs;
+  const unsigned frame_off = caller.frame_size;
+  caller.frame_size += callee.frame_size;
+
+  // Continuation: everything after the call moves to a new block.
+  const BlockId cont = caller.new_block();
+  {
+    BasicBlock& bb = caller.blocks[block];
+    caller.blocks[cont].insts.assign(
+        bb.insts.begin() + static_cast<long>(index) + 1, bb.insts.end());
+    bb.insts.erase(bb.insts.begin() + static_cast<long>(index),
+                   bb.insts.end());
+  }
+
+  // Clone callee blocks.
+  const BlockId clone_base = static_cast<BlockId>(caller.blocks.size());
+  for (std::size_t cb = 0; cb < callee.blocks.size(); ++cb)
+    caller.new_block();
+  for (std::size_t cb = 0; cb < callee.blocks.size(); ++cb) {
+    BasicBlock clone = callee.blocks[cb];
+    std::vector<Instr> rewritten;
+    rewritten.reserve(clone.insts.size());
+    for (Instr inst : clone.insts) {
+      // Offset registers.
+      auto shift = [&](Reg& r) {
+        if (r != kNoReg) r += reg_off;
+      };
+      if (has_dst(inst)) shift(inst.dst);
+      const unsigned nsrc = num_srcs(inst);
+      if (inst.op == Opcode::Store) {
+        shift(inst.a);
+        shift(inst.b);
+      } else {
+        if (nsrc >= 1 && inst.a != kNoReg) shift(inst.a);
+        if (nsrc >= 2 && inst.b != kNoReg) shift(inst.b);
+      }
+      for (unsigned i = 0; i < inst.nargs; ++i) shift(inst.args[i]);
+      if (inst.op == Opcode::FrameAddr) inst.imm += frame_off;
+      // Retarget control flow.
+      if (inst.op == Opcode::Jump) inst.t1 += clone_base;
+      if (inst.op == Opcode::Br) {
+        inst.t1 += clone_base;
+        inst.t2 += clone_base;
+      }
+      if (inst.op == Opcode::Ret) {
+        if (call.dst != kNoReg) {
+          Instr ret_val;
+          if (inst.a != kNoReg) {
+            ret_val.op = Opcode::Mov;
+            ret_val.dst = call.dst;
+            ret_val.a = inst.a;
+          } else {
+            // Void return observed through a dst: the interpreter defines
+            // the value as 0 — mirror that.
+            ret_val.op = Opcode::LoadImm;
+            ret_val.dst = call.dst;
+            ret_val.imm = 0;
+          }
+          rewritten.push_back(ret_val);
+        }
+        Instr jump;
+        jump.op = Opcode::Jump;
+        jump.t1 = cont;
+        rewritten.push_back(jump);
+        continue;
+      }
+      rewritten.push_back(inst);
+    }
+    caller.blocks[clone_base + cb].insts = std::move(rewritten);
+  }
+
+  // Replace the call with argument copies + jump into the clone.
+  {
+    BasicBlock& bb = caller.blocks[block];
+    for (unsigned i = 0; i < call.nargs; ++i) {
+      Instr mv;
+      mv.op = Opcode::Mov;
+      mv.dst = reg_off + i;
+      mv.a = call.args[i];
+      bb.insts.push_back(mv);
+    }
+    // Zero-arg callees with uninitialized arg regs are fine: registers
+    // default to 0 in the interpreter, and the clone never reads beyond
+    // its own defs — but Mov copies above cover exactly num_args.
+    Instr jump;
+    jump.op = Opcode::Jump;
+    jump.t1 = clone_base;  // callee entry is its block 0
+    bb.insts.push_back(jump);
+  }
+}
+
+}  // namespace
+
+bool inline_calls(Module& mod) {
+  bool changed = false;
+  for (std::size_t f = 0; f < mod.functions().size(); ++f) {
+    Function& caller = mod.function(static_cast<FuncId>(f));
+    std::size_t growth = 0;
+    bool progress = true;
+    while (progress && growth < kMaxCallerGrowth) {
+      progress = false;
+      for (BlockId b = 0; b < caller.blocks.size() && !progress; ++b) {
+        BasicBlock& bb = caller.blocks[b];
+        for (std::size_t i = 0; i < bb.insts.size(); ++i) {
+          const Instr& inst = bb.insts[i];
+          if (inst.op != Opcode::Call) continue;
+          if (inst.callee == static_cast<FuncId>(f)) continue;  // recursion
+          const Function& callee = mod.function(inst.callee);
+          if (!is_leaf(callee) || callee.size() > kMaxCalleeSize) continue;
+          inline_site(caller, callee, b, i);
+          growth += callee.size();
+          changed = true;
+          progress = true;
+          break;  // block structure changed; rescan
+        }
+      }
+    }
+  }
+  return changed;
+}
+
+}  // namespace ilc::opt

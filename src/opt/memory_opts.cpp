@@ -1,0 +1,107 @@
+// Memory-oriented transformations:
+//
+//  * insert_prefetch — next-line prefetching for loads in innermost loops.
+//    Wins on streaming access, pure overhead on pointer chasing; the
+//    dynamic optimizer (Section III-D) arbitrates exactly this trade-off.
+//
+//  * compress_pointers — the module-wide 64→32-bit pointer conversion the
+//    paper's counter model discovered for 181.mcf. Re-lays-out every
+//    record type, patches all tagged immediates, and narrows pointer
+//    loads/stores. Sound because tagged immediates carry their layout
+//    provenance and pointer initializers are symbolic (resolved at image
+//    build time under the new layout).
+#include "opt/pass.hpp"
+
+#include "ir/analysis.hpp"
+#include "support/assert.hpp"
+
+namespace ilc::opt {
+
+using namespace ir;
+
+namespace {
+
+constexpr unsigned kLineAhead = 64;       // prefetch distance in bytes
+constexpr unsigned kMaxPerLoop = 4;       // prefetches inserted per loop
+
+bool is_innermost_loop(const Loop& loop, const std::vector<Loop>& all) {
+  for (const Loop& other : all) {
+    if (other.header == loop.header) continue;
+    if (loop.contains(other.header)) return false;
+  }
+  return true;
+}
+
+}  // namespace
+
+bool insert_prefetch(Function& fn) {
+  const auto loops = find_loops(fn);
+  bool changed = false;
+  for (const Loop& loop : loops) {
+    if (!is_innermost_loop(loop, loops)) continue;
+    unsigned inserted = 0;
+    for (BlockId b : loop.blocks) {
+      BasicBlock& bb = fn.blocks[b];
+      for (std::size_t i = 0; i < bb.insts.size() && inserted < kMaxPerLoop;
+           ++i) {
+        const Instr inst = bb.insts[i];
+        if (inst.op != Opcode::Load) continue;
+        // Idempotence: skip if the previous instruction is already this
+        // prefetch.
+        if (i > 0) {
+          const Instr& prev = bb.insts[i - 1];
+          if (prev.op == Opcode::Prefetch && prev.a == inst.a &&
+              prev.imm == inst.imm + kLineAhead)
+            continue;
+        }
+        Instr pf;
+        pf.op = Opcode::Prefetch;
+        pf.a = inst.a;
+        pf.imm = inst.imm + kLineAhead;
+        bb.insts.insert(bb.insts.begin() + static_cast<long>(i), pf);
+        ++i;  // skip over the load we just displaced
+        ++inserted;
+        changed = true;
+      }
+    }
+  }
+  return changed;
+}
+
+bool compress_pointers(Module& mod) {
+  if (mod.ptr_bytes() == 4) return false;
+  mod.set_ptr_bytes(4);
+
+  for (Function& fn : mod.functions()) {
+    for (BasicBlock& bb : fn.blocks) {
+      for (Instr& inst : bb.insts) {
+        switch (inst.tag) {
+          case ImmTag::RecordStride:
+            inst.imm = static_cast<std::int64_t>(
+                mod.record_layout(inst.rec).stride);
+            break;
+          case ImmTag::FieldOffset: {
+            const RecordLayout lay = mod.record_layout(inst.rec);
+            inst.imm = static_cast<std::int64_t>(lay.offsets[inst.field]);
+            if (inst.op == Opcode::Load || inst.op == Opcode::Store)
+              inst.width = static_cast<MemWidth>(lay.widths[inst.field]);
+            break;
+          }
+          case ImmTag::PtrWidth:
+            inst.imm = 4;
+            break;
+          case ImmTag::None:
+            // Untagged pointer accesses (raw pointer-array elements)
+            // narrow with the pointer width.
+            if ((inst.op == Opcode::Load || inst.op == Opcode::Store) &&
+                inst.is_ptr)
+              inst.width = MemWidth::W4;
+            break;
+        }
+      }
+    }
+  }
+  return true;
+}
+
+}  // namespace ilc::opt

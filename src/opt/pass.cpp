@@ -1,0 +1,86 @@
+#include "opt/pass.hpp"
+
+#include "support/assert.hpp"
+
+namespace ilc::opt {
+
+const char* pass_name(PassId id) {
+  switch (id) {
+    case PassId::ConstProp: return "constprop";
+    case PassId::CopyProp: return "copyprop";
+    case PassId::Cse: return "cse";
+    case PassId::Dce: return "dce";
+    case PassId::SimplifyCfg: return "simplifycfg";
+    case PassId::Licm: return "licm";
+    case PassId::StrengthRed: return "strengthred";
+    case PassId::Peephole: return "peephole";
+    case PassId::Inline: return "inline";
+    case PassId::Schedule: return "schedule";
+    case PassId::Unroll2: return "unroll2";
+    case PassId::Unroll4: return "unroll4";
+    case PassId::Unroll8: return "unroll8";
+    case PassId::Prefetch: return "prefetch";
+    case PassId::PtrCompress: return "ptrcompress";
+    case PassId::Reassoc: return "reassoc";
+    case PassId::kCount: break;
+  }
+  return "?";
+}
+
+PassId pass_from_name(const std::string& name) {
+  for (unsigned i = 0; i < kNumPasses; ++i) {
+    const auto id = static_cast<PassId>(i);
+    if (name == pass_name(id)) return id;
+  }
+  ILC_CHECK_MSG(false, "unknown pass: " << name);
+  return PassId::kCount;
+}
+
+bool is_unroll(PassId id) {
+  return id == PassId::Unroll2 || id == PassId::Unroll4 ||
+         id == PassId::Unroll8;
+}
+
+bool run_pass(PassId id, ir::Module& mod) {
+  // Module-level passes first.
+  if (id == PassId::Inline) return inline_calls(mod);
+  if (id == PassId::PtrCompress) return compress_pointers(mod);
+
+  bool changed = false;
+  for (ir::Function& fn : mod.functions()) {
+    switch (id) {
+      case PassId::ConstProp: changed |= const_prop(fn, mod); break;
+      case PassId::CopyProp: changed |= copy_prop(fn); break;
+      case PassId::Cse: changed |= local_cse(fn); break;
+      case PassId::Dce: changed |= dce(fn); break;
+      case PassId::SimplifyCfg: changed |= simplify_cfg(fn); break;
+      case PassId::Licm: changed |= licm(fn); break;
+      case PassId::StrengthRed: changed |= strength_reduce(fn); break;
+      case PassId::Peephole: changed |= peephole(fn); break;
+      case PassId::Schedule: changed |= schedule_blocks(fn); break;
+      case PassId::Unroll2: changed |= unroll_loops(fn, 2); break;
+      case PassId::Unroll4: changed |= unroll_loops(fn, 4); break;
+      case PassId::Unroll8: changed |= unroll_loops(fn, 8); break;
+      case PassId::Prefetch: changed |= insert_prefetch(fn); break;
+      case PassId::Reassoc: changed |= reassociate(fn); break;
+      default: ILC_UNREACHABLE("bad pass id");
+    }
+  }
+  return changed;
+}
+
+unsigned run_sequence(ir::Module& mod, const std::vector<PassId>& seq) {
+  unsigned changed = 0;
+  for (PassId id : seq)
+    if (run_pass(id, mod)) ++changed;
+  return changed;
+}
+
+std::vector<PassId> sequence_space() {
+  std::vector<PassId> out;
+  for (unsigned i = 0; i < kSequenceSpacePasses; ++i)
+    out.push_back(static_cast<PassId>(i));
+  return out;
+}
+
+}  // namespace ilc::opt

@@ -1,0 +1,78 @@
+// The optimization-pass vocabulary: pass identifiers, the registry, and
+// sequence application. The first 13 passes form the Fig. 2
+// optimization-sequence space (three unroll factors counted as individual
+// optimizations, mirroring the paper's footnote); Prefetch and PtrCompress
+// extend the Fig. 3/4 flag space with the transformations the paper's
+// counter model discovered.
+#pragma once
+
+#include <string>
+#include <vector>
+
+#include "ir/module.hpp"
+
+namespace ilc::opt {
+
+enum class PassId : unsigned {
+  ConstProp,    // global constant propagation + folding
+  CopyProp,     // block-local copy propagation
+  Cse,          // block-local common-subexpression elimination
+  Dce,          // liveness-based dead code elimination
+  SimplifyCfg,  // branch folding, block merging, jump threading
+  Licm,         // loop-invariant code motion
+  StrengthRed,  // mul/const -> shift(+add) rewriting
+  Peephole,     // algebraic identities, nop removal
+  Inline,       // leaf-function inlining
+  Schedule,     // block-local list scheduling (latency hiding)
+  Unroll2,      // loop unrolling x2
+  Unroll4,      // loop unrolling x4
+  Unroll8,      // loop unrolling x8
+  Prefetch,     // next-line prefetch insertion in innermost loops
+  PtrCompress,  // module-wide 64->32-bit pointer compression
+  Reassoc,      // associative-chain rebalancing for multiple issue
+  kCount
+};
+
+inline constexpr unsigned kNumPasses = static_cast<unsigned>(PassId::kCount);
+/// Number of passes in the Fig. 2 sequence space (the "13 optimizations").
+inline constexpr unsigned kSequenceSpacePasses = 13;
+
+const char* pass_name(PassId id);
+/// Inverse of pass_name; throws on unknown names.
+PassId pass_from_name(const std::string& name);
+
+bool is_unroll(PassId id);
+
+/// Run one pass over the module. Returns true if anything changed.
+bool run_pass(PassId id, ir::Module& mod);
+
+/// Apply a sequence of passes in order; returns number of passes that
+/// reported a change.
+unsigned run_sequence(ir::Module& mod, const std::vector<PassId>& seq);
+
+/// The 13 sequence-space passes in id order.
+std::vector<PassId> sequence_space();
+
+// Individual pass entry points (exposed for unit tests).
+bool const_prop(ir::Function& fn, ir::Module& mod);
+bool copy_prop(ir::Function& fn);
+bool local_cse(ir::Function& fn);
+bool dce(ir::Function& fn);
+bool simplify_cfg(ir::Function& fn);
+bool licm(ir::Function& fn);
+bool strength_reduce(ir::Function& fn);
+bool peephole(ir::Function& fn);
+bool inline_calls(ir::Module& mod);
+bool schedule_blocks(ir::Function& fn);
+bool unroll_loops(ir::Function& fn, unsigned factor);
+/// Unroll only the innermost loop whose header is `header` (as reported
+/// by ir::find_loops). Returns false if no such loop exists or it fails
+/// the size constraints. The per-loop primitive behind the learned
+/// unroll-factor case study (bench/unroll_factors).
+bool unroll_single_loop(ir::Function& fn, ir::BlockId header,
+                        unsigned factor);
+bool insert_prefetch(ir::Function& fn);
+bool reassociate(ir::Function& fn);
+bool compress_pointers(ir::Module& mod);
+
+}  // namespace ilc::opt

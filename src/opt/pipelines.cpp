@@ -1,0 +1,129 @@
+#include "opt/pipelines.hpp"
+
+#include "support/assert.hpp"
+
+namespace ilc::opt {
+
+std::uint32_t OptFlags::encode() const {
+  std::uint32_t bits = 0;
+  unsigned shift = 0;
+  auto put = [&](bool v) { bits |= (v ? 1u : 0u) << shift++; };
+  put(constprop);
+  put(copyprop);
+  put(cse);
+  put(dce);
+  put(simplifycfg);
+  put(licm);
+  put(strengthred);
+  put(peephole);
+  put(inline_fns);
+  put(schedule);
+  put(prefetch);
+  put(ptrcompress);
+  std::uint32_t usel = 0;
+  if (unroll == 2) usel = 1;
+  else if (unroll == 4) usel = 2;
+  else if (unroll == 8) usel = 3;
+  bits |= usel << shift;
+  return bits;
+}
+
+OptFlags OptFlags::decode(std::uint32_t bits) {
+  OptFlags f;
+  unsigned shift = 0;
+  auto get = [&] { return ((bits >> shift++) & 1u) != 0; };
+  f.constprop = get();
+  f.copyprop = get();
+  f.cse = get();
+  f.dce = get();
+  f.simplifycfg = get();
+  f.licm = get();
+  f.strengthred = get();
+  f.peephole = get();
+  f.inline_fns = get();
+  f.schedule = get();
+  f.prefetch = get();
+  f.ptrcompress = get();
+  const std::uint32_t usel = (bits >> shift) & 3u;
+  static constexpr unsigned kFactors[4] = {0, 2, 4, 8};
+  f.unroll = kFactors[usel];
+  return f;
+}
+
+std::string OptFlags::to_string() const {
+  std::string out;
+  auto add = [&](bool v, const char* name) {
+    if (!v) return;
+    if (!out.empty()) out += "+";
+    out += name;
+  };
+  add(inline_fns, "inline");
+  add(ptrcompress, "ptrcompress");
+  add(constprop, "constprop");
+  add(simplifycfg, "simplifycfg");
+  add(copyprop, "copyprop");
+  add(cse, "cse");
+  add(licm, "licm");
+  if (unroll != 0) {
+    if (!out.empty()) out += "+";
+    out += "unroll" + std::to_string(unroll);
+  }
+  add(strengthred, "strengthred");
+  add(peephole, "peephole");
+  add(schedule, "schedule");
+  add(prefetch, "prefetch");
+  add(dce, "dce");
+  return out.empty() ? "O0" : out;
+}
+
+std::vector<PassId> pipeline(const OptFlags& f) {
+  std::vector<PassId> seq;
+  if (f.inline_fns) seq.push_back(PassId::Inline);
+  if (f.ptrcompress) seq.push_back(PassId::PtrCompress);
+  if (f.constprop) seq.push_back(PassId::ConstProp);
+  if (f.simplifycfg) seq.push_back(PassId::SimplifyCfg);
+  if (f.copyprop) seq.push_back(PassId::CopyProp);
+  if (f.cse) seq.push_back(PassId::Cse);
+  if (f.licm) seq.push_back(PassId::Licm);
+  if (f.unroll == 2) seq.push_back(PassId::Unroll2);
+  if (f.unroll == 4) seq.push_back(PassId::Unroll4);
+  if (f.unroll == 8) seq.push_back(PassId::Unroll8);
+  if (f.unroll != 0 && f.simplifycfg) seq.push_back(PassId::SimplifyCfg);
+  if (f.strengthred) seq.push_back(PassId::StrengthRed);
+  if (f.peephole) seq.push_back(PassId::Peephole);
+  if (f.cse) seq.push_back(PassId::Cse);
+  if (f.copyprop) seq.push_back(PassId::CopyProp);
+  if (f.prefetch) seq.push_back(PassId::Prefetch);
+  if (f.schedule) seq.push_back(PassId::Schedule);
+  if (f.dce) seq.push_back(PassId::Dce);
+  if (f.simplifycfg) seq.push_back(PassId::SimplifyCfg);
+  return seq;
+}
+
+OptFlags o0_flags() { return OptFlags{}; }
+
+OptFlags fast_flags() {
+  OptFlags f;
+  f.constprop = f.copyprop = f.cse = f.dce = f.simplifycfg = true;
+  f.licm = f.strengthred = f.peephole = f.inline_fns = f.schedule = true;
+  f.prefetch = true;
+  f.ptrcompress = false;  // -Ofast never changes data layout
+  f.unroll = 4;
+  return f;
+}
+
+std::vector<PassId> fast_pipeline() { return pipeline(fast_flags()); }
+
+void canonicalize(ir::Module& mod) {
+  for (int round = 0; round < 3; ++round) {
+    bool changed = false;
+    changed |= run_pass(PassId::CopyProp, mod);
+    changed |= run_pass(PassId::Cse, mod);
+    changed |= run_pass(PassId::Peephole, mod);
+    changed |= run_pass(PassId::Dce, mod);
+    changed |= run_pass(PassId::SimplifyCfg, mod);
+    if (!changed) break;
+  }
+}
+
+}  // namespace ilc::opt

@@ -1,0 +1,61 @@
+// Optimization "settings" — the flag-vector space of Figs. 3/4 (modeled on
+// the CGO'07 PathScale flag experiments the paper draws on), plus the
+// canonical pipelines: O0, FAST (the -Ofast analogue) and the pipeline
+// assembler that turns a flag vector into an ordered pass sequence.
+#pragma once
+
+#include <cstdint>
+#include <string>
+#include <vector>
+
+#include "opt/pass.hpp"
+
+namespace ilc::opt {
+
+/// One point in the optimization-setting space.
+struct OptFlags {
+  bool constprop = false;
+  bool copyprop = false;
+  bool cse = false;
+  bool dce = false;
+  bool simplifycfg = false;
+  bool licm = false;
+  bool strengthred = false;
+  bool peephole = false;
+  bool inline_fns = false;
+  bool schedule = false;
+  bool prefetch = false;
+  bool ptrcompress = false;
+  unsigned unroll = 0;  // 0 (off), 2, 4, or 8
+
+  bool operator==(const OptFlags&) const = default;
+
+  /// Compact encoding: 12 flag bits + 2 unroll-selector bits.
+  std::uint32_t encode() const;
+  static OptFlags decode(std::uint32_t bits);
+  static constexpr std::uint32_t kEncodings = 1u << 14;
+
+  /// Short human-readable form, e.g. "constprop+licm+unroll4".
+  std::string to_string() const;
+};
+
+/// Assemble the ordered pass pipeline a flag vector denotes.
+std::vector<PassId> pipeline(const OptFlags& flags);
+
+/// -O0: no optimization.
+OptFlags o0_flags();
+/// FAST: every standard optimization plus unroll-by-4 and prefetching —
+/// but never data-layout changes, like a real -Ofast.
+OptFlags fast_flags();
+
+std::vector<PassId> fast_pipeline();
+
+/// Remove trivial redundancy (copies, duplicate expressions, dead code,
+/// degenerate control flow) without touching program structure. Used to
+/// canonicalize builder-generated workloads into the "-O0 of a production
+/// compiler" baseline: real -O0 codegen does not emit duplicate constant
+/// loads, so an optimization-space study over raw builder output would
+/// overcredit cleanup passes (see the Fig. 2 benches).
+void canonicalize(ir::Module& mod);
+
+}  // namespace ilc::opt

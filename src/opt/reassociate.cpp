@@ -1,0 +1,155 @@
+// Reassociation: rebalance chains of one associative-commutative operator
+// (a+(b+(c+d)) -> (a+b)+(c+d)) so independent halves can issue in
+// parallel — a transformation whose benefit exists *only* because the
+// machine is multiple-issue, making it a clean ablation of the cost
+// model's ILP sensitivity. Operates on wrapping two's-complement
+// arithmetic, where Add/Mul/And/Or/Xor/Min/Max are fully associative.
+//
+// A chain link is consumed only when its register has exactly one
+// function-wide definition and one function-wide use (the next link), so
+// rebalancing can never change any other observer's view.
+#include <algorithm>
+
+#include "opt/pass.hpp"
+#include "support/assert.hpp"
+
+namespace ilc::opt {
+
+using namespace ir;
+
+namespace {
+
+bool reassociable(Opcode op) {
+  switch (op) {
+    case Opcode::Add:
+    case Opcode::Mul:
+    case Opcode::And:
+    case Opcode::Or:
+    case Opcode::Xor:
+    case Opcode::Min:
+    case Opcode::Max:
+      return true;
+    default:
+      return false;
+  }
+}
+
+struct RegStats {
+  std::vector<unsigned> defs;
+  std::vector<unsigned> uses;
+  explicit RegStats(const Function& fn)
+      : defs(fn.num_regs, 0), uses(fn.num_regs, 0) {
+    for (const BasicBlock& bb : fn.blocks) {
+      for (const Instr& inst : bb.insts) {
+        if (has_dst(inst)) defs[inst.dst] += 1;
+        std::array<Reg, 2 + kMaxCallArgs> u;
+        unsigned n = 0;
+        append_uses(inst, u, n);
+        for (unsigned k = 0; k < n; ++k) uses[u[k]] += 1;
+      }
+    }
+  }
+};
+
+}  // namespace
+
+bool reassociate(Function& fn) {
+  bool changed = false;
+  RegStats stats(fn);
+
+  for (BasicBlock& bb : fn.blocks) {
+    // def position of each register within this block (kNone if absent).
+    constexpr std::size_t kNone = static_cast<std::size_t>(-1);
+    std::vector<std::size_t> def_pos(fn.num_regs, kNone);
+    for (std::size_t i = 0; i < bb.insts.size(); ++i)
+      if (has_dst(bb.insts[i])) def_pos[bb.insts[i].dst] = i;
+
+    std::vector<std::uint8_t> consumed(bb.insts.size(), 0);
+    struct Rewrite {
+      std::size_t final_pos;
+      Opcode op;
+      Reg dst;
+      std::vector<Reg> leaves;
+    };
+    std::vector<Rewrite> rewrites;
+
+    // Walk bottom-up: the last link of a chain is an instruction whose dst
+    // is NOT itself a single-use feeder of the same op later in the block.
+    for (std::size_t i = bb.insts.size(); i-- > 0;) {
+      const Instr& inst = bb.insts[i];
+      if (consumed[i] || !reassociable(inst.op) || !has_dst(inst)) continue;
+
+      // Expand the chain from this root.
+      std::vector<Reg> leaves;
+      std::vector<std::size_t> internal;
+      std::vector<Reg> work = {inst.a, inst.b};
+      while (!work.empty()) {
+        const Reg r = work.back();
+        work.pop_back();
+        const std::size_t d = r < def_pos.size() ? def_pos[r] : kNone;
+        const bool internal_link =
+            d != kNone && d < i && !consumed[d] &&
+            bb.insts[d].op == inst.op && stats.defs[r] == 1 &&
+            stats.uses[r] == 1;
+        if (internal_link) {
+          internal.push_back(d);
+          work.push_back(bb.insts[d].a);
+          work.push_back(bb.insts[d].b);
+        } else {
+          leaves.push_back(r);
+        }
+      }
+      if (leaves.size() < 4) continue;  // nothing to balance
+
+      for (std::size_t d : internal) consumed[d] = 1;
+      consumed[i] = 1;
+      rewrites.push_back({i, inst.op, inst.dst, std::move(leaves)});
+    }
+
+    if (rewrites.empty()) continue;
+    changed = true;
+
+    // Rebuild the block: drop consumed instructions, emit a balanced tree
+    // at each chain's final position. Leaves were all defined before their
+    // original consumers, so the tree is legal there.
+    std::vector<Instr> out;
+    out.reserve(bb.insts.size());
+    for (std::size_t i = 0; i < bb.insts.size(); ++i) {
+      const Rewrite* rw = nullptr;
+      for (const Rewrite& r : rewrites)
+        if (r.final_pos == i) rw = &r;
+      if (rw != nullptr) {
+        // Pairwise-combine rounds: each round halves the operand count,
+        // keeping both halves independent.
+        std::vector<Reg> level = rw->leaves;
+        std::reverse(level.begin(), level.end());  // original operand order
+        while (level.size() > 1) {
+          std::vector<Reg> next;
+          for (std::size_t k = 0; k + 1 < level.size(); k += 2) {
+            Instr combine;
+            combine.op = rw->op;
+            combine.a = level[k];
+            combine.b = level[k + 1];
+            combine.dst =
+                (level.size() == 2) ? rw->dst : fn.new_reg();
+            out.push_back(combine);
+            next.push_back(combine.dst);
+          }
+          if (level.size() % 2 == 1) next.push_back(level.back());
+          level = std::move(next);
+        }
+        continue;
+      }
+      if (consumed[i]) continue;
+      out.push_back(bb.insts[i]);
+    }
+    bb.insts = std::move(out);
+
+    // Positions changed; refresh for any later blocks (def_pos is per
+    // block, stats are conservative — new regs have 1 def/1 use).
+    stats = RegStats(fn);
+  }
+  return changed;
+}
+
+}  // namespace ilc::opt

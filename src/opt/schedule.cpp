@@ -1,0 +1,169 @@
+// Block-local list scheduling. Builds the intra-block dependence graph
+// (register RAW/WAR/WAW, conservative memory ordering, call barriers) and
+// reorders by critical-path height so long-latency producers issue early —
+// directly rewarded by the simulator's scoreboard.
+//
+// The dependence machinery is shared with the learned-scheduling case
+// study (src/sched), which replays these decision points to generate
+// training instances exactly as Section II of the paper prescribes.
+#include "opt/schedule_dag.hpp"
+
+#include <algorithm>
+
+#include "opt/pass.hpp"
+#include "support/assert.hpp"
+
+namespace ilc::opt {
+
+using namespace ir;
+
+namespace {
+
+bool is_mem_read(const Instr& inst) {
+  return inst.op == Opcode::Load || inst.op == Opcode::Prefetch;
+}
+bool is_mem_write(const Instr& inst) { return inst.op == Opcode::Store; }
+bool is_barrier(const Instr& inst) { return inst.op == Opcode::Call; }
+
+}  // namespace
+
+unsigned sched_latency(const Instr& inst) {
+  switch (inst.op) {
+    case Opcode::Mul: return 3;
+    case Opcode::Div:
+    case Opcode::Rem: return 24;  // between the two machines' divide costs
+    case Opcode::Load: return 4;  // optimistic L1-hit latency
+    default: return 1;
+  }
+}
+
+ScheduleDag build_dag(const std::vector<Instr>& insts) {
+  const std::size_t n = insts.size();
+  ScheduleDag dag;
+  dag.succs.resize(n);
+  dag.preds.resize(n);
+  dag.height.assign(n, 0);
+
+  auto add_edge = [&](std::size_t from, std::size_t to) {
+    for (std::size_t s : dag.succs[from])
+      if (s == to) return;
+    dag.succs[from].push_back(to);
+    dag.preds[to].push_back(from);
+  };
+
+  std::vector<std::size_t> last_def(1, 0);  // resized lazily below
+  std::vector<std::vector<std::size_t>> uses_since_def;
+  // Track by register id; registers can be large, so use maps sized to max.
+  Reg max_reg = 0;
+  for (const Instr& inst : insts) {
+    if (has_dst(inst)) max_reg = std::max(max_reg, inst.dst);
+    std::array<Reg, 2 + kMaxCallArgs> uses;
+    unsigned nu = 0;
+    append_uses(inst, uses, nu);
+    for (unsigned u = 0; u < nu; ++u) max_reg = std::max(max_reg, uses[u]);
+  }
+  const std::size_t kNone = static_cast<std::size_t>(-1);
+  std::vector<std::size_t> def_of(max_reg + 1, kNone);
+  std::vector<std::vector<std::size_t>> users_of(max_reg + 1);
+
+  std::size_t last_store = kNone;
+  std::vector<std::size_t> reads_since_store;
+  std::size_t last_barrier = kNone;
+
+  for (std::size_t i = 0; i < n; ++i) {
+    const Instr& inst = insts[i];
+
+    std::array<Reg, 2 + kMaxCallArgs> uses;
+    unsigned nu = 0;
+    append_uses(inst, uses, nu);
+    for (unsigned u = 0; u < nu; ++u) {
+      const Reg r = uses[u];
+      if (def_of[r] != kNone) add_edge(def_of[r], i);  // RAW
+      users_of[r].push_back(i);
+    }
+    if (has_dst(inst)) {
+      const Reg d = inst.dst;
+      if (def_of[d] != kNone) add_edge(def_of[d], i);  // WAW
+      for (std::size_t u : users_of[d])
+        if (u != i) add_edge(u, i);  // WAR
+      def_of[d] = i;
+      users_of[d].clear();
+    }
+
+    if (is_mem_read(inst)) {
+      if (last_store != kNone) add_edge(last_store, i);
+      if (last_barrier != kNone) add_edge(last_barrier, i);
+      reads_since_store.push_back(i);
+    }
+    if (is_mem_write(inst) || is_barrier(inst)) {
+      if (last_store != kNone) add_edge(last_store, i);
+      for (std::size_t r : reads_since_store) add_edge(r, i);
+      reads_since_store.clear();
+      if (last_barrier != kNone) add_edge(last_barrier, i);
+      if (is_barrier(inst)) last_barrier = i;
+      else last_store = i;
+    }
+  }
+
+  // Critical-path heights (reverse topological order = reverse index
+  // order, since all edges go forward).
+  for (std::size_t i = n; i-- > 0;) {
+    unsigned h = sched_latency(insts[i]);
+    unsigned best = 0;
+    for (std::size_t s : dag.succs[i]) best = std::max(best, dag.height[s]);
+    dag.height[i] = h + best;
+  }
+  return dag;
+}
+
+bool schedule_blocks(Function& fn) {
+  bool changed = false;
+  for (BasicBlock& bb : fn.blocks) {
+    if (bb.insts.size() < 3) continue;
+    const std::size_t n = bb.insts.size() - 1;  // exclude terminator
+    std::vector<Instr> body(bb.insts.begin(), bb.insts.begin() + n);
+    const ScheduleDag dag = build_dag(body);
+
+    std::vector<unsigned> indeg(n, 0);
+    for (std::size_t i = 0; i < n; ++i)
+      indeg[i] = static_cast<unsigned>(dag.preds[i].size());
+
+    std::vector<std::size_t> ready;
+    for (std::size_t i = 0; i < n; ++i)
+      if (indeg[i] == 0) ready.push_back(i);
+
+    std::vector<std::size_t> order;
+    order.reserve(n);
+    while (!ready.empty()) {
+      // Highest critical-path height wins; original order breaks ties.
+      std::size_t best_pos = 0;
+      for (std::size_t k = 1; k < ready.size(); ++k) {
+        const std::size_t cand = ready[k], cur = ready[best_pos];
+        if (dag.height[cand] > dag.height[cur] ||
+            (dag.height[cand] == dag.height[cur] && cand < cur))
+          best_pos = k;
+      }
+      const std::size_t pick = ready[best_pos];
+      ready.erase(ready.begin() + static_cast<long>(best_pos));
+      order.push_back(pick);
+      for (std::size_t s : dag.succs[pick])
+        if (--indeg[s] == 0) ready.push_back(s);
+    }
+    ILC_CHECK_MSG(order.size() == n, "scheduling dropped instructions");
+
+    bool same = true;
+    for (std::size_t i = 0; i < n; ++i)
+      if (order[i] != i) same = false;
+    if (same) continue;
+
+    std::vector<Instr> scheduled;
+    scheduled.reserve(bb.insts.size());
+    for (std::size_t i : order) scheduled.push_back(body[i]);
+    scheduled.push_back(bb.insts.back());
+    bb.insts = std::move(scheduled);
+    changed = true;
+  }
+  return changed;
+}
+
+}  // namespace ilc::opt

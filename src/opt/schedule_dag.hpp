@@ -1,0 +1,24 @@
+// Intra-block dependence DAG shared between the list scheduler and the
+// learned-scheduling case study (src/sched).
+#pragma once
+
+#include <cstdint>
+#include <vector>
+
+#include "ir/instruction.hpp"
+
+namespace ilc::opt {
+
+struct ScheduleDag {
+  std::vector<std::vector<std::size_t>> succs;
+  std::vector<std::vector<std::size_t>> preds;
+  std::vector<unsigned> height;  // critical-path height incl. own latency
+};
+
+/// Build the dependence DAG over a terminator-free instruction list.
+ScheduleDag build_dag(const std::vector<ir::Instr>& insts);
+
+/// The scheduling cost model's latency for one instruction.
+unsigned sched_latency(const ir::Instr& inst);
+
+}  // namespace ilc::opt

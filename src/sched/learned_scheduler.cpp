@@ -1,0 +1,80 @@
+// Integration of the induced heuristic (paper Section II, "Integration of
+// the Induced Heuristic"): the learned pairwise comparator replaces the
+// critical-path priority inside the list scheduler, selecting from the
+// ready set by tournament.
+#include "sched/sched.hpp"
+
+#include <algorithm>
+
+#include "opt/schedule_dag.hpp"
+#include "support/assert.hpp"
+
+namespace ilc::sched {
+
+using namespace ir;
+using opt::build_dag;
+using opt::ScheduleDag;
+
+bool schedule_with_model(ir::Function& fn, const ml::Classifier& model) {
+  bool changed = false;
+  for (BasicBlock& bb : fn.blocks) {
+    if (bb.insts.size() < 3) continue;
+    const std::vector<Instr> body(bb.insts.begin(), bb.insts.end() - 1);
+    const ScheduleDag dag = build_dag(body);
+
+    std::vector<unsigned> indeg(body.size(), 0);
+    for (std::size_t i = 0; i < body.size(); ++i)
+      indeg[i] = static_cast<unsigned>(dag.preds[i].size());
+    std::vector<std::size_t> ready;
+    for (std::size_t i = 0; i < body.size(); ++i)
+      if (indeg[i] == 0) ready.push_back(i);
+
+    std::vector<std::size_t> order;
+    order.reserve(body.size());
+    while (!ready.empty()) {
+      // Round-robin tournament over the ready set: every pair plays, the
+      // model's prediction awards a win ("label 1" = first-of-pair wins),
+      // and the candidate with most wins is scheduled. More robust to
+      // individual misclassifications than a single-elimination chain.
+      std::size_t champ_pos = 0;
+      if (ready.size() > 1) {
+        std::vector<unsigned> wins(ready.size(), 0);
+        for (std::size_t i = 0; i < ready.size(); ++i) {
+          for (std::size_t j = i + 1; j < ready.size(); ++j) {
+            const int pred = model.predict(
+                pair_features(dag, body, ready[i], ready[j]));
+            ++wins[pred == 1 ? i : j];
+          }
+        }
+        for (std::size_t k = 1; k < ready.size(); ++k) {
+          // Ties break toward higher critical-path height, then order.
+          if (wins[k] > wins[champ_pos] ||
+              (wins[k] == wins[champ_pos] &&
+               dag.height[ready[k]] > dag.height[ready[champ_pos]]))
+            champ_pos = k;
+        }
+      }
+      const std::size_t pick = ready[champ_pos];
+      ready.erase(ready.begin() + static_cast<long>(champ_pos));
+      order.push_back(pick);
+      for (std::size_t s : dag.succs[pick])
+        if (--indeg[s] == 0) ready.push_back(s);
+    }
+    ILC_CHECK(order.size() == body.size());
+
+    bool same = true;
+    for (std::size_t i = 0; i < order.size(); ++i)
+      if (order[i] != i) same = false;
+    if (same) continue;
+
+    std::vector<Instr> scheduled;
+    scheduled.reserve(bb.insts.size());
+    for (std::size_t i : order) scheduled.push_back(body[i]);
+    scheduled.push_back(bb.insts.back());
+    bb.insts = std::move(scheduled);
+    changed = true;
+  }
+  return changed;
+}
+
+}  // namespace ilc::sched

@@ -1,0 +1,53 @@
+#include "search/evaluator.hpp"
+
+#include "ir/fingerprint.hpp"
+
+namespace ilc::search {
+
+Evaluator::Evaluator(const ir::Module& base, sim::MachineConfig cfg)
+    : base_(base), cfg_(std::move(cfg)) {}
+
+ir::Module Evaluator::optimized(const std::vector<opt::PassId>& seq) const {
+  ir::Module m = base_;
+  opt::run_sequence(m, seq);
+  return m;
+}
+
+EvalResult Evaluator::measure(const ir::Module& optimized_mod) {
+  const std::uint64_t fp = ir::fingerprint(optimized_mod);
+  if (cache_enabled_) {
+    std::lock_guard<std::mutex> lock(mu_);
+    auto it = cache_.find(fp);
+    if (it != cache_.end()) {
+      ++cache_hits_;
+      return it->second;
+    }
+  }
+
+  sim::Simulator sim(optimized_mod, cfg_);
+  const sim::RunResult rr = sim.run();
+  EvalResult res;
+  res.cycles = rr.cycles;
+  res.code_size = optimized_mod.code_size();
+  res.instructions = rr.instructions;
+  res.counters = rr.counters;
+
+  std::lock_guard<std::mutex> lock(mu_);
+  ++simulations_;
+  if (cache_enabled_) cache_.emplace(fp, res);
+  return res;
+}
+
+EvalResult Evaluator::eval_sequence(const std::vector<opt::PassId>& seq) {
+  ir::Module m = base_;
+  opt::run_sequence(m, seq);
+  return measure(m);
+}
+
+EvalResult Evaluator::eval_flags(const opt::OptFlags& flags) {
+  ir::Module m = base_;
+  opt::run_sequence(m, opt::pipeline(flags));
+  return measure(m);
+}
+
+}  // namespace ilc::search

@@ -1,0 +1,56 @@
+// The performance oracle used by every search strategy: apply an
+// optimization configuration to a pristine copy of the program, simulate
+// it, and memoize the result by the fingerprint of the optimized module —
+// distinct sequences frequently converge to identical code, and the cache
+// collapses them (design decision #4 in DESIGN.md).
+#pragma once
+
+#include <mutex>
+#include <unordered_map>
+
+#include "ir/module.hpp"
+#include "opt/pipelines.hpp"
+#include "sim/interpreter.hpp"
+
+namespace ilc::search {
+
+struct EvalResult {
+  std::uint64_t cycles = 0;
+  std::uint64_t code_size = 0;
+  std::uint64_t instructions = 0;
+  sim::Counters counters;
+};
+
+class Evaluator {
+ public:
+  Evaluator(const ir::Module& base, sim::MachineConfig cfg);
+
+  /// Apply a pass sequence and measure. Thread-safe.
+  EvalResult eval_sequence(const std::vector<opt::PassId>& seq);
+  /// Apply a flag-vector pipeline and measure. Thread-safe.
+  EvalResult eval_flags(const opt::OptFlags& flags);
+
+  /// Optimized module for a configuration (no caching; for inspection).
+  ir::Module optimized(const std::vector<opt::PassId>& seq) const;
+
+  /// Number of real simulations performed / cache hits observed.
+  std::size_t simulations() const { return simulations_; }
+  std::size_t cache_hits() const { return cache_hits_; }
+  void set_cache_enabled(bool enabled) { cache_enabled_ = enabled; }
+
+  const ir::Module& base() const { return base_; }
+  const sim::MachineConfig& machine() const { return cfg_; }
+
+ private:
+  EvalResult measure(const ir::Module& optimized_mod);
+
+  ir::Module base_;
+  sim::MachineConfig cfg_;
+  bool cache_enabled_ = true;
+  std::unordered_map<std::uint64_t, EvalResult> cache_;
+  std::mutex mu_;
+  std::size_t simulations_ = 0;
+  std::size_t cache_hits_ = 0;
+};
+
+}  // namespace ilc::search

@@ -1,0 +1,112 @@
+// Generational genetic algorithm over pass sequences, after Cooper,
+// Schielke & Subramanian's code-size GA (paper Section IV): tournament
+// selection, single-point crossover, per-gene mutation, elitism.
+#include "search/strategies.hpp"
+
+#include <algorithm>
+
+#include "support/assert.hpp"
+
+namespace ilc::search {
+
+namespace {
+
+struct Individual {
+  std::vector<opt::PassId> genes;
+  std::uint64_t metric = ~0ULL;
+};
+
+void repair(std::vector<opt::PassId>& genes, const SequenceSpace& space,
+            support::Rng& rng) {
+  if (!space.unroll_at_most_once) return;
+  // Replace extra unrolls (after the first) with random non-unroll passes.
+  std::vector<opt::PassId> non_unroll;
+  for (opt::PassId p : space.passes)
+    if (!opt::is_unroll(p)) non_unroll.push_back(p);
+  bool seen = false;
+  for (opt::PassId& g : genes) {
+    if (!opt::is_unroll(g)) continue;
+    if (!seen) {
+      seen = true;
+      continue;
+    }
+    g = non_unroll[rng.next_below(non_unroll.size())];
+  }
+}
+
+}  // namespace
+
+SearchTrace genetic_search(Evaluator& eval, const SequenceSpace& space,
+                           support::Rng& rng, unsigned budget, Objective obj,
+                           GaParams params) {
+  ILC_CHECK(params.population >= 4);
+  SearchTrace trace;
+
+  auto evaluate = [&](Individual& ind) {
+    ind.metric = metric_of(eval.eval_sequence(ind.genes), obj);
+    trace.record(ind.genes, ind.metric);
+  };
+
+  std::vector<Individual> pop(params.population);
+  for (auto& ind : pop) {
+    ind.genes = space.sample(rng);
+    if (trace.evaluations >= budget) {
+      ind.metric = ~0ULL;
+      continue;
+    }
+    evaluate(ind);
+  }
+
+  auto tournament = [&]() -> const Individual& {
+    const Individual* best = &pop[rng.next_below(pop.size())];
+    for (unsigned i = 1; i < params.tournament; ++i) {
+      const Individual* cand = &pop[rng.next_below(pop.size())];
+      if (cand->metric < best->metric) best = cand;
+    }
+    return *best;
+  };
+
+  while (trace.evaluations < budget) {
+    std::sort(pop.begin(), pop.end(),
+              [](const Individual& a, const Individual& b) {
+                return a.metric < b.metric;
+              });
+    std::vector<Individual> next(pop.begin(),
+                                 pop.begin() + std::min<std::size_t>(
+                                                   params.elites, pop.size()));
+    while (next.size() < params.population &&
+           trace.evaluations + (next.size() - params.elites) <
+               budget + params.population) {
+      Individual child;
+      const Individual& a = tournament();
+      const Individual& b = tournament();
+      child.genes = a.genes;
+      if (rng.next_bool(params.crossover_rate) && space.length >= 2) {
+        const std::size_t cut = 1 + rng.next_below(space.length - 1);
+        for (std::size_t i = cut; i < space.length; ++i)
+          child.genes[i] = b.genes[i];
+      }
+      for (std::size_t i = 0; i < space.length; ++i)
+        if (rng.next_bool(params.mutation_rate))
+          child.genes[i] = space.passes[rng.next_below(space.passes.size())];
+      repair(child.genes, space, rng);
+      ILC_ASSERT(space.valid(child.genes));
+      next.push_back(std::move(child));
+    }
+    for (std::size_t i = params.elites; i < next.size(); ++i) {
+      if (trace.evaluations >= budget) break;
+      evaluate(next[i]);
+    }
+    // Drop any never-evaluated stragglers (budget exhausted mid-generation).
+    next.erase(std::remove_if(next.begin(), next.end(),
+                              [](const Individual& ind) {
+                                return ind.metric == ~0ULL;
+                              }),
+               next.end());
+    if (next.size() < 4) break;
+    pop = std::move(next);
+  }
+  return trace;
+}
+
+}  // namespace ilc::search

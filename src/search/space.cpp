@@ -1,0 +1,81 @@
+#include "search/space.hpp"
+
+#include "support/assert.hpp"
+#include "support/string_utils.hpp"
+
+namespace ilc::search {
+
+bool SequenceSpace::valid(const std::vector<opt::PassId>& seq) const {
+  if (seq.size() != length) return false;
+  unsigned unrolls = 0;
+  for (opt::PassId id : seq) {
+    bool in_space = false;
+    for (opt::PassId p : passes)
+      if (p == id) in_space = true;
+    if (!in_space) return false;
+    if (opt::is_unroll(id)) ++unrolls;
+  }
+  return !unroll_at_most_once || unrolls <= 1;
+}
+
+std::uint64_t SequenceSpace::count() const {
+  const std::uint64_t p = passes.size();
+  std::uint64_t u = 0;
+  for (opt::PassId id : passes)
+    if (opt::is_unroll(id)) ++u;
+  const std::uint64_t nu = p - u;
+  if (!unroll_at_most_once) {
+    std::uint64_t total = 1;
+    for (unsigned i = 0; i < length; ++i) total *= p;
+    return total;
+  }
+  // No unroll anywhere + exactly one unroll at one of `length` positions.
+  std::uint64_t no_unroll = 1;
+  for (unsigned i = 0; i < length; ++i) no_unroll *= nu;
+  std::uint64_t one_unroll_rest = 1;
+  for (unsigned i = 0; i + 1 < length; ++i) one_unroll_rest *= nu;
+  return no_unroll + static_cast<std::uint64_t>(length) * u * one_unroll_rest;
+}
+
+std::vector<opt::PassId> SequenceSpace::sample(support::Rng& rng) const {
+  for (;;) {
+    std::vector<opt::PassId> seq;
+    seq.reserve(length);
+    for (unsigned i = 0; i < length; ++i)
+      seq.push_back(passes[rng.next_below(passes.size())]);
+    if (valid(seq)) return seq;
+  }
+}
+
+std::uint64_t SequenceSpace::raw_count() const {
+  std::uint64_t total = 1;
+  for (unsigned i = 0; i < length; ++i) total *= passes.size();
+  return total;
+}
+
+std::vector<opt::PassId> SequenceSpace::at_raw(std::uint64_t index) const {
+  ILC_CHECK(index < raw_count());
+  std::vector<opt::PassId> seq(length);
+  for (unsigned i = 0; i < length; ++i) {
+    seq[i] = passes[index % passes.size()];
+    index /= passes.size();
+  }
+  return seq;
+}
+
+std::string sequence_to_string(const std::vector<opt::PassId>& seq) {
+  std::vector<std::string> names;
+  names.reserve(seq.size());
+  for (opt::PassId id : seq) names.emplace_back(opt::pass_name(id));
+  return support::join(names, ",");
+}
+
+std::vector<opt::PassId> sequence_from_string(const std::string& text) {
+  std::vector<opt::PassId> out;
+  if (text.empty()) return out;
+  for (const std::string& name : support::split(text, ','))
+    out.push_back(opt::pass_from_name(support::trim(name)));
+  return out;
+}
+
+}  // namespace ilc::search

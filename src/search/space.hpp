@@ -1,0 +1,39 @@
+// The Fig. 2 optimization-sequence space: fixed-length sequences over the
+// 13 sequence-space passes with the paper's side constraint that loop
+// unrolling (any factor) appears at most once.
+#pragma once
+
+#include <cstdint>
+#include <string>
+#include <vector>
+
+#include "opt/pass.hpp"
+#include "support/rng.hpp"
+
+namespace ilc::search {
+
+struct SequenceSpace {
+  std::vector<opt::PassId> passes = opt::sequence_space();
+  unsigned length = 5;
+  bool unroll_at_most_once = true;
+
+  /// Does `seq` satisfy the space's constraints?
+  bool valid(const std::vector<opt::PassId>& seq) const;
+
+  /// Number of valid sequences.
+  std::uint64_t count() const;
+
+  /// Uniform sample over valid sequences (rejection sampling).
+  std::vector<opt::PassId> sample(support::Rng& rng) const;
+
+  /// Sequence at `index` in the unconstrained odometer enumeration of
+  /// passes^length. Use with valid() to enumerate/filter.
+  std::vector<opt::PassId> at_raw(std::uint64_t index) const;
+  std::uint64_t raw_count() const;
+};
+
+/// Human-readable form: "constprop,licm,unroll2,...".
+std::string sequence_to_string(const std::vector<opt::PassId>& seq);
+std::vector<opt::PassId> sequence_from_string(const std::string& text);
+
+}  // namespace ilc::search

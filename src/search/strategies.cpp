@@ -1,0 +1,134 @@
+#include "search/strategies.hpp"
+
+#include <algorithm>
+#include <unordered_set>
+
+#include "support/assert.hpp"
+
+namespace ilc::search {
+
+void SearchTrace::record(const std::vector<opt::PassId>& seq,
+                         std::uint64_t metric) {
+  ++evaluations;
+  if (metric < best_metric) {
+    best_metric = metric;
+    best_seq = seq;
+  }
+  best_so_far.push_back(best_metric);
+}
+
+SearchTrace random_search(Evaluator& eval, const SequenceSpace& space,
+                          support::Rng& rng, unsigned budget, Objective obj) {
+  SearchTrace trace;
+  for (unsigned i = 0; i < budget; ++i) {
+    const auto seq = space.sample(rng);
+    trace.record(seq, metric_of(eval.eval_sequence(seq), obj));
+  }
+  return trace;
+}
+
+SearchTrace generator_search(
+    Evaluator& eval, const std::function<std::vector<opt::PassId>()>& gen,
+    unsigned budget, Objective obj) {
+  SearchTrace trace;
+  for (unsigned i = 0; i < budget; ++i) {
+    const auto seq = gen();
+    trace.record(seq, metric_of(eval.eval_sequence(seq), obj));
+  }
+  return trace;
+}
+
+SearchTrace greedy_search(Evaluator& eval, const SequenceSpace& space,
+                          support::Rng& rng, unsigned budget, Objective obj) {
+  SearchTrace trace;
+  std::vector<opt::PassId> current = space.sample(rng);
+  std::uint64_t current_metric =
+      metric_of(eval.eval_sequence(current), obj);
+  trace.record(current, current_metric);
+  unsigned stuck = 0;
+
+  while (trace.evaluations < budget) {
+    // Mutate one position to a random (valid) alternative.
+    std::vector<opt::PassId> cand = current;
+    for (int tries = 0; tries < 32; ++tries) {
+      cand = current;
+      const std::size_t pos = rng.next_below(space.length);
+      cand[pos] = space.passes[rng.next_below(space.passes.size())];
+      if (space.valid(cand)) break;
+    }
+    if (!space.valid(cand)) cand = space.sample(rng);
+
+    const std::uint64_t m = metric_of(eval.eval_sequence(cand), obj);
+    trace.record(cand, m);
+    if (m < current_metric) {
+      current = cand;
+      current_metric = m;
+      stuck = 0;
+    } else if (++stuck >= 2 * space.length * space.passes.size()) {
+      current = space.sample(rng);  // random restart
+      if (trace.evaluations >= budget) break;
+      current_metric = metric_of(eval.eval_sequence(current), obj);
+      trace.record(current, current_metric);
+      stuck = 0;
+    }
+  }
+  return trace;
+}
+
+std::vector<SpacePoint> enumerate_space(Evaluator& eval,
+                                        const SequenceSpace& space,
+                                        support::Rng& rng,
+                                        std::uint64_t budget) {
+  std::vector<SpacePoint> points;
+  const std::uint64_t raw = space.raw_count();
+
+  auto consider = [&](std::uint64_t raw_index) {
+    const auto seq = space.at_raw(raw_index);
+    if (!space.valid(seq)) return;
+    SpacePoint pt;
+    pt.seq = seq;
+    pt.cycles = eval.eval_sequence(seq).cycles;
+    points.push_back(std::move(pt));
+  };
+
+  if (space.count() <= budget) {
+    for (std::uint64_t i = 0; i < raw; ++i) consider(i);
+  } else {
+    std::unordered_set<std::uint64_t> chosen;
+    while (points.size() < budget) {
+      const std::uint64_t i = rng.next_below(raw);
+      if (!chosen.insert(i).second) continue;
+      consider(i);
+    }
+  }
+  return points;
+}
+
+std::vector<FlagPoint> flag_search(Evaluator& eval, support::Rng& rng,
+                                   unsigned budget) {
+  std::vector<FlagPoint> out;
+  std::unordered_set<std::uint32_t> seen;
+
+  auto consider = [&](const opt::OptFlags& f) {
+    if (!seen.insert(f.encode()).second) return;
+    out.push_back({f, eval.eval_flags(f)});
+  };
+
+  consider(opt::o0_flags());
+  consider(opt::fast_flags());
+  {
+    // FAST + pointer compression: the layout-changing variant a one-size
+    // -fits-all -Ofast never tries but the setting space contains.
+    opt::OptFlags f = opt::fast_flags();
+    f.ptrcompress = true;
+    consider(f);
+  }
+  while (out.size() < budget) {
+    const auto bits =
+        static_cast<std::uint32_t>(rng.next_below(opt::OptFlags::kEncodings));
+    consider(opt::OptFlags::decode(bits));
+  }
+  return out;
+}
+
+}  // namespace ilc::search

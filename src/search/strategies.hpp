@@ -1,0 +1,83 @@
+// Search strategies over optimization spaces: random sampling (the
+// RANDOM baseline of Fig. 2b), greedy mutation hill-climbing, genetic
+// search (the Cooper et al. baseline, usable for cycles or code size),
+// enumeration with sampling (Fig. 2a), and flag-space random search (the
+// Fig. 3/4 setting space).
+#pragma once
+
+#include <functional>
+#include <vector>
+
+#include "search/evaluator.hpp"
+#include "search/space.hpp"
+#include "support/rng.hpp"
+
+namespace ilc::search {
+
+enum class Objective { Cycles, CodeSize };
+
+inline std::uint64_t metric_of(const EvalResult& r, Objective obj) {
+  return obj == Objective::Cycles ? r.cycles : r.code_size;
+}
+
+struct SearchTrace {
+  std::vector<std::uint64_t> best_so_far;  // metric after each evaluation
+  std::vector<opt::PassId> best_seq;
+  std::uint64_t best_metric = ~0ULL;
+  unsigned evaluations = 0;
+
+  void record(const std::vector<opt::PassId>& seq, std::uint64_t metric);
+};
+
+/// Evaluate `budget` uniform random sequences.
+SearchTrace random_search(Evaluator& eval, const SequenceSpace& space,
+                          support::Rng& rng, unsigned budget,
+                          Objective obj = Objective::Cycles);
+
+/// Hill-climbing: mutate the best-so-far sequence one position at a time,
+/// restarting from a random point when stuck.
+SearchTrace greedy_search(Evaluator& eval, const SequenceSpace& space,
+                          support::Rng& rng, unsigned budget,
+                          Objective obj = Objective::Cycles);
+
+/// Search driven by a sequence generator (used by the FOCUSSED model).
+SearchTrace generator_search(
+    Evaluator& eval, const std::function<std::vector<opt::PassId>()>& gen,
+    unsigned budget, Objective obj = Objective::Cycles);
+
+struct GaParams {
+  unsigned population = 20;
+  double crossover_rate = 0.8;
+  double mutation_rate = 0.1;
+  unsigned tournament = 3;
+  unsigned elites = 2;
+};
+
+/// Generational GA in the style of Cooper et al.'s code-size work.
+SearchTrace genetic_search(Evaluator& eval, const SequenceSpace& space,
+                           support::Rng& rng, unsigned budget,
+                           Objective obj = Objective::Cycles,
+                           GaParams params = {});
+
+/// One enumerated point of the Fig. 2a space map.
+struct SpacePoint {
+  std::vector<opt::PassId> seq;
+  std::uint64_t cycles = 0;
+};
+
+/// Enumerate the space: exhaustively if its size <= budget, else a
+/// uniform random sample of `budget` distinct-by-raw-index points.
+std::vector<SpacePoint> enumerate_space(Evaluator& eval,
+                                        const SequenceSpace& space,
+                                        support::Rng& rng, std::uint64_t budget);
+
+/// Random search over the flag-vector space (Fig. 3/4 settings). Always
+/// includes O0 and FAST as anchors.
+struct FlagPoint {
+  opt::OptFlags flags;
+  EvalResult result;
+};
+std::vector<FlagPoint> flag_search(Evaluator& eval, support::Rng& rng,
+                                   unsigned budget);
+
+}  // namespace ilc::search

@@ -1,0 +1,33 @@
+// Conditional-branch predictor: gshare-style table of 2-bit saturating
+// counters, or a static backward-taken predictor when entries == 0 (the
+// DSP-like configuration — the TI C6713 has no dynamic prediction).
+#pragma once
+
+#include <cstdint>
+#include <vector>
+
+namespace ilc::sim {
+
+class BranchPredictor {
+ public:
+  /// entries must be a power of two, or 0 for the static predictor.
+  explicit BranchPredictor(std::uint32_t entries);
+
+  /// Predict a branch identified by `branch_id`. `backward` flags a branch
+  /// whose taken target does not come later in layout order (loop-shaped).
+  bool predict(std::uint64_t branch_id, bool backward) const;
+
+  /// Update state with the actual outcome.
+  void update(std::uint64_t branch_id, bool taken);
+
+  void clear();
+  bool is_static() const { return table_.empty(); }
+
+ private:
+  std::size_t index(std::uint64_t branch_id) const;
+
+  std::vector<std::uint8_t> table_;  // 2-bit counters, init weakly taken
+  std::uint64_t history_ = 0;
+};
+
+}  // namespace ilc::sim

@@ -1,0 +1,60 @@
+#include "sim/cache.hpp"
+
+#include "support/assert.hpp"
+
+namespace ilc::sim {
+
+namespace {
+
+std::uint32_t log2_exact(std::uint32_t v) {
+  ILC_CHECK_MSG(v != 0 && (v & (v - 1)) == 0, "value must be a power of two");
+  std::uint32_t s = 0;
+  while ((1u << s) < v) ++s;
+  return s;
+}
+
+}  // namespace
+
+Cache::Cache(const CacheConfig& cfg) : cfg_(cfg) {
+  ILC_CHECK(cfg.ways > 0);
+  ILC_CHECK(cfg.line_bytes >= 8);
+  const std::uint32_t lines_total = cfg.size_bytes / cfg.line_bytes;
+  ILC_CHECK_MSG(lines_total >= cfg.ways, "cache smaller than one set");
+  sets_ = lines_total / cfg.ways;
+  ILC_CHECK_MSG((sets_ & (sets_ - 1)) == 0, "set count must be a power of two");
+  line_shift_ = log2_exact(cfg.line_bytes);
+  lines_.assign(static_cast<std::size_t>(sets_) * cfg.ways, Line{});
+}
+
+bool Cache::access(std::uint64_t addr) {
+  ++tick_;
+  const std::uint64_t line_addr = addr >> line_shift_;
+  const std::uint32_t set = static_cast<std::uint32_t>(line_addr) & (sets_ - 1);
+  const std::uint64_t tag = line_addr >> 0;  // full line address as tag
+  Line* base = &lines_[static_cast<std::size_t>(set) * cfg_.ways];
+
+  Line* victim = base;
+  for (std::uint32_t w = 0; w < cfg_.ways; ++w) {
+    Line& line = base[w];
+    if (line.valid && line.tag == tag) {
+      line.lru = tick_;
+      return true;
+    }
+    if (!line.valid) {
+      victim = &line;
+    } else if (victim->valid && line.lru < victim->lru) {
+      victim = &line;
+    }
+  }
+  victim->valid = true;
+  victim->tag = tag;
+  victim->lru = tick_;
+  return false;
+}
+
+void Cache::clear() {
+  for (Line& line : lines_) line = Line{};
+  tick_ = 0;
+}
+
+}  // namespace ilc::sim

@@ -1,0 +1,44 @@
+// Set-associative data cache with true-LRU replacement and write-allocate
+// policy. Used for both levels of the simulated hierarchy.
+#pragma once
+
+#include <cstdint>
+#include <vector>
+
+namespace ilc::sim {
+
+struct CacheConfig {
+  std::uint32_t size_bytes = 4096;
+  std::uint32_t line_bytes = 64;
+  std::uint32_t ways = 2;
+  std::uint32_t hit_latency = 3;
+};
+
+class Cache {
+ public:
+  explicit Cache(const CacheConfig& cfg);
+
+  /// Look up the line containing addr; fills it on miss. Returns hit.
+  bool access(std::uint64_t addr);
+
+  /// Reset contents (cold cache) without changing configuration.
+  void clear();
+
+  const CacheConfig& config() const { return cfg_; }
+  std::uint32_t num_sets() const { return sets_; }
+
+ private:
+  struct Line {
+    std::uint64_t tag = ~0ULL;
+    std::uint64_t lru = 0;  // last-use stamp
+    bool valid = false;
+  };
+
+  CacheConfig cfg_;
+  std::uint32_t sets_;
+  std::uint32_t line_shift_;
+  std::vector<Line> lines_;  // sets_ * ways, row-major by set
+  std::uint64_t tick_ = 0;
+};
+
+}  // namespace ilc::sim

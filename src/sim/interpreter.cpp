@@ -1,0 +1,339 @@
+#include "sim/interpreter.hpp"
+
+#include <sstream>
+
+#include "ir/printer.hpp"
+#include "support/assert.hpp"
+#include "support/hash.hpp"
+
+namespace ilc::sim {
+
+using ir::BlockId;
+using ir::FuncId;
+using ir::Instr;
+using ir::Opcode;
+using ir::Reg;
+
+Simulator::Simulator(const ir::Module& mod, const MachineConfig& cfg)
+    : mod_(&mod),
+      cfg_(cfg),
+      image_(mod.build_image()),
+      l1_(cfg.l1),
+      l2_(cfg.l2),
+      bpred_(cfg.bpred_entries) {}
+
+void Simulator::switch_module(const ir::Module& next) {
+  const ir::MemoryImage other = next.build_image(image_.stack_size);
+  ILC_CHECK_MSG(other.global_base == image_.global_base &&
+                    other.bytes.size() == image_.bytes.size() &&
+                    other.ptr_bytes == image_.ptr_bytes,
+                "switch_module requires an identical memory layout");
+  mod_ = &next;
+}
+
+void Simulator::clear_microarch_state() {
+  l1_.clear();
+  l2_.clear();
+  bpred_.clear();
+}
+
+void Simulator::bounds_check(std::uint64_t addr, unsigned bytes) const {
+  if (addr < ir::MemoryImage::kNullGuard ||
+      addr + bytes > image_.bytes.size()) {
+    std::ostringstream os;
+    os << "memory trap: access of " << bytes << " bytes at address " << addr
+       << " (image size " << image_.bytes.size() << ")";
+    throw TrapError(os.str());
+  }
+}
+
+std::int64_t Simulator::load_value(std::uint64_t addr, unsigned bytes,
+                                   bool is_ptr) const {
+  std::uint64_t v = 0;
+  for (unsigned i = 0; i < bytes; ++i)
+    v |= static_cast<std::uint64_t>(image_.bytes[addr + i]) << (8 * i);
+  if (is_ptr || bytes == 8) return static_cast<std::int64_t>(v);
+  // Sign-extend data loads narrower than 8 bytes.
+  const unsigned shift = 64 - 8 * bytes;
+  return static_cast<std::int64_t>(v << shift) >> shift;
+}
+
+void Simulator::store_value(std::uint64_t addr, std::int64_t value,
+                            unsigned bytes) {
+  const auto v = static_cast<std::uint64_t>(value);
+  for (unsigned i = 0; i < bytes; ++i)
+    image_.bytes[addr + i] = static_cast<std::uint8_t>(v >> (8 * i));
+}
+
+std::int64_t Simulator::read_memory(std::uint64_t addr, unsigned bytes) const {
+  bounds_check(addr, bytes);
+  return load_value(addr, bytes, /*is_ptr=*/false);
+}
+
+void Simulator::write_memory(std::uint64_t addr, std::int64_t value,
+                             unsigned bytes) {
+  bounds_check(addr, bytes);
+  store_value(addr, value, bytes);
+}
+
+std::uint64_t Simulator::global_base(ir::GlobalId gid) const {
+  ILC_CHECK(gid < image_.global_base.size());
+  return image_.global_base[gid];
+}
+
+std::uint32_t Simulator::mem_access(std::uint64_t addr, bool is_write,
+                                    bool counted) {
+  if (counted) total_[L1_TCA] += 1;
+  if (l1_.access(addr)) return cfg_.l1.hit_latency;
+  if (counted) {
+    total_[L1_TCM] += 1;
+    total_[is_write ? L1_STM : L1_LDM] += 1;
+    total_[L2_TCA] += 1;
+  }
+  if (l2_.access(addr)) return cfg_.l1.hit_latency + cfg_.l2.hit_latency;
+  if (counted) {
+    total_[L2_TCM] += 1;
+    total_[is_write ? L2_STM : L2_LDM] += 1;
+  }
+  return cfg_.l1.hit_latency + cfg_.l2.hit_latency + cfg_.mem_latency;
+}
+
+RunResult Simulator::call(const std::string& fn_name,
+                          const std::vector<std::int64_t>& args) {
+  const FuncId id = mod_->find_function(fn_name);
+  ILC_CHECK_MSG(id != ir::kNoFunc, "no function named " << fn_name);
+  return call(id, args);
+}
+
+RunResult Simulator::run() { return call("main"); }
+
+RunResult Simulator::call(FuncId fn_id,
+                          const std::vector<std::int64_t>& args) {
+  const Counters before = total_;
+  const std::uint64_t cycles_before = cycle_;
+  const std::uint64_t executed_before = executed_;
+  const std::uint64_t budget_end = executed_ + cfg_.max_instructions;
+
+  std::vector<Frame> stack;
+  std::uint64_t frame_cursor = image_.stack_base;
+
+  auto push_frame = [&](FuncId id, ir::Reg ret_dst) -> Frame& {
+    const ir::Function& fn = mod_->function(id);
+    if (stack.size() >= kMaxCallDepth)
+      throw TrapError("call depth exceeded in " + fn.name);
+    Frame fr;
+    fr.fn = &fn;
+    fr.fn_id = id;
+    fr.regs.assign(fn.num_regs, 0);
+    fr.ready.assign(fn.num_regs, 0);
+    fr.frame_base = frame_cursor;
+    frame_cursor += (fn.frame_size + 15) / 16 * 16;
+    if (frame_cursor > image_.stack_base + image_.stack_size)
+      throw TrapError("stack overflow in " + fn.name);
+    fr.ret_dst = ret_dst;
+    stack.push_back(std::move(fr));
+    return stack.back();
+  };
+
+  {
+    const ir::Function& fn = mod_->function(fn_id);
+    ILC_CHECK_MSG(args.size() == fn.num_args,
+                  "arity mismatch calling " << fn.name);
+    Frame& fr = push_frame(fn_id, ir::kNoReg);
+    for (std::size_t i = 0; i < args.size(); ++i) fr.regs[i] = args[i];
+  }
+
+  std::int64_t final_ret = 0;
+
+  while (!stack.empty()) {
+    Frame& fr = stack.back();
+    const ir::Function& fn = *fr.fn;
+    ILC_ASSERT(fr.block < fn.blocks.size());
+    const ir::BasicBlock& bb = fn.blocks[fr.block];
+    ILC_ASSERT(fr.ip < bb.insts.size());
+    const Instr& inst = bb.insts[fr.ip];
+
+    if (++executed_ > budget_end)
+      throw TrapError("instruction budget exhausted (runaway loop?)");
+    total_[TOT_INS] += 1;
+
+    // --- timing: stall until register sources are ready, then claim an
+    // issue slot (issue_width instructions share a cycle).
+    std::array<Reg, 2 + ir::kMaxCallArgs> uses;
+    unsigned nu = 0;
+    ir::append_uses(inst, uses, nu);
+    std::uint64_t earliest = 0;
+    for (unsigned u = 0; u < nu; ++u)
+      earliest = std::max(earliest, fr.ready[uses[u]]);
+    if (earliest > cycle_) {
+      cycle_ = earliest;
+      slots_used_ = 0;
+    } else if (slots_used_ >= cfg_.issue_width) {
+      cycle_ += 1;
+      slots_used_ = 0;
+    }
+    ++slots_used_;
+
+    std::uint32_t result_latency = cfg_.lat_alu;
+    bool advance = true;  // move ip forward unless control transfer happened
+
+    switch (inst.op) {
+      case Opcode::Nop:
+        break;
+      case Opcode::LoadImm:
+        fr.regs[inst.dst] = inst.imm;
+        break;
+      case Opcode::Mov:
+        fr.regs[inst.dst] = fr.regs[inst.a];
+        break;
+      case Opcode::GlobalAddr:
+        fr.regs[inst.dst] =
+            static_cast<std::int64_t>(image_.global_base[inst.gid]);
+        break;
+      case Opcode::FrameAddr:
+        fr.regs[inst.dst] =
+            static_cast<std::int64_t>(fr.frame_base + inst.imm);
+        break;
+      case Opcode::Neg:
+      case Opcode::Not: {
+        std::int64_t out = 0;
+        ir::fold_constant(inst.op, fr.regs[inst.a], 0, out);
+        fr.regs[inst.dst] = out;
+        break;
+      }
+      case Opcode::Mul:
+        result_latency = cfg_.lat_mul;
+        goto binary;
+      case Opcode::Div:
+      case Opcode::Rem:
+        result_latency = cfg_.lat_div;
+        goto binary;
+      case Opcode::Add:
+      case Opcode::Sub:
+      case Opcode::And:
+      case Opcode::Or:
+      case Opcode::Xor:
+      case Opcode::Shl:
+      case Opcode::Shr:
+      case Opcode::Min:
+      case Opcode::Max:
+      case Opcode::CmpEq:
+      case Opcode::CmpNe:
+      case Opcode::CmpLt:
+      case Opcode::CmpLe:
+      case Opcode::CmpGt:
+      case Opcode::CmpGe:
+      binary: {
+        std::int64_t out = 0;
+        const bool ok =
+            ir::fold_constant(inst.op, fr.regs[inst.a], fr.regs[inst.b], out);
+        ILC_ASSERT(ok);
+        fr.regs[inst.dst] = out;
+        break;
+      }
+      case Opcode::Load: {
+        const auto addr = static_cast<std::uint64_t>(
+            fr.regs[inst.a] + inst.imm);
+        const unsigned bytes = ir::width_bytes(inst.width);
+        bounds_check(addr, bytes);
+        total_[LD_INS] += 1;
+        result_latency = mem_access(addr, /*is_write=*/false);
+        fr.regs[inst.dst] = load_value(addr, bytes, inst.is_ptr);
+        break;
+      }
+      case Opcode::Store: {
+        const auto addr = static_cast<std::uint64_t>(
+            fr.regs[inst.a] + inst.imm);
+        const unsigned bytes = ir::width_bytes(inst.width);
+        bounds_check(addr, bytes);
+        total_[SR_INS] += 1;
+        // Stores retire through a store buffer: the cache access is
+        // counted but does not stall the pipeline.
+        mem_access(addr, /*is_write=*/true);
+        store_value(addr, fr.regs[inst.b], bytes);
+        break;
+      }
+      case Opcode::Prefetch: {
+        const auto addr = static_cast<std::uint64_t>(
+            fr.regs[inst.a] + inst.imm);
+        // Non-binding: out-of-range prefetches are dropped, in-range ones
+        // warm the hierarchy without stalling.
+        if (addr >= ir::MemoryImage::kNullGuard &&
+            addr + 8 <= image_.bytes.size()) {
+          mem_access(addr, /*is_write=*/false, /*counted=*/false);
+        }
+        break;
+      }
+      case Opcode::Jump:
+        fr.prev_block = fr.block;
+        fr.block = inst.t1;
+        fr.ip = 0;
+        advance = false;
+        break;
+      case Opcode::Br: {
+        total_[BR_INS] += 1;
+        const bool taken = fr.regs[inst.a] != 0;
+        const std::uint64_t branch_id = support::hash_combine(
+            support::hash_combine(fr.fn_id, fr.block), fr.ip);
+        const bool backward = inst.t1 <= fr.block;
+        const bool predicted = bpred_.predict(branch_id, backward);
+        bpred_.update(branch_id, taken);
+        if (predicted != taken) {
+          total_[BR_MSP] += 1;
+          cycle_ += cfg_.mispredict_penalty;
+          slots_used_ = 0;  // pipeline redirect
+        }
+        fr.prev_block = fr.block;
+        fr.block = taken ? inst.t1 : inst.t2;
+        fr.ip = 0;
+        advance = false;
+        break;
+      }
+      case Opcode::Call: {
+        cycle_ += cfg_.call_overhead;
+        slots_used_ = 0;
+        std::array<std::int64_t, ir::kMaxCallArgs> vals{};
+        for (unsigned i = 0; i < inst.nargs; ++i)
+          vals[i] = fr.regs[inst.args[i]];
+        fr.ip += 1;  // resume after the call on return
+        Frame& cf = push_frame(inst.callee, inst.dst);  // may invalidate fr
+        for (unsigned i = 0; i < cf.fn->num_args; ++i) cf.regs[i] = vals[i];
+        advance = false;
+        break;
+      }
+      case Opcode::Ret: {
+        const std::int64_t value =
+            inst.a == ir::kNoReg ? 0 : fr.regs[inst.a];
+        const Reg ret_dst = fr.ret_dst;
+        frame_cursor = fr.frame_base;
+        stack.pop_back();
+        if (stack.empty()) {
+          final_ret = value;
+        } else if (ret_dst != ir::kNoReg) {
+          Frame& caller = stack.back();
+          caller.regs[ret_dst] = value;
+          caller.ready[ret_dst] = cycle_ + 1;
+        }
+        advance = false;
+        break;
+      }
+    }
+
+    if (advance) {
+      if (ir::has_dst(inst))
+        fr.ready[inst.dst] = cycle_ + result_latency;
+      fr.ip += 1;
+    }
+  }
+
+  total_[TOT_CYC] += cycle_ - cycles_before;
+
+  RunResult rr;
+  rr.ret = final_ret;
+  rr.cycles = cycle_ - cycles_before;
+  rr.instructions = executed_ - executed_before;
+  rr.counters = total_ - before;
+  return rr;
+}
+
+}  // namespace ilc::sim

@@ -1,0 +1,110 @@
+// The execution engine: a direct interpreter of ilc IR coupled to a
+// scoreboarded single-issue timing model, the two-level cache hierarchy,
+// and the branch predictor. Deterministic; collects PAPI-style counters.
+//
+// The Simulator owns persistent machine state (memory image, caches,
+// predictor), so a program can be invoked repeatedly — which is exactly
+// what the dynamic-optimization module needs to audit code versions
+// across execution intervals.
+#pragma once
+
+#include <cstdint>
+#include <stdexcept>
+#include <string>
+#include <vector>
+
+#include "ir/module.hpp"
+#include "sim/branch_predictor.hpp"
+#include "sim/cache.hpp"
+#include "sim/counters.hpp"
+#include "sim/machine.hpp"
+
+namespace ilc::sim {
+
+/// Thrown on runtime faults: null/out-of-bounds access, call depth,
+/// instruction budget exhaustion. Optimized code must never introduce one.
+class TrapError : public std::runtime_error {
+ public:
+  explicit TrapError(const std::string& what) : std::runtime_error(what) {}
+};
+
+/// Result of one function invocation.
+struct RunResult {
+  std::int64_t ret = 0;          // return value (0 for void)
+  std::uint64_t cycles = 0;      // cycles spent in this invocation
+  std::uint64_t instructions = 0;
+  Counters counters;             // deltas for this invocation
+};
+
+class Simulator {
+ public:
+  Simulator(const ir::Module& mod, const MachineConfig& cfg);
+
+  /// Invoke a function by id with the given arguments.
+  RunResult call(ir::FuncId fn, const std::vector<std::int64_t>& args = {});
+  /// Invoke by name; throws if absent.
+  RunResult call(const std::string& fn_name,
+                 const std::vector<std::int64_t>& args = {});
+  /// Invoke `main()` — the whole-program entry used by the harnesses.
+  RunResult run();
+
+  /// Cumulative counters since construction / last reset.
+  const Counters& counters() const { return total_; }
+  void reset_counters() { total_ = Counters{}; }
+
+  /// Reset caches and predictor to cold state (memory is untouched).
+  void clear_microarch_state();
+
+  /// Swap in a different module (e.g. a re-optimized code version) while
+  /// keeping memory, caches, and predictor state — the multi-versioning
+  /// primitive of the dynamic-optimization module. The new module must
+  /// produce an identical memory layout (same globals, sizes, pointer
+  /// width); throws otherwise. The caller must keep `next` alive.
+  void switch_module(const ir::Module& next);
+
+  /// Direct memory access, used by tests and workload validators.
+  std::int64_t read_memory(std::uint64_t addr, unsigned bytes) const;
+  void write_memory(std::uint64_t addr, std::int64_t value, unsigned bytes);
+  std::uint64_t global_base(ir::GlobalId gid) const;
+  const MachineConfig& config() const { return cfg_; }
+  const ir::Module& module() const { return *mod_; }
+
+ private:
+  struct Frame {
+    const ir::Function* fn = nullptr;
+    ir::FuncId fn_id = ir::kNoFunc;
+    std::vector<std::int64_t> regs;
+    std::vector<std::uint64_t> ready;  // scoreboard: cycle when reg is ready
+    std::uint64_t frame_base = 0;
+    ir::BlockId block = 0;
+    ir::BlockId prev_block = 0;
+    std::size_t ip = 0;
+    ir::Reg ret_dst = ir::kNoReg;  // caller register receiving the result
+  };
+
+  /// Data-cache access; returns total load-to-use latency and updates
+  /// counters. is_write distinguishes load/store miss counters. Software
+  /// prefetches pass counted=false: they move lines but are invisible to
+  /// the architectural counters (as on real PMUs).
+  std::uint32_t mem_access(std::uint64_t addr, bool is_write,
+                           bool counted = true);
+
+  std::int64_t load_value(std::uint64_t addr, unsigned bytes, bool is_ptr) const;
+  void store_value(std::uint64_t addr, std::int64_t value, unsigned bytes);
+  void bounds_check(std::uint64_t addr, unsigned bytes) const;
+
+  const ir::Module* mod_;  // never null; switchable via switch_module
+  MachineConfig cfg_;
+  ir::MemoryImage image_;
+  Cache l1_;
+  Cache l2_;
+  BranchPredictor bpred_;
+  Counters total_;
+  std::uint64_t cycle_ = 0;        // monotone machine clock across calls
+  std::uint32_t slots_used_ = 0;   // instructions issued in cycle_
+  std::uint64_t executed_ = 0;
+
+  static constexpr unsigned kMaxCallDepth = 256;
+};
+
+}  // namespace ilc::sim

@@ -1,0 +1,38 @@
+#include "sim/machine.hpp"
+
+namespace ilc::sim {
+
+MachineConfig c6713_like() {
+  MachineConfig m;
+  m.name = "c6713-like";
+  m.l1 = CacheConfig{4096, 32, 2, 1};     // 4 KiB L1D, 32 B lines
+  m.l2 = CacheConfig{65536, 64, 4, 8};    // 64 KiB unified L2
+  m.mem_latency = 70;
+  m.mispredict_penalty = 5;  // exposed branch delay slots
+  m.bpred_entries = 0;       // no dynamic prediction on the DSP
+  m.lat_alu = 1;
+  m.lat_mul = 2;
+  m.lat_div = 18;
+  m.call_overhead = 4;
+  m.issue_width = 2;  // the real C6713 is an 8-wide VLIW; 2 keeps the
+                      // exposed-ILP character without overfitting
+  return m;
+}
+
+MachineConfig amd_like() {
+  MachineConfig m;
+  m.name = "amd-like";
+  m.l1 = CacheConfig{4096, 64, 2, 3};     // small L1D so suite working sets bite
+  m.l2 = CacheConfig{32768, 64, 8, 14};   // 32 KiB L2
+  m.mem_latency = 180;
+  m.mispredict_penalty = 12;
+  m.bpred_entries = 1024;
+  m.lat_alu = 1;
+  m.lat_mul = 3;
+  m.lat_div = 40;
+  m.call_overhead = 2;
+  m.issue_width = 2;  // modestly superscalar, like the K8 generation
+  return m;
+}
+
+}  // namespace ilc::sim

@@ -1,0 +1,48 @@
+// Lightweight checked-invariant macros for the ilc libraries.
+//
+// ILC_CHECK is always on (throws ilc::support::CheckError) and is used for
+// conditions that depend on user input (malformed IR, bad file formats).
+// ILC_ASSERT compiles out in NDEBUG-free builds only via the same path; we
+// keep it always on because the simulator is the experimental oracle and a
+// silently-corrupt run would invalidate results.
+#pragma once
+
+#include <sstream>
+#include <stdexcept>
+#include <string>
+
+namespace ilc::support {
+
+/// Error thrown by ILC_CHECK / ILC_ASSERT failures.
+class CheckError : public std::runtime_error {
+ public:
+  explicit CheckError(const std::string& what) : std::runtime_error(what) {}
+};
+
+[[noreturn]] inline void check_failed(const char* cond, const char* file,
+                                      int line, const std::string& msg) {
+  std::ostringstream os;
+  os << file << ":" << line << ": check failed: " << cond;
+  if (!msg.empty()) os << " — " << msg;
+  throw CheckError(os.str());
+}
+
+}  // namespace ilc::support
+
+#define ILC_CHECK(cond)                                                \
+  do {                                                                 \
+    if (!(cond)) ::ilc::support::check_failed(#cond, __FILE__, __LINE__, ""); \
+  } while (0)
+
+#define ILC_CHECK_MSG(cond, msg)                                       \
+  do {                                                                 \
+    if (!(cond)) {                                                     \
+      std::ostringstream ilc_os_;                                      \
+      ilc_os_ << msg;                                                  \
+      ::ilc::support::check_failed(#cond, __FILE__, __LINE__, ilc_os_.str()); \
+    }                                                                  \
+  } while (0)
+
+#define ILC_ASSERT(cond) ILC_CHECK(cond)
+#define ILC_UNREACHABLE(msg) \
+  ::ilc::support::check_failed("unreachable", __FILE__, __LINE__, msg)

@@ -1,0 +1,93 @@
+#include "support/csv.hpp"
+
+#include <fstream>
+
+namespace ilc::support {
+
+namespace {
+
+bool needs_quotes(const std::string& cell, char sep) {
+  for (char c : cell)
+    if (c == sep || c == '"' || c == '\n' || c == '\r') return true;
+  return false;
+}
+
+std::string quote(const std::string& cell) {
+  std::string out = "\"";
+  for (char c : cell) {
+    if (c == '"') out += "\"\"";
+    else out.push_back(c);
+  }
+  out.push_back('"');
+  return out;
+}
+
+}  // namespace
+
+void CsvWriter::row(const std::vector<std::string>& cells) {
+  for (std::size_t i = 0; i < cells.size(); ++i) {
+    if (i) out_.push_back(sep_);
+    out_ += needs_quotes(cells[i], sep_) ? quote(cells[i]) : cells[i];
+  }
+  out_.push_back('\n');
+}
+
+bool CsvWriter::save(const std::string& path) const {
+  std::ofstream f(path, std::ios::binary);
+  if (!f) return false;
+  f << out_;
+  return static_cast<bool>(f);
+}
+
+std::vector<std::vector<std::string>> parse_csv(const std::string& text,
+                                                char sep) {
+  std::vector<std::vector<std::string>> rows;
+  std::vector<std::string> row;
+  std::string cell;
+  bool in_quotes = false;
+  bool cell_started = false;
+
+  auto end_cell = [&] {
+    row.push_back(cell);
+    cell.clear();
+    cell_started = false;
+  };
+  auto end_row = [&] {
+    if (cell_started || !cell.empty() || !row.empty()) {
+      end_cell();
+      rows.push_back(row);
+      row.clear();
+    }
+  };
+
+  for (std::size_t i = 0; i < text.size(); ++i) {
+    const char c = text[i];
+    if (in_quotes) {
+      if (c == '"') {
+        if (i + 1 < text.size() && text[i + 1] == '"') {
+          cell.push_back('"');
+          ++i;
+        } else {
+          in_quotes = false;
+        }
+      } else {
+        cell.push_back(c);
+      }
+    } else if (c == '"') {
+      in_quotes = true;
+      cell_started = true;
+    } else if (c == sep) {
+      end_cell();
+      cell_started = true;  // next cell exists even if empty
+    } else if (c == '\n') {
+      end_row();
+    } else if (c != '\r') {
+      cell.push_back(c);
+      cell_started = true;
+    }
+  }
+  end_row();
+  return rows;
+}
+
+}  // namespace ilc::support

@@ -1,0 +1,27 @@
+// Tiny CSV writer/reader used by the knowledge-base standard format and by
+// benches that dump raw series for external plotting.
+#pragma once
+
+#include <string>
+#include <vector>
+
+namespace ilc::support {
+
+/// Writes rows of string cells; quotes cells containing separators.
+class CsvWriter {
+ public:
+  explicit CsvWriter(char sep = ',') : sep_(sep) {}
+  void row(const std::vector<std::string>& cells);
+  const std::string& str() const { return out_; }
+  bool save(const std::string& path) const;
+
+ private:
+  char sep_;
+  std::string out_;
+};
+
+/// Parses CSV text (handles quoted cells with embedded separators/quotes).
+std::vector<std::vector<std::string>> parse_csv(const std::string& text,
+                                                char sep = ',');
+
+}  // namespace ilc::support

@@ -1,0 +1,56 @@
+// FNV-1a based hashing used to fingerprint optimized IR modules so the
+// search harness can memoize simulator results across equivalent
+// optimization sequences.
+#pragma once
+
+#include <cstdint>
+#include <cstring>
+#include <string_view>
+
+namespace ilc::support {
+
+constexpr std::uint64_t kFnvOffset = 1469598103934665603ULL;
+constexpr std::uint64_t kFnvPrime = 1099511628211ULL;
+
+/// Incremental FNV-1a 64-bit hasher.
+class Hasher {
+ public:
+  Hasher& bytes(const void* data, std::size_t n) {
+    const auto* p = static_cast<const unsigned char*>(data);
+    for (std::size_t i = 0; i < n; ++i) {
+      h_ ^= p[i];
+      h_ *= kFnvPrime;
+    }
+    return *this;
+  }
+
+  template <typename T>
+  Hasher& pod(const T& v) {
+    static_assert(std::is_trivially_copyable_v<T>);
+    return bytes(&v, sizeof(v));
+  }
+
+  Hasher& str(std::string_view s) {
+    pod(s.size());
+    return bytes(s.data(), s.size());
+  }
+
+  std::uint64_t digest() const { return h_; }
+
+ private:
+  std::uint64_t h_ = kFnvOffset;
+};
+
+inline std::uint64_t hash_bytes(const void* data, std::size_t n) {
+  return Hasher().bytes(data, n).digest();
+}
+
+inline std::uint64_t hash_combine(std::uint64_t a, std::uint64_t b) {
+  // 64-bit variant of boost::hash_combine with a stronger mixer.
+  a ^= b + 0x9e3779b97f4a7c15ULL + (a << 12) + (a >> 4);
+  a *= 0xff51afd7ed558ccdULL;
+  a ^= a >> 33;
+  return a;
+}
+
+}  // namespace ilc::support

@@ -1,0 +1,110 @@
+// Deterministic, seedable random number generation.
+//
+// All experiments in this repository use Rng (xoshiro256**) seeded
+// explicitly, so every figure is bit-reproducible. std::mt19937 is avoided
+// because its distributions are not guaranteed identical across standard
+// library implementations; everything here is self-contained.
+#pragma once
+
+#include <cstdint>
+#include <vector>
+
+#include "support/assert.hpp"
+
+namespace ilc::support {
+
+/// splitmix64 — used to expand a single 64-bit seed into xoshiro state.
+inline std::uint64_t splitmix64(std::uint64_t& state) {
+  std::uint64_t z = (state += 0x9e3779b97f4a7c15ULL);
+  z = (z ^ (z >> 30)) * 0xbf58476d1ce4e5b9ULL;
+  z = (z ^ (z >> 27)) * 0x94d049bb133111ebULL;
+  return z ^ (z >> 31);
+}
+
+/// xoshiro256** 1.0 — fast, high-quality, deterministic PRNG.
+class Rng {
+ public:
+  explicit Rng(std::uint64_t seed = 0x1234567887654321ULL) { reseed(seed); }
+
+  void reseed(std::uint64_t seed) {
+    std::uint64_t sm = seed;
+    for (auto& word : state_) word = splitmix64(sm);
+  }
+
+  std::uint64_t next_u64() {
+    const std::uint64_t result = rotl(state_[1] * 5, 7) * 9;
+    const std::uint64_t t = state_[1] << 17;
+    state_[2] ^= state_[0];
+    state_[3] ^= state_[1];
+    state_[1] ^= state_[2];
+    state_[0] ^= state_[3];
+    state_[2] ^= t;
+    state_[3] = rotl(state_[3], 45);
+    return result;
+  }
+
+  /// Uniform integer in [0, bound). bound must be > 0.
+  std::uint64_t next_below(std::uint64_t bound) {
+    ILC_ASSERT(bound > 0);
+    // Debiased via rejection sampling on the top of the range.
+    const std::uint64_t threshold = (0 - bound) % bound;
+    for (;;) {
+      const std::uint64_t r = next_u64();
+      if (r >= threshold) return r % bound;
+    }
+  }
+
+  /// Uniform integer in [lo, hi] inclusive.
+  std::int64_t next_in(std::int64_t lo, std::int64_t hi) {
+    ILC_ASSERT(lo <= hi);
+    return lo + static_cast<std::int64_t>(
+                    next_below(static_cast<std::uint64_t>(hi - lo) + 1));
+  }
+
+  /// Uniform double in [0, 1).
+  double next_double() {
+    return static_cast<double>(next_u64() >> 11) * 0x1.0p-53;
+  }
+
+  /// Bernoulli draw with probability p of true.
+  bool next_bool(double p) { return next_double() < p; }
+
+  /// Fisher–Yates shuffle.
+  template <typename T>
+  void shuffle(std::vector<T>& v) {
+    for (std::size_t i = v.size(); i > 1; --i) {
+      const std::size_t j = static_cast<std::size_t>(next_below(i));
+      std::swap(v[i - 1], v[j]);
+    }
+  }
+
+  /// Sample an index from an (unnormalized) non-negative weight vector.
+  std::size_t next_weighted(const std::vector<double>& weights) {
+    double total = 0.0;
+    for (double w : weights) {
+      ILC_ASSERT(w >= 0.0);
+      total += w;
+    }
+    ILC_ASSERT(total > 0.0);
+    double x = next_double() * total;
+    for (std::size_t i = 0; i < weights.size(); ++i) {
+      x -= weights[i];
+      if (x <= 0.0) return i;
+    }
+    return weights.size() - 1;  // numeric edge
+  }
+
+  /// Derive an independent child stream (for per-trial determinism).
+  Rng fork(std::uint64_t stream_id) {
+    std::uint64_t s = next_u64() ^ (0x9e3779b97f4a7c15ULL * (stream_id + 1));
+    return Rng(s);
+  }
+
+ private:
+  static std::uint64_t rotl(std::uint64_t x, int k) {
+    return (x << k) | (x >> (64 - k));
+  }
+  std::uint64_t state_[4]{};
+};
+
+}  // namespace ilc::support

@@ -1,0 +1,99 @@
+#include "support/table.hpp"
+
+#include <cctype>
+#include <cstdio>
+#include <ostream>
+#include <sstream>
+
+#include "support/assert.hpp"
+
+namespace ilc::support {
+
+namespace {
+
+bool looks_numeric(const std::string& s) {
+  if (s.empty()) return false;
+  bool digit = false;
+  for (char c : s) {
+    if (std::isdigit(static_cast<unsigned char>(c))) {
+      digit = true;
+    } else if (c != '.' && c != '-' && c != '+' && c != ',' && c != '%' &&
+               c != 'x' && c != 'e' && c != 'E') {
+      return false;
+    }
+  }
+  return digit;
+}
+
+std::string pad(const std::string& s, std::size_t width, bool right) {
+  if (s.size() >= width) return s;
+  const std::string fill(width - s.size(), ' ');
+  return right ? fill + s : s + fill;
+}
+
+}  // namespace
+
+Table::Table(std::vector<std::string> headers) : headers_(std::move(headers)) {
+  ILC_CHECK(!headers_.empty());
+}
+
+Table& Table::add_row(std::vector<std::string> cells) {
+  ILC_CHECK_MSG(cells.size() == headers_.size(),
+                "row width " << cells.size() << " != header width "
+                             << headers_.size());
+  rows_.push_back(std::move(cells));
+  return *this;
+}
+
+std::string Table::num(double v, int digits) {
+  char buf[64];
+  std::snprintf(buf, sizeof(buf), "%.*f", digits, v);
+  return buf;
+}
+
+std::string Table::num(long long v) {
+  std::string raw = std::to_string(v < 0 ? -v : v);
+  std::string out;
+  int count = 0;
+  for (auto it = raw.rbegin(); it != raw.rend(); ++it) {
+    if (count != 0 && count % 3 == 0) out.push_back(',');
+    out.push_back(*it);
+    ++count;
+  }
+  if (v < 0) out.push_back('-');
+  return {out.rbegin(), out.rend()};
+}
+
+std::string Table::render() const {
+  std::vector<std::size_t> widths(headers_.size());
+  for (std::size_t c = 0; c < headers_.size(); ++c) widths[c] = headers_[c].size();
+  for (const auto& row : rows_)
+    for (std::size_t c = 0; c < row.size(); ++c)
+      widths[c] = std::max(widths[c], row[c].size());
+
+  std::ostringstream os;
+  auto rule = [&] {
+    os << '+';
+    for (std::size_t w : widths) os << std::string(w + 2, '-') << '+';
+    os << '\n';
+  };
+
+  rule();
+  os << '|';
+  for (std::size_t c = 0; c < headers_.size(); ++c)
+    os << ' ' << pad(headers_[c], widths[c], false) << " |";
+  os << '\n';
+  rule();
+  for (const auto& row : rows_) {
+    os << '|';
+    for (std::size_t c = 0; c < row.size(); ++c)
+      os << ' ' << pad(row[c], widths[c], looks_numeric(row[c])) << " |";
+    os << '\n';
+  }
+  rule();
+  return os.str();
+}
+
+void Table::print(std::ostream& os) const { os << render(); }
+
+}  // namespace ilc::support

@@ -1,0 +1,34 @@
+// ASCII table rendering for the benchmark harnesses. Every figure/table a
+// bench regenerates is printed through this so the output is uniform and
+// easy to diff against EXPERIMENTS.md.
+#pragma once
+
+#include <iosfwd>
+#include <string>
+#include <vector>
+
+namespace ilc::support {
+
+/// Column-aligned ASCII table. Cells are strings; numeric helpers format
+/// with a fixed precision. Right-aligns cells that parse as numbers.
+class Table {
+ public:
+  explicit Table(std::vector<std::string> headers);
+
+  Table& add_row(std::vector<std::string> cells);
+
+  /// Formats a double with `digits` decimals.
+  static std::string num(double v, int digits = 2);
+  /// Formats an integer with thousands separators (1,234,567).
+  static std::string num(long long v);
+
+  /// Render with box-drawing rules.
+  std::string render() const;
+  void print(std::ostream& os) const;
+
+ private:
+  std::vector<std::string> headers_;
+  std::vector<std::vector<std::string>> rows_;
+};
+
+}  // namespace ilc::support

@@ -1,0 +1,57 @@
+// Minimal work-stealing-free thread pool with a parallel_for helper.
+//
+// The simulator itself is single-threaded and deterministic; parallelism in
+// this project lives entirely in the experiment harnesses, which evaluate
+// many independent (sequence, program) pairs. parallel_for partitions an
+// index range across worker threads; with hardware_concurrency() == 1 it
+// degrades gracefully to an inline loop, so results never depend on the
+// thread count.
+#pragma once
+
+#include <condition_variable>
+#include <cstddef>
+#include <functional>
+#include <mutex>
+#include <queue>
+#include <thread>
+#include <vector>
+
+namespace ilc::support {
+
+/// Fixed-size thread pool executing std::function jobs FIFO.
+class ThreadPool {
+ public:
+  /// threads == 0 selects std::thread::hardware_concurrency().
+  explicit ThreadPool(std::size_t threads = 0);
+  ~ThreadPool();
+
+  ThreadPool(const ThreadPool&) = delete;
+  ThreadPool& operator=(const ThreadPool&) = delete;
+
+  void submit(std::function<void()> job);
+
+  /// Block until every submitted job has finished.
+  void wait_idle();
+
+  std::size_t size() const { return workers_.size(); }
+
+ private:
+  void worker_loop();
+
+  std::vector<std::thread> workers_;
+  std::queue<std::function<void()>> jobs_;
+  std::mutex mu_;
+  std::condition_variable cv_job_;
+  std::condition_variable cv_idle_;
+  std::size_t in_flight_ = 0;
+  bool stop_ = false;
+};
+
+/// Apply fn(i) for i in [begin, end) using up to `threads` workers.
+/// fn must be safe to call concurrently for distinct i. Exceptions thrown
+/// by fn propagate (the first one captured) after all iterations finish.
+void parallel_for(std::size_t begin, std::size_t end,
+                  const std::function<void(std::size_t)>& fn,
+                  std::size_t threads = 0);
+
+}  // namespace ilc::support

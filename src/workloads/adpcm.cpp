@@ -1,0 +1,258 @@
+// adpcm — IMA ADPCM encoder, the paper's Fig. 2 search target.
+//
+// Branchy integer codec with table lookups: the optimization-sequence
+// space over it has the scattered-minima structure the paper plots.
+// Structured as init() + encode_block(blk) so the dynamic-optimization
+// harness can drive it block by block.
+#include <algorithm>
+
+#include "workloads/common.hpp"
+#include "workloads/workloads.hpp"
+
+namespace ilc::wl {
+
+namespace {
+
+constexpr int kBlocks = 16;
+constexpr int kBlockSamples = 16;
+constexpr int kSamples = kBlocks * kBlockSamples;
+
+const int kIndexTable[16] = {-1, -1, -1, -1, 2, 4, 6, 8,
+                             -1, -1, -1, -1, 2, 4, 6, 8};
+
+std::vector<std::int64_t> step_table() {
+  // Standard IMA step sizes.
+  static const int t[89] = {
+      7,     8,     9,     10,    11,    12,    13,    14,    16,    17,
+      19,    21,    23,    25,    28,    31,    34,    37,    41,    45,
+      50,    55,    60,    66,    73,    80,    88,    97,    107,   118,
+      130,   143,   157,   173,   190,   209,   230,   253,   279,   307,
+      337,   371,   408,   449,   494,   544,   598,   658,   724,   796,
+      876,   963,   1060,  1166,  1282,  1411,  1552,  1707,  1878,  2066,
+      2272,  2499,  2749,  3024,  3327,  3660,  4026,  4428,  4871,  5358,
+      5894,  6484,  7132,  7845,  8630,  9493,  10442, 11487, 12635, 13899,
+      15289, 16818, 18500, 20350, 22385, 24623, 27086, 29794, 32767};
+  return std::vector<std::int64_t>(t, t + 89);
+}
+
+std::vector<std::int64_t> sample_data() {
+  support::Rng rng(0xadbcadbcULL);
+  std::vector<std::int64_t> s(kSamples);
+  std::int64_t v = 0;
+  for (int i = 0; i < kSamples; ++i) {
+    v += rng.next_in(-800, 800);
+    v = std::clamp<std::int64_t>(v, -32000, 32000);
+    s[i] = v;
+  }
+  return s;
+}
+
+/// Golden reference mirroring the IR program exactly.
+std::int64_t reference() {
+  const auto steps = step_table();
+  const auto samples = sample_data();
+  std::int64_t valpred = 0, index = 0, total = 0;
+  for (int blk = 0; blk < kBlocks; ++blk) {
+    std::int64_t sum = 0;
+    for (int j = 0; j < kBlockSamples; ++j) {
+      const std::int64_t s = samples[blk * kBlockSamples + j];
+      const std::int64_t step = steps[index];
+      std::int64_t delta = s - valpred;
+      std::int64_t code = 0;
+      if (delta < 0) {
+        code = 8;
+        delta = -delta;
+      }
+      std::int64_t vpdiff = step >> 3;
+      std::int64_t st = step;
+      if (delta >= st) {
+        code |= 4;
+        delta -= st;
+        vpdiff += st;
+      }
+      st >>= 1;
+      if (delta >= st) {
+        code |= 2;
+        delta -= st;
+        vpdiff += st;
+      }
+      st >>= 1;
+      if (delta >= st) {
+        code |= 1;
+        vpdiff += st;
+      }
+      if (code & 8) valpred -= vpdiff;
+      else valpred += vpdiff;
+      valpred = std::min<std::int64_t>(std::max<std::int64_t>(valpred, -32768), 32767);
+      index += kIndexTable[code];
+      index = std::min<std::int64_t>(std::max<std::int64_t>(index, 0), 88);
+      sum = fold32(sum * 31 + code);
+    }
+    total = fold32(total + sum);
+  }
+  return total;
+}
+
+}  // namespace
+
+Workload make_adpcm() {
+  using namespace ir;
+  Workload w;
+  w.name = "adpcm";
+  Module& m = w.module;
+  m.name = "adpcm";
+
+  Global g_samples;
+  g_samples.name = "samples";
+  g_samples.elem_width = 2;
+  g_samples.count = kSamples;
+  g_samples.init = sample_data();
+  const GlobalId samples = m.add_global(g_samples);
+
+  Global g_steps;
+  g_steps.name = "step_tab";
+  g_steps.elem_width = 4;
+  g_steps.count = 89;
+  g_steps.init = step_table();
+  const GlobalId steps = m.add_global(g_steps);
+
+  Global g_idx;
+  g_idx.name = "idx_tab";
+  g_idx.elem_width = 4;
+  g_idx.count = 16;
+  g_idx.init.assign(kIndexTable, kIndexTable + 16);
+  const GlobalId idxtab = m.add_global(g_idx);
+
+  Global g_state;  // [0] = valpred, [1] = index
+  g_state.name = "state";
+  g_state.elem_width = 8;
+  g_state.count = 2;
+  const GlobalId state = m.add_global(g_state);
+
+  // --- init(): zero the codec state --------------------------------
+  FuncId f_init;
+  {
+    FunctionBuilder b(m, "init", 0);
+    Reg st = b.global_addr(state);
+    Reg zero = b.imm(0);
+    b.store(st, 0, zero, MemWidth::W8);
+    b.store(st, 8, zero, MemWidth::W8);
+    b.ret();
+    f_init = b.finish();
+  }
+
+  // --- encode_block(blk): encode kBlockSamples samples --------------
+  FuncId f_block;
+  {
+    FunctionBuilder b(m, "encode_block", 1);
+    Reg blk = b.arg(0);
+    Reg st = b.global_addr(state);
+    Reg valpred = b.fresh();
+    b.mov_to(valpred, b.load(st, 0, MemWidth::W8));
+    Reg index = b.fresh();
+    b.mov_to(index, b.load(st, 8, MemWidth::W8));
+    Reg sbase = b.global_addr(samples);
+    Reg stepbase = b.global_addr(steps);
+    Reg idxbase = b.global_addr(idxtab);
+    Reg start = b.mul_i(blk, kBlockSamples);
+    Reg sum = b.fresh();
+    b.imm_to(sum, 0);
+
+    Reg count = b.imm(kBlockSamples);
+    CountedLoop loop = begin_loop(b, count);
+    {
+      Reg pos = b.add(start, loop.ivar);
+      Reg s = b.load(b.add(sbase, b.mul_i(pos, 2)), 0, MemWidth::W2);
+      Reg step = b.fresh();
+      b.mov_to(step, b.load(b.add(stepbase, b.mul_i(index, 4)), 0,
+                            MemWidth::W4));
+      Reg delta = b.fresh();
+      b.mov_to(delta, b.sub(s, valpred));
+      Reg code = b.fresh();
+      b.imm_to(code, 0);
+
+      // if (delta < 0) { code = 8; delta = -delta; }
+      {
+        BlockId then = b.new_block(), join = b.new_block();
+        b.br(b.cmp_lt_i(delta, 0), then, join);
+        b.switch_to(then);
+        b.imm_to(code, 8);
+        b.mov_to(delta, b.neg(delta));
+        b.jump(join);
+        b.switch_to(join);
+      }
+
+      Reg vpdiff = b.fresh();
+      b.mov_to(vpdiff, b.shr_i(step, 3));
+      Reg st_cur = b.fresh();
+      b.mov_to(st_cur, step);
+
+      // Three quantization levels: bits 4, 2, 1.
+      for (int bit : {4, 2, 1}) {
+        BlockId then = b.new_block(), join = b.new_block();
+        b.br(b.cmp_ge(delta, st_cur), then, join);
+        b.switch_to(then);
+        b.mov_to(code, b.or_(code, b.imm(bit)));
+        if (bit != 1) b.mov_to(delta, b.sub(delta, st_cur));
+        b.mov_to(vpdiff, b.add(vpdiff, st_cur));
+        b.jump(join);
+        b.switch_to(join);
+        if (bit != 1) b.mov_to(st_cur, b.shr_i(st_cur, 1));
+      }
+
+      // Apply prediction update with sign.
+      {
+        BlockId neg = b.new_block(), pos_b = b.new_block(),
+                join = b.new_block();
+        b.br(b.and_i(code, 8), neg, pos_b);
+        b.switch_to(neg);
+        b.mov_to(valpred, b.sub(valpred, vpdiff));
+        b.jump(join);
+        b.switch_to(pos_b);
+        b.mov_to(valpred, b.add(valpred, vpdiff));
+        b.jump(join);
+        b.switch_to(join);
+      }
+      b.mov_to(valpred, b.min(b.max(valpred, b.imm(-32768)), b.imm(32767)));
+
+      Reg adj = b.load(b.add(idxbase, b.mul_i(code, 4)), 0, MemWidth::W4);
+      b.mov_to(index, b.min(b.max(b.add(index, adj), b.imm(0)), b.imm(88)));
+
+      b.mov_to(sum, b.and_i(b.add(b.mul_i(sum, 31), code), 0x7fffffff));
+    }
+    end_loop(b, loop);
+
+    b.store(st, 0, valpred, MemWidth::W8);
+    b.store(st, 8, index, MemWidth::W8);
+    b.ret(sum);
+    f_block = b.finish();
+  }
+
+  // --- main(): init, then encode all blocks -------------------------
+  {
+    FunctionBuilder b(m, "main", 0);
+    b.call_void(f_init, {});
+    Reg total = b.fresh();
+    b.imm_to(total, 0);
+    Reg count = b.imm(kBlocks);
+    CountedLoop loop = begin_loop(b, count);
+    {
+      Reg part = b.call(f_block, {loop.ivar});
+      b.mov_to(total, b.and_i(b.add(total, part), 0x7fffffff));
+    }
+    end_loop(b, loop);
+    b.ret(total);
+    b.finish();
+  }
+
+  w.expected_checksum = reference();
+  w.kernel = "encode_block";
+  w.kernel_setup = "init";
+  w.kernel_items = kBlocks;
+  // kernel_checksum: sum of per-block codes folded the same way main does
+  // is exactly the checksum main computes, given init() runs first.
+  w.kernel_checksum = w.expected_checksum;
+  return w;
+}
+
+}  // namespace ilc::wl

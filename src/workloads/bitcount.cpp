@@ -1,0 +1,75 @@
+// bitcount — Kernighan popcount over a word array: data-dependent inner
+// trip counts, the MiBench bitcount analogue.
+#include "workloads/common.hpp"
+#include "workloads/workloads.hpp"
+
+namespace ilc::wl {
+
+namespace {
+
+constexpr int kN = 768;
+
+std::int64_t reference(const std::vector<std::int64_t>& d) {
+  std::int64_t total = 0;
+  for (int i = 0; i < kN; ++i) {
+    std::int64_t v = d[i];
+    std::int64_t c = 0;
+    while (v != 0) {
+      v &= v - 1;
+      ++c;
+    }
+    total = fold32(total + c * (i % 7 + 1));
+  }
+  return total;
+}
+
+}  // namespace
+
+Workload make_bitcount() {
+  using namespace ir;
+  Workload w;
+  w.name = "bitcount";
+  Module& m = w.module;
+  m.name = "bitcount";
+
+  const auto data = random_values(0xb17c, kN, 0, (1LL << 62));
+  Global gd;
+  gd.name = "data";
+  gd.elem_width = 8;
+  gd.count = kN;
+  gd.init = data;
+  const GlobalId buf = m.add_global(gd);
+
+  FunctionBuilder b(m, "main", 0);
+  Reg base = b.global_addr(buf);
+  Reg total = b.fresh();
+  b.imm_to(total, 0);
+  Reg n = b.imm(kN);
+  CountedLoop li = begin_loop(b, n);
+  {
+    Reg v = b.fresh();
+    b.mov_to(v, b.load(b.add(base, b.shl_i(li.ivar, 3)), 0, MemWidth::W8));
+    Reg c = b.fresh();
+    b.imm_to(c, 0);
+    BlockId whead = b.new_block(), wbody = b.new_block(),
+            wexit = b.new_block();
+    b.jump(whead);
+    b.switch_to(whead);
+    b.br(b.cmp_ne(v, b.imm(0)), wbody, wexit);
+    b.switch_to(wbody);
+    b.mov_to(v, b.and_(v, b.sub_i(v, 1)));
+    b.mov_to(c, b.add_i(c, 1));
+    b.jump(whead);
+    b.switch_to(wexit);
+    Reg weight = b.add_i(b.rem(li.ivar, b.imm(7)), 1);
+    b.mov_to(total, b.and_i(b.add(total, b.mul(c, weight)), 0x7fffffff));
+  }
+  end_loop(b, li);
+  b.ret(total);
+  b.finish();
+
+  w.expected_checksum = reference(data);
+  return w;
+}
+
+}  // namespace ilc::wl

@@ -1,0 +1,64 @@
+// Shared construction helpers for the workload suite.
+#pragma once
+
+#include <cstdint>
+#include <vector>
+
+#include "ir/builder.hpp"
+#include "support/rng.hpp"
+
+namespace ilc::wl {
+
+/// Counted-loop scaffolding:
+///   CountedLoop l = begin_loop(b, n_reg);   // builder now at loop body
+///   ... body using l.ivar ...
+///   end_loop(b, l);                          // builder now at loop exit
+struct CountedLoop {
+  ir::Reg ivar = ir::kNoReg;
+  ir::BlockId head = ir::kNoBlock;
+  ir::BlockId body = ir::kNoBlock;
+  ir::BlockId exit = ir::kNoBlock;
+};
+
+inline CountedLoop begin_loop(ir::FunctionBuilder& b, ir::Reg count,
+                              std::int64_t start = 0) {
+  CountedLoop l;
+  l.ivar = b.fresh();
+  b.imm_to(l.ivar, start);
+  l.head = b.new_block();
+  l.body = b.new_block();
+  l.exit = b.new_block();
+  b.jump(l.head);
+  b.switch_to(l.head);
+  ir::Reg cond = b.cmp_lt(l.ivar, count);
+  b.br(cond, l.body, l.exit);
+  b.switch_to(l.body);
+  return l;
+}
+
+inline void end_loop(ir::FunctionBuilder& b, const CountedLoop& l,
+                     std::int64_t step = 1) {
+  ir::Reg next = b.add_i(l.ivar, step);
+  b.mov_to(l.ivar, next);
+  b.jump(l.head);
+  b.switch_to(l.exit);
+}
+
+/// Deterministic pseudo-random input data, one namespace per workload.
+inline std::vector<std::int64_t> random_values(std::uint64_t seed,
+                                               std::size_t n,
+                                               std::int64_t lo,
+                                               std::int64_t hi) {
+  support::Rng rng(seed);
+  std::vector<std::int64_t> out(n);
+  for (auto& v : out) v = rng.next_in(lo, hi);
+  return out;
+}
+
+/// 32-bit folding used by several checksums (keeps values small & stable).
+inline std::int64_t fold32(std::int64_t x) {
+  return static_cast<std::int64_t>(static_cast<std::uint64_t>(x) &
+                                   0x7fffffffULL);
+}
+
+}  // namespace ilc::wl

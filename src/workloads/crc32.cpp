@@ -1,0 +1,78 @@
+// crc32 — bitwise (table-free) CRC-32 over a byte buffer: tight
+// data-dependent-branch loop, the branch-predictor stress case.
+#include "workloads/common.hpp"
+#include "workloads/workloads.hpp"
+
+namespace ilc::wl {
+
+namespace {
+
+constexpr int kLen = 256;
+constexpr std::int64_t kPoly = 0xedb88320LL;
+
+std::int64_t reference(const std::vector<std::int64_t>& data) {
+  std::int64_t crc = 0xffffffffLL;
+  for (int i = 0; i < kLen; ++i) {
+    crc ^= data[i];
+    for (int k = 0; k < 8; ++k) {
+      if (crc & 1)
+        crc = ((crc >> 1) & 0x7fffffffLL) ^ kPoly;
+      else
+        crc = (crc >> 1) & 0x7fffffffLL;
+    }
+  }
+  return fold32(crc ^ 0xffffffffLL);
+}
+
+}  // namespace
+
+Workload make_crc32() {
+  using namespace ir;
+  Workload w;
+  w.name = "crc32";
+  Module& m = w.module;
+  m.name = "crc32";
+
+  const auto data = random_values(0xcc32, kLen, 0, 255);
+  Global gd;
+  gd.name = "data";
+  gd.elem_width = 1;
+  gd.count = kLen;
+  gd.init = data;
+  const GlobalId buf = m.add_global(gd);
+
+  FunctionBuilder b(m, "main", 0);
+  Reg base = b.global_addr(buf);
+  Reg crc = b.fresh();
+  b.imm_to(crc, 0xffffffffLL);
+  Reg n = b.imm(kLen);
+  CountedLoop li = begin_loop(b, n);
+  {
+    Reg byte = b.load(b.add(base, li.ivar), 0, MemWidth::W1);
+    // W1 loads sign-extend; inputs are 0..255 so mask to be explicit.
+    b.mov_to(crc, b.xor_(crc, b.and_i(byte, 255)));
+    Reg eight = b.imm(8);
+    CountedLoop lk = begin_loop(b, eight);
+    {
+      BlockId odd = b.new_block(), even = b.new_block(), join = b.new_block();
+      Reg shifted = b.and_i(b.shr_i(crc, 1), 0x7fffffffLL);
+      b.br(b.and_i(crc, 1), odd, even);
+      b.switch_to(odd);
+      b.mov_to(crc, b.xor_(shifted, b.imm(kPoly)));
+      b.jump(join);
+      b.switch_to(even);
+      b.mov_to(crc, shifted);
+      b.jump(join);
+      b.switch_to(join);
+    }
+    end_loop(b, lk);
+  }
+  end_loop(b, li);
+  b.ret(b.and_i(b.xor_(crc, b.imm(0xffffffffLL)), 0x7fffffff));
+  b.finish();
+
+  w.expected_checksum = reference(data);
+  return w;
+}
+
+}  // namespace ilc::wl

@@ -1,0 +1,165 @@
+// dijkstra — single-source shortest paths over a dense adjacency matrix
+// with linear min-scan (the MiBench variant): mixed compare-heavy control
+// flow and regular memory sweeps.
+#include "workloads/common.hpp"
+#include "workloads/workloads.hpp"
+
+namespace ilc::wl {
+
+namespace {
+
+constexpr int kN = 32;
+constexpr std::int64_t kInf = 1 << 28;
+
+std::vector<std::int64_t> adj_init() {
+  support::Rng rng(0xd1d1ULL);
+  std::vector<std::int64_t> adj(kN * kN, kInf);
+  for (int i = 0; i < kN; ++i) {
+    adj[i * kN + i] = 0;
+    for (int j = 0; j < kN; ++j) {
+      if (i != j && rng.next_bool(0.35))
+        adj[i * kN + j] = rng.next_in(1, 100);
+    }
+  }
+  return adj;
+}
+
+std::int64_t reference(const std::vector<std::int64_t>& adj) {
+  std::vector<std::int64_t> dist(kN, kInf);
+  std::vector<std::int64_t> done(kN, 0);
+  dist[0] = 0;
+  for (int round = 0; round < kN; ++round) {
+    std::int64_t best = kInf, u = -1;
+    for (int i = 0; i < kN; ++i) {
+      if (!done[i] && dist[i] < best) {
+        best = dist[i];
+        u = i;
+      }
+    }
+    if (u < 0) break;
+    done[u] = 1;
+    for (int v = 0; v < kN; ++v) {
+      const std::int64_t alt = dist[u] + adj[u * kN + v];
+      if (alt < dist[v]) dist[v] = alt;
+    }
+  }
+  std::int64_t sum = 0;
+  for (int i = 0; i < kN; ++i) sum = fold32(sum * 13 + dist[i]);
+  return sum;
+}
+
+}  // namespace
+
+Workload make_dijkstra() {
+  using namespace ir;
+  Workload w;
+  w.name = "dijkstra";
+  Module& m = w.module;
+  m.name = "dijkstra";
+
+  const auto adj = adj_init();
+  Global ga;
+  ga.name = "adj";
+  ga.elem_width = 8;
+  ga.count = kN * kN;
+  ga.init = adj;
+  const GlobalId gadj = m.add_global(ga);
+
+  Global gd;
+  gd.name = "dist";
+  gd.elem_width = 8;
+  gd.count = kN;
+  const GlobalId gdist = m.add_global(gd);
+
+  Global gn;
+  gn.name = "done";
+  gn.elem_width = 8;
+  gn.count = kN;
+  const GlobalId gdone = m.add_global(gn);
+
+  FunctionBuilder b(m, "main", 0);
+  Reg adj_b = b.global_addr(gadj);
+  Reg dist_b = b.global_addr(gdist);
+  Reg done_b = b.global_addr(gdone);
+  Reg n = b.imm(kN);
+  Reg inf = b.imm(kInf);
+
+  // Initialize dist/done.
+  CountedLoop linit = begin_loop(b, n);
+  {
+    Reg off = b.shl_i(linit.ivar, 3);
+    b.store(b.add(dist_b, off), 0, inf, MemWidth::W8);
+    b.store(b.add(done_b, off), 0, b.imm(0), MemWidth::W8);
+  }
+  end_loop(b, linit);
+  b.store(dist_b, 0, b.imm(0), MemWidth::W8);
+
+  CountedLoop rounds = begin_loop(b, n);
+  {
+    // Min scan.
+    Reg best = b.fresh();
+    b.mov_to(best, inf);
+    Reg u = b.fresh();
+    b.imm_to(u, -1);
+    CountedLoop scan = begin_loop(b, n);
+    {
+      Reg off = b.shl_i(scan.ivar, 3);
+      Reg d = b.load(b.add(dist_b, off), 0, MemWidth::W8);
+      Reg dn = b.load(b.add(done_b, off), 0, MemWidth::W8);
+      Reg improving = b.and_(b.cmp_eq(dn, b.imm(0)), b.cmp_lt(d, best));
+      BlockId take = b.new_block(), join = b.new_block();
+      b.br(improving, take, join);
+      b.switch_to(take);
+      b.mov_to(best, d);
+      b.mov_to(u, scan.ivar);
+      b.jump(join);
+      b.switch_to(join);
+    }
+    end_loop(b, scan);
+
+    // If a node was found, relax its out-edges.
+    BlockId relax = b.new_block(), next_round = b.new_block();
+    b.br(b.cmp_ge(u, b.imm(0)), relax, next_round);
+    b.switch_to(relax);
+    {
+      Reg uoff = b.shl_i(u, 3);
+      b.store(b.add(done_b, uoff), 0, b.imm(1), MemWidth::W8);
+      Reg du = b.load(b.add(dist_b, uoff), 0, MemWidth::W8);
+      Reg row = b.add(adj_b, b.shl_i(b.mul_i(u, kN), 3));
+      CountedLoop lv = begin_loop(b, n);
+      {
+        Reg voff = b.shl_i(lv.ivar, 3);
+        Reg edge = b.load(b.add(row, voff), 0, MemWidth::W8);
+        Reg alt = b.add(du, edge);
+        Reg dv_addr = b.add(dist_b, voff);
+        Reg dv = b.load(dv_addr, 0, MemWidth::W8);
+        BlockId improve = b.new_block(), join = b.new_block();
+        b.br(b.cmp_lt(alt, dv), improve, join);
+        b.switch_to(improve);
+        b.store(dv_addr, 0, alt, MemWidth::W8);
+        b.jump(join);
+        b.switch_to(join);
+      }
+      end_loop(b, lv);
+    }
+    b.jump(next_round);
+    b.switch_to(next_round);
+  }
+  end_loop(b, rounds);
+
+  Reg sum = b.fresh();
+  b.imm_to(sum, 0);
+  CountedLoop lf = begin_loop(b, n);
+  {
+    Reg d = b.load(b.add(dist_b, b.shl_i(lf.ivar, 3)), 0, MemWidth::W8);
+    b.mov_to(sum, b.and_i(b.add(b.mul_i(sum, 13), d), 0x7fffffff));
+  }
+  end_loop(b, lf);
+  b.ret(sum);
+  b.finish();
+
+  w.expected_checksum = reference(adj);
+  return w;
+}
+
+}  // namespace ilc::wl

@@ -1,0 +1,89 @@
+// dotprod — two reduction passes over vector pairs: one unit-stride, one
+// strided (cache-line-unfriendly), separating bandwidth from latency
+// sensitivity in the counter signature.
+#include "workloads/common.hpp"
+#include "workloads/workloads.hpp"
+
+namespace ilc::wl {
+
+namespace {
+
+constexpr int kN = 1024;
+constexpr int kStride = 7;  // co-prime with kN so the walk covers all slots
+
+std::int64_t reference(const std::vector<std::int64_t>& x,
+                       const std::vector<std::int64_t>& y) {
+  std::int64_t unit = 0;
+  for (int i = 0; i < kN; ++i) unit = fold32(unit + x[i] * y[i]);
+  std::int64_t strided = 0;
+  std::int64_t idx = 0;
+  for (int i = 0; i < kN; ++i) {
+    strided = fold32(strided + x[idx] * y[kN - 1 - idx]);
+    idx = (idx + kStride) % kN;
+  }
+  return fold32(unit * 3 + strided);
+}
+
+}  // namespace
+
+Workload make_dotprod() {
+  using namespace ir;
+  Workload w;
+  w.name = "dotprod";
+  Module& m = w.module;
+  m.name = "dotprod";
+
+  const auto x = random_values(0xd07a, kN, -512, 512);
+  const auto y = random_values(0xd07b, kN, -512, 512);
+
+  Global gx;
+  gx.name = "x";
+  gx.elem_width = 8;
+  gx.count = kN;
+  gx.init = x;
+  const GlobalId xg = m.add_global(gx);
+  Global gy;
+  gy.name = "y";
+  gy.elem_width = 8;
+  gy.count = kN;
+  gy.init = y;
+  const GlobalId yg = m.add_global(gy);
+
+  FunctionBuilder b(m, "main", 0);
+  Reg xb = b.global_addr(xg);
+  Reg yb = b.global_addr(yg);
+  Reg n = b.imm(kN);
+
+  Reg unit = b.fresh();
+  b.imm_to(unit, 0);
+  CountedLoop l1 = begin_loop(b, n);
+  {
+    Reg off = b.shl_i(l1.ivar, 3);
+    Reg xv = b.load(b.add(xb, off), 0, MemWidth::W8);
+    Reg yv = b.load(b.add(yb, off), 0, MemWidth::W8);
+    b.mov_to(unit, b.and_i(b.add(unit, b.mul(xv, yv)), 0x7fffffff));
+  }
+  end_loop(b, l1);
+
+  Reg strided = b.fresh();
+  b.imm_to(strided, 0);
+  Reg idx = b.fresh();
+  b.imm_to(idx, 0);
+  CountedLoop l2 = begin_loop(b, n);
+  {
+    Reg xv = b.load(b.add(xb, b.shl_i(idx, 3)), 0, MemWidth::W8);
+    Reg ridx = b.sub(b.imm(kN - 1), idx);
+    Reg yv = b.load(b.add(yb, b.shl_i(ridx, 3)), 0, MemWidth::W8);
+    b.mov_to(strided, b.and_i(b.add(strided, b.mul(xv, yv)), 0x7fffffff));
+    b.mov_to(idx, b.rem(b.add_i(idx, kStride), b.imm(kN)));
+  }
+  end_loop(b, l2);
+
+  b.ret(b.and_i(b.add(b.mul_i(unit, 3), strided), 0x7fffffff));
+  b.finish();
+
+  w.expected_checksum = reference(x, y);
+  return w;
+}
+
+}  // namespace ilc::wl

@@ -1,0 +1,79 @@
+// fir — 16-tap finite impulse response filter over a 512-sample signal.
+// Inner loop is a MAC chain: unrolling + scheduling exposes ILP.
+#include "workloads/common.hpp"
+#include "workloads/workloads.hpp"
+
+namespace ilc::wl {
+
+namespace {
+
+constexpr int kSignal = 512;
+constexpr int kTaps = 16;
+
+std::int64_t reference(const std::vector<std::int64_t>& sig,
+                       const std::vector<std::int64_t>& coef) {
+  std::int64_t sum = 0;
+  for (int i = 0; i + kTaps <= kSignal; ++i) {
+    std::int64_t acc = 0;
+    for (int t = 0; t < kTaps; ++t) acc += sig[i + t] * coef[t];
+    sum = fold32(sum + (acc >> 5));
+  }
+  return sum;
+}
+
+}  // namespace
+
+Workload make_fir() {
+  using namespace ir;
+  Workload w;
+  w.name = "fir";
+  Module& m = w.module;
+  m.name = "fir";
+
+  const auto sig_init = random_values(0xf1f1, kSignal, -1000, 1000);
+  const auto coef_init = random_values(0xc0c0, kTaps, -64, 64);
+
+  Global gs;
+  gs.name = "signal";
+  gs.elem_width = 4;
+  gs.count = kSignal;
+  gs.init = sig_init;
+  const GlobalId sig = m.add_global(gs);
+
+  Global gcf;
+  gcf.name = "coef";
+  gcf.elem_width = 4;
+  gcf.count = kTaps;
+  gcf.init = coef_init;
+  const GlobalId coef = m.add_global(gcf);
+
+  FunctionBuilder b(m, "main", 0);
+  Reg sbase = b.global_addr(sig);
+  Reg cbase = b.global_addr(coef);
+  Reg sum = b.fresh();
+  b.imm_to(sum, 0);
+  Reg outer_n = b.imm(kSignal - kTaps + 1);
+  CountedLoop li = begin_loop(b, outer_n);
+  {
+    Reg acc = b.fresh();
+    b.imm_to(acc, 0);
+    Reg taps = b.imm(kTaps);
+    CountedLoop lt = begin_loop(b, taps);
+    {
+      Reg pos = b.add(li.ivar, lt.ivar);
+      Reg sv = b.load(b.add(sbase, b.shl_i(pos, 2)), 0, MemWidth::W4);
+      Reg cv = b.load(b.add(cbase, b.shl_i(lt.ivar, 2)), 0, MemWidth::W4);
+      b.mov_to(acc, b.add(acc, b.mul(sv, cv)));
+    }
+    end_loop(b, lt);
+    b.mov_to(sum, b.and_i(b.add(sum, b.shr_i(acc, 5)), 0x7fffffff));
+  }
+  end_loop(b, li);
+  b.ret(sum);
+  b.finish();
+
+  w.expected_checksum = reference(sig_init, coef_init);
+  return w;
+}
+
+}  // namespace ilc::wl

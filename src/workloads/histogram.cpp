@@ -1,0 +1,84 @@
+// histogram — byte-frequency counting with data-dependent store addresses
+// followed by a weighted reduction; exercises store-port and L1 behaviour.
+#include "workloads/common.hpp"
+#include "workloads/workloads.hpp"
+
+namespace ilc::wl {
+
+namespace {
+
+constexpr int kLen = 2048;
+constexpr int kBins = 256;
+
+std::int64_t reference(const std::vector<std::int64_t>& data) {
+  std::vector<std::int64_t> bins(kBins, 0);
+  for (int i = 0; i < kLen; ++i) bins[data[i]] += 1;
+  std::int64_t sum = 0, maxc = 0;
+  for (int i = 0; i < kBins; ++i) {
+    sum = fold32(sum + bins[i] * (i + 1));
+    if (bins[i] > maxc) maxc = bins[i];
+  }
+  return fold32(sum * 31 + maxc);
+}
+
+}  // namespace
+
+Workload make_histogram() {
+  using namespace ir;
+  Workload w;
+  w.name = "histogram";
+  Module& m = w.module;
+  m.name = "histogram";
+
+  const auto data = random_values(0x8157, kLen, 0, kBins - 1);
+  Global gd;
+  gd.name = "data";
+  gd.elem_width = 1;
+  gd.count = kLen;
+  gd.init = data;
+  const GlobalId buf = m.add_global(gd);
+
+  Global gbins;
+  gbins.name = "bins";
+  gbins.elem_width = 8;
+  gbins.count = kBins;
+  const GlobalId bins = m.add_global(gbins);
+
+  FunctionBuilder b(m, "main", 0);
+  Reg base = b.global_addr(buf);
+  Reg bbase = b.global_addr(bins);
+  Reg n = b.imm(kLen);
+
+  CountedLoop lz = begin_loop(b, b.imm(kBins));
+  b.store(b.add(bbase, b.shl_i(lz.ivar, 3)), 0, b.imm(0), MemWidth::W8);
+  end_loop(b, lz);
+
+  CountedLoop li = begin_loop(b, n);
+  {
+    Reg byte = b.and_i(b.load(b.add(base, li.ivar), 0, MemWidth::W1), 255);
+    Reg slot = b.add(bbase, b.shl_i(byte, 3));
+    Reg cur = b.load(slot, 0, MemWidth::W8);
+    b.store(slot, 0, b.add_i(cur, 1), MemWidth::W8);
+  }
+  end_loop(b, li);
+
+  Reg sum = b.fresh();
+  b.imm_to(sum, 0);
+  Reg maxc = b.fresh();
+  b.imm_to(maxc, 0);
+  CountedLoop lr = begin_loop(b, b.imm(kBins));
+  {
+    Reg c = b.load(b.add(bbase, b.shl_i(lr.ivar, 3)), 0, MemWidth::W8);
+    Reg weighted = b.mul(c, b.add_i(lr.ivar, 1));
+    b.mov_to(sum, b.and_i(b.add(sum, weighted), 0x7fffffff));
+    b.mov_to(maxc, b.max(maxc, c));
+  }
+  end_loop(b, lr);
+  b.ret(b.and_i(b.add(b.mul_i(sum, 31), maxc), 0x7fffffff));
+  b.finish();
+
+  w.expected_checksum = reference(data);
+  return w;
+}
+
+}  // namespace ilc::wl

@@ -1,0 +1,114 @@
+// linklist — Olden-style linked-list traversal over pointer-fat records
+// in scrambled memory order. Together with treewalk it gives the suite a
+// second/third pointer-chasing citizen, so leave-one-out counter models
+// have a neighbour from which to learn that pointer compression pays for
+// mcf-like signatures. Sized to straddle the L2 boundary under 64- vs
+// 32-bit pointers (40 B -> 24 B stride; 36 KiB -> 21.6 KiB vs 32 KiB L2).
+#include "workloads/common.hpp"
+#include "workloads/workloads.hpp"
+
+namespace ilc::wl {
+
+namespace {
+
+constexpr int kCells = 900;
+constexpr int kPasses = 4;
+
+struct ListData {
+  std::vector<std::int64_t> key;
+  std::vector<std::int64_t> val;
+  std::vector<std::int64_t> next;  // index chain, single cycle
+};
+
+ListData list_data() {
+  support::Rng rng(0x11994ULL);
+  ListData d;
+  d.key = random_values(0x77, kCells, 0, 1 << 30);
+  d.val = random_values(0x78, kCells, -1000, 1000);
+  std::vector<std::int64_t> perm(kCells);
+  for (int i = 0; i < kCells; ++i) perm[i] = i;
+  rng.shuffle(perm);
+  d.next.resize(kCells);
+  for (int i = 0; i < kCells; ++i)
+    d.next[perm[i]] = perm[(i + 1) % kCells];
+  return d;
+}
+
+std::int64_t reference(const ListData& d) {
+  std::int64_t sum = 0;
+  std::int64_t node = 0;
+  for (int p = 0; p < kPasses; ++p) {
+    for (int i = 0; i < kCells; ++i) {
+      sum = fold32(sum + d.key[node]);
+      if (d.key[node] & 1) sum = fold32(sum + d.val[node]);
+      node = d.next[node];
+    }
+  }
+  return sum;
+}
+
+}  // namespace
+
+Workload make_linklist() {
+  using namespace ir;
+  Workload w;
+  w.name = "linklist";
+  Module& m = w.module;
+  m.name = "linklist";
+
+  RecordType cell_t;
+  cell_t.name = "cell";
+  cell_t.fields = {{"key", FieldKind::I64},
+                   {"next", FieldKind::Ptr},
+                   {"prev", FieldKind::Ptr},
+                   {"data", FieldKind::Ptr},
+                   {"val", FieldKind::I32}};
+  const RecordId rec = m.add_record(cell_t);
+  constexpr FieldId kKey = 0, kNext = 1, kVal = 4;
+
+  const ListData d = list_data();
+  Global g;
+  g.name = "cells";
+  g.kind = GlobalKind::RecordArray;
+  g.record = rec;
+  g.count = kCells;
+  const GlobalId cells = static_cast<GlobalId>(m.globals().size());
+  g.field_init.resize(cell_t.fields.size());
+  g.field_init[kKey].values = d.key;
+  g.field_init[kNext] = {d.next, cells};
+  g.field_init[kVal].values = d.val;
+  m.add_global(g);
+
+  FunctionBuilder b(m, "main", 0);
+  Reg sum = b.fresh();
+  b.imm_to(sum, 0);
+  Reg node = b.fresh();
+  b.mov_to(node, b.global_addr(cells));
+  Reg passes = b.imm(kPasses);
+  CountedLoop lp = begin_loop(b, passes);
+  {
+    Reg steps = b.imm(kCells);
+    CountedLoop ls = begin_loop(b, steps);
+    {
+      Reg key = b.load_field(node, rec, kKey);
+      b.mov_to(sum, b.and_i(b.add(sum, key), 0x7fffffff));
+      BlockId odd = b.new_block(), join = b.new_block();
+      b.br(b.and_i(key, 1), odd, join);
+      b.switch_to(odd);
+      Reg val = b.load_field(node, rec, kVal);
+      b.mov_to(sum, b.and_i(b.add(sum, val), 0x7fffffff));
+      b.jump(join);
+      b.switch_to(join);
+      b.mov_to(node, b.load_field(node, rec, kNext));
+    }
+    end_loop(b, ls);
+  }
+  end_loop(b, lp);
+  b.ret(sum);
+  b.finish();
+
+  w.expected_checksum = reference(d);
+  return w;
+}
+
+}  // namespace ilc::wl

@@ -1,0 +1,96 @@
+// matmul — dense integer matrix multiply; the classic loop-nest target
+// (LICM, unrolling, scheduling all pay off here).
+#include "workloads/common.hpp"
+#include "workloads/workloads.hpp"
+
+namespace ilc::wl {
+
+namespace {
+
+constexpr int kN = 16;
+
+std::int64_t reference(const std::vector<std::int64_t>& a,
+                       const std::vector<std::int64_t>& bmat) {
+  std::vector<std::int64_t> c(kN * kN, 0);
+  for (int i = 0; i < kN; ++i)
+    for (int j = 0; j < kN; ++j) {
+      std::int64_t s = 0;
+      for (int k = 0; k < kN; ++k) s += a[i * kN + k] * bmat[k * kN + j];
+      c[i * kN + j] = s;
+    }
+  std::int64_t sum = 0;
+  for (int i = 0; i < kN * kN; ++i)
+    sum = fold32(sum * 17 + c[i]);
+  return sum;
+}
+
+}  // namespace
+
+Workload make_matmul() {
+  using namespace ir;
+  Workload w;
+  w.name = "matmul";
+  Module& m = w.module;
+  m.name = "matmul";
+
+  const auto a_init = random_values(0xaaaa, kN * kN, -100, 100);
+  const auto b_init = random_values(0xbbbb, kN * kN, -100, 100);
+
+  auto add_mat = [&](const char* name, const std::vector<std::int64_t>& init) {
+    Global g;
+    g.name = name;
+    g.elem_width = 8;
+    g.count = kN * kN;
+    g.init = init;
+    return m.add_global(g);
+  };
+  const GlobalId ga = add_mat("A", a_init);
+  const GlobalId gb = add_mat("B", b_init);
+  const GlobalId gc = add_mat("C", {});
+
+  FunctionBuilder b(m, "main", 0);
+  Reg abase = b.global_addr(ga);
+  Reg bbase = b.global_addr(gb);
+  Reg cbase = b.global_addr(gc);
+  Reg n = b.imm(kN);
+
+  CountedLoop li = begin_loop(b, n);
+  {
+    CountedLoop lj = begin_loop(b, n);
+    {
+      Reg s = b.fresh();
+      b.imm_to(s, 0);
+      CountedLoop lk = begin_loop(b, n);
+      {
+        Reg aoff = b.shl_i(b.add(b.mul_i(li.ivar, kN), lk.ivar), 3);
+        Reg av = b.load(b.add(abase, aoff), 0, MemWidth::W8);
+        Reg boff = b.shl_i(b.add(b.mul_i(lk.ivar, kN), lj.ivar), 3);
+        Reg bv = b.load(b.add(bbase, boff), 0, MemWidth::W8);
+        b.mov_to(s, b.add(s, b.mul(av, bv)));
+      }
+      end_loop(b, lk);
+      Reg coff = b.shl_i(b.add(b.mul_i(li.ivar, kN), lj.ivar), 3);
+      b.store(b.add(cbase, coff), 0, s, MemWidth::W8);
+    }
+    end_loop(b, lj);
+  }
+  end_loop(b, li);
+
+  // Fold C into the checksum.
+  Reg sum = b.fresh();
+  b.imm_to(sum, 0);
+  Reg total = b.imm(kN * kN);
+  CountedLoop lf = begin_loop(b, total);
+  {
+    Reg cv = b.load(b.add(cbase, b.shl_i(lf.ivar, 3)), 0, MemWidth::W8);
+    b.mov_to(sum, b.and_i(b.add(b.mul_i(sum, 17), cv), 0x7fffffff));
+  }
+  end_loop(b, lf);
+  b.ret(sum);
+  b.finish();
+
+  w.expected_checksum = reference(a_init, b_init);
+  return w;
+}
+
+}  // namespace ilc::wl

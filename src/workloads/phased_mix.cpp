@@ -1,0 +1,182 @@
+// phased_mix — the dynamic-optimization demonstrator: execution alternates
+// between a sequential-streaming phase (where prefetch insertion wins) and
+// a pointer-chasing phase (where prefetch is pure overhead). No single
+// static version is best for both, which is exactly the situation the
+// paper's Section III-D runtime monitoring + auditing targets.
+#include "workloads/common.hpp"
+#include "workloads/workloads.hpp"
+
+namespace ilc::wl {
+
+namespace {
+
+constexpr int kArray = 12288;       // 96 KiB of i64 — larger than L2
+constexpr int kChaseLen = 4096;
+constexpr int kItems = 64;          // kernel items; phases of 16
+constexpr int kPhase = 16;
+constexpr int kStreamChunk = 3072;  // elements touched per stream item
+constexpr int kChaseSteps = 768;    // steps per chase item
+
+std::vector<std::int64_t> array_init() {
+  return random_values(0x9a5e, kArray, 0, 1 << 16);
+}
+
+std::vector<std::int64_t> chain_init() {
+  support::Rng rng(0xc4a1ULL);
+  std::vector<std::int64_t> perm(kChaseLen);
+  for (int i = 0; i < kChaseLen; ++i) perm[i] = i;
+  rng.shuffle(perm);
+  std::vector<std::int64_t> next(kChaseLen);
+  for (int i = 0; i < kChaseLen; ++i)
+    next[perm[i]] = perm[(i + 1) % kChaseLen];
+  return next;
+}
+
+/// Reference for one kernel item (phase decided by (i / kPhase) parity).
+std::int64_t reference_item(std::vector<std::int64_t>& arr,
+                            const std::vector<std::int64_t>& next,
+                            std::int64_t& chase_pos, int item) {
+  const bool stream_phase = ((item / kPhase) % 2) == 0;
+  std::int64_t acc = 0;
+  if (stream_phase) {
+    const int start = (item * kStreamChunk) % kArray;
+    for (int k = 0; k < kStreamChunk; ++k) {
+      const int idx = (start + k) % kArray;
+      acc = fold32(acc + arr[idx]);
+    }
+  } else {
+    for (int k = 0; k < kChaseSteps; ++k) {
+      acc = fold32(acc + arr[chase_pos % kArray] + chase_pos);
+      chase_pos = next[chase_pos];
+    }
+  }
+  return acc;
+}
+
+}  // namespace
+
+Workload make_phased_mix() {
+  using namespace ir;
+  Workload w;
+  w.name = "phased_mix";
+  Module& m = w.module;
+  m.name = "phased_mix";
+
+  const auto arr = array_init();
+  const auto chain = chain_init();
+
+  Global ga;
+  ga.name = "arr";
+  ga.elem_width = 8;
+  ga.count = kArray;
+  ga.init = arr;
+  const GlobalId garr = m.add_global(ga);
+
+  Global gc;
+  gc.name = "chain";
+  gc.elem_width = 8;
+  gc.count = kChaseLen;
+  gc.init = chain;
+  const GlobalId gchain = m.add_global(gc);
+
+  Global gs;  // [0] = chase position (persists across kernel calls)
+  gs.name = "state";
+  gs.elem_width = 8;
+  gs.count = 1;
+  const GlobalId gstate = m.add_global(gs);
+
+  // --- init() ---------------------------------------------------------
+  FuncId f_init;
+  {
+    FunctionBuilder b(m, "init", 0);
+    b.store(b.global_addr(gstate), 0, b.imm(0), MemWidth::W8);
+    b.ret();
+    f_init = b.finish();
+  }
+
+  // --- kernel(i) -------------------------------------------------------
+  FuncId f_kernel;
+  {
+    FunctionBuilder b(m, "kernel", 1);
+    Reg item = b.arg(0);
+    Reg abase = b.global_addr(garr);
+    Reg acc = b.fresh();
+    b.imm_to(acc, 0);
+
+    Reg phase = b.and_i(b.div(item, b.imm(kPhase)), 1);
+    BlockId stream = b.new_block(), chase = b.new_block(),
+            done = b.new_block();
+    b.br(b.cmp_eq(phase, b.imm(0)), stream, chase);
+
+    b.switch_to(stream);
+    {
+      Reg start = b.rem(b.mul_i(item, kStreamChunk), b.imm(kArray));
+      Reg count = b.imm(kStreamChunk);
+      CountedLoop lk = begin_loop(b, count);
+      {
+        Reg idx = b.rem(b.add(start, lk.ivar), b.imm(kArray));
+        Reg v = b.load(b.add(abase, b.shl_i(idx, 3)), 0, MemWidth::W8);
+        b.mov_to(acc, b.and_i(b.add(acc, v), 0x7fffffff));
+      }
+      end_loop(b, lk);
+    }
+    b.jump(done);
+
+    b.switch_to(chase);
+    {
+      Reg sbase = b.global_addr(gstate);
+      Reg cbase = b.global_addr(gchain);
+      Reg pos = b.fresh();
+      b.mov_to(pos, b.load(sbase, 0, MemWidth::W8));
+      Reg count = b.imm(kChaseSteps);
+      CountedLoop lk = begin_loop(b, count);
+      {
+        Reg aidx = b.rem(pos, b.imm(kArray));
+        Reg v = b.load(b.add(abase, b.shl_i(aidx, 3)), 0, MemWidth::W8);
+        b.mov_to(acc,
+                 b.and_i(b.add(b.add(acc, v), pos), 0x7fffffff));
+        b.mov_to(pos, b.load(b.add(cbase, b.shl_i(pos, 3)), 0, MemWidth::W8));
+      }
+      end_loop(b, lk);
+      b.store(sbase, 0, pos, MemWidth::W8);
+    }
+    b.jump(done);
+
+    b.switch_to(done);
+    b.ret(acc);
+    f_kernel = b.finish();
+  }
+
+  // --- main(): init + all items ----------------------------------------
+  {
+    FunctionBuilder b(m, "main", 0);
+    b.call_void(f_init, {});
+    Reg total = b.fresh();
+    b.imm_to(total, 0);
+    Reg items = b.imm(kItems);
+    CountedLoop li = begin_loop(b, items);
+    {
+      Reg part = b.call(f_kernel, {li.ivar});
+      b.mov_to(total, b.and_i(b.add(total, part), 0x7fffffff));
+    }
+    end_loop(b, li);
+    b.ret(total);
+    b.finish();
+  }
+
+  // Golden references.
+  {
+    auto a = arr;
+    std::int64_t pos = 0, total = 0;
+    for (int i = 0; i < kItems; ++i)
+      total = fold32(total + reference_item(a, chain, pos, i));
+    w.expected_checksum = total;
+    w.kernel_checksum = total;  // same fold, same order
+  }
+  w.kernel = "kernel";
+  w.kernel_setup = "init";
+  w.kernel_items = kItems;
+  return w;
+}
+
+}  // namespace ilc::wl

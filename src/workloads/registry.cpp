@@ -1,0 +1,46 @@
+#include "workloads/workloads.hpp"
+
+#include "support/assert.hpp"
+
+namespace ilc::wl {
+
+const std::vector<std::string>& workload_names() {
+  static const std::vector<std::string> names = {
+      "adpcm",    "mcf_lite",  "matmul",   "fir",       "crc32",
+      "dijkstra", "histogram", "stencil",  "shellsort", "strsearch",
+      "sha_lite", "rle",       "bitcount", "dotprod",   "linklist",
+      "treewalk", "phased_mix"};
+  return names;
+}
+
+Workload make_workload(const std::string& name) {
+  if (name == "adpcm") return make_adpcm();
+  if (name == "mcf_lite") return make_mcf_lite();
+  if (name == "matmul") return make_matmul();
+  if (name == "fir") return make_fir();
+  if (name == "crc32") return make_crc32();
+  if (name == "dijkstra") return make_dijkstra();
+  if (name == "histogram") return make_histogram();
+  if (name == "stencil") return make_stencil();
+  if (name == "shellsort") return make_shellsort();
+  if (name == "strsearch") return make_strsearch();
+  if (name == "sha_lite") return make_sha_lite();
+  if (name == "rle") return make_rle();
+  if (name == "bitcount") return make_bitcount();
+  if (name == "dotprod") return make_dotprod();
+  if (name == "linklist") return make_linklist();
+  if (name == "treewalk") return make_treewalk();
+  if (name == "phased_mix") return make_phased_mix();
+  ILC_CHECK_MSG(false, "unknown workload: " << name);
+  return {};
+}
+
+std::vector<Workload> make_suite() {
+  std::vector<Workload> suite;
+  suite.reserve(workload_names().size());
+  for (const std::string& name : workload_names())
+    suite.push_back(make_workload(name));
+  return suite;
+}
+
+}  // namespace ilc::wl

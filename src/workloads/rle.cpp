@@ -1,0 +1,112 @@
+// rle — run-length encoding of a run-heavy byte buffer: dependent loads,
+// unpredictable run-boundary branches, and bursty stores.
+#include "workloads/common.hpp"
+#include "workloads/workloads.hpp"
+
+namespace ilc::wl {
+
+namespace {
+
+constexpr int kLen = 2048;
+
+std::vector<std::int64_t> data_init() {
+  support::Rng rng(0x41e41eULL);
+  std::vector<std::int64_t> d(kLen);
+  std::int64_t cur = rng.next_in(0, 7);
+  for (int i = 0; i < kLen; ++i) {
+    if (rng.next_bool(0.25)) cur = rng.next_in(0, 7);
+    d[i] = cur;
+  }
+  return d;
+}
+
+std::int64_t reference(const std::vector<std::int64_t>& d) {
+  std::int64_t runs = 0, sum = 0;
+  int i = 0;
+  while (i < kLen) {
+    const std::int64_t v = d[i];
+    int len = 1;
+    while (i + len < kLen && d[i + len] == v) ++len;
+    runs += 1;
+    sum = fold32(sum * 5 + v * 16 + len);
+    i += len;
+  }
+  return fold32(runs * 65537 + sum);
+}
+
+}  // namespace
+
+Workload make_rle() {
+  using namespace ir;
+  Workload w;
+  w.name = "rle";
+  Module& m = w.module;
+  m.name = "rle";
+
+  const auto data = data_init();
+  Global gd;
+  gd.name = "data";
+  gd.elem_width = 1;
+  gd.count = kLen;
+  gd.init = data;
+  const GlobalId buf = m.add_global(gd);
+
+  Global go;  // encoded output pairs (value, len) — bounded by kLen runs
+  go.name = "out";
+  go.elem_width = 4;
+  go.count = 2 * kLen;
+  const GlobalId out = m.add_global(go);
+
+  FunctionBuilder b(m, "main", 0);
+  Reg base = b.global_addr(buf);
+  Reg obase = b.global_addr(out);
+  Reg n = b.imm(kLen);
+  Reg runs = b.fresh();
+  b.imm_to(runs, 0);
+  Reg sum = b.fresh();
+  b.imm_to(sum, 0);
+  Reg i = b.fresh();
+  b.imm_to(i, 0);
+
+  BlockId ohead = b.new_block(), obody = b.new_block(), oexit = b.new_block();
+  b.jump(ohead);
+  b.switch_to(ohead);
+  b.br(b.cmp_lt(i, n), obody, oexit);
+  b.switch_to(obody);
+  {
+    Reg v = b.load(b.add(base, i), 0, MemWidth::W1);
+    Reg len = b.fresh();
+    b.imm_to(len, 1);
+    BlockId whead = b.new_block(), wcheck = b.new_block(),
+            wbody = b.new_block(), wexit = b.new_block();
+    b.jump(whead);
+    b.switch_to(whead);
+    Reg pos = b.add(i, len);
+    b.br(b.cmp_lt(pos, n), wcheck, wexit);
+    b.switch_to(wcheck);
+    Reg nextc = b.load(b.add(base, pos), 0, MemWidth::W1);
+    b.br(b.cmp_eq(nextc, v), wbody, wexit);
+    b.switch_to(wbody);
+    b.mov_to(len, b.add_i(len, 1));
+    b.jump(whead);
+    b.switch_to(wexit);
+
+    // Emit the (value, len) pair.
+    Reg slot = b.add(obase, b.shl_i(runs, 3));
+    b.store(slot, 0, v, MemWidth::W4);
+    b.store(slot, 4, len, MemWidth::W4);
+    b.mov_to(runs, b.add_i(runs, 1));
+    Reg term = b.add(b.mul_i(v, 16), len);
+    b.mov_to(sum, b.and_i(b.add(b.mul_i(sum, 5), term), 0x7fffffff));
+    b.mov_to(i, b.add(i, len));
+  }
+  b.jump(ohead);
+  b.switch_to(oexit);
+  b.ret(b.and_i(b.add(b.mul_i(runs, 65537), sum), 0x7fffffff));
+  b.finish();
+
+  w.expected_checksum = reference(data);
+  return w;
+}
+
+}  // namespace ilc::wl

@@ -1,0 +1,91 @@
+// sha_lite — SHA-like mixing rounds over a word block: a pure ALU
+// dependence chain (rotates, xors, adds) with almost no memory traffic.
+// The compute-bound pole of the suite.
+#include "workloads/common.hpp"
+#include "workloads/workloads.hpp"
+
+namespace ilc::wl {
+
+namespace {
+
+constexpr int kWords = 16;
+constexpr int kRounds = 48;
+constexpr std::int64_t kMask = 0xffffffffLL;
+
+std::int64_t rotl32(std::int64_t v, int k) {
+  const std::uint64_t u = static_cast<std::uint64_t>(v) & 0xffffffffULL;
+  return static_cast<std::int64_t>(((u << k) | (u >> (32 - k))) &
+                                   0xffffffffULL);
+}
+
+std::int64_t reference(const std::vector<std::int64_t>& block) {
+  std::vector<std::int64_t> w = block;
+  std::int64_t a = 0x67452301LL, b = 0xefcdab89LL & kMask,
+               c = 0x98badcfeLL & kMask, d = 0x10325476LL & kMask;
+  for (int r = 0; r < kRounds; ++r) {
+    const std::int64_t wi = w[r % kWords];
+    const std::int64_t f = ((b & c) | (~b & d)) & kMask;
+    const std::int64_t t = (a + f + wi + 0x5a827999LL) & kMask;
+    a = d;
+    d = c;
+    c = rotl32(b, 10);
+    b = rotl32(t, 7);
+    w[r % kWords] = (wi + b) & kMask;
+  }
+  return fold32(a ^ b ^ c ^ d);
+}
+
+}  // namespace
+
+Workload make_sha_lite() {
+  using namespace ir;
+  Workload w;
+  w.name = "sha_lite";
+  Module& m = w.module;
+  m.name = "sha_lite";
+
+  const auto block = random_values(0x5a5a, kWords, 0, kMask);
+  Global gb;
+  gb.name = "block";
+  gb.elem_width = 8;
+  gb.count = kWords;
+  gb.init = block;
+  const GlobalId gblock = m.add_global(gb);
+
+  FunctionBuilder b(m, "main", 0);
+  Reg wbase = b.global_addr(gblock);
+  Reg va = b.fresh(), vb = b.fresh(), vc = b.fresh(), vd = b.fresh();
+  b.imm_to(va, 0x67452301LL);
+  b.imm_to(vb, 0xefcdab89LL & kMask);
+  b.imm_to(vc, 0x98badcfeLL & kMask);
+  b.imm_to(vd, 0x10325476LL & kMask);
+  Reg mask = b.imm(kMask);
+
+  auto rotl = [&](Reg v, int k) {
+    Reg lo = b.and_(b.shl_i(v, k), mask);
+    Reg hi = b.shr_i(v, 32 - k);  // v is already 32-bit clean
+    return b.or_(lo, hi);
+  };
+
+  Reg rounds = b.imm(kRounds);
+  CountedLoop lr = begin_loop(b, rounds);
+  {
+    Reg slot = b.add(wbase, b.shl_i(b.and_i(lr.ivar, kWords - 1), 3));
+    Reg wi = b.load(slot, 0, MemWidth::W8);
+    Reg f = b.and_(b.or_(b.and_(vb, vc), b.and_(b.not_(vb), vd)), mask);
+    Reg t = b.and_(b.add(b.add(va, f), b.add(wi, b.imm(0x5a827999LL))), mask);
+    b.mov_to(va, vd);
+    b.mov_to(vd, vc);
+    b.mov_to(vc, rotl(vb, 10));
+    b.mov_to(vb, rotl(t, 7));
+    b.store(slot, 0, b.and_(b.add(wi, vb), mask), MemWidth::W8);
+  }
+  end_loop(b, lr);
+  b.ret(b.and_i(b.xor_(b.xor_(va, vb), b.xor_(vc, vd)), 0x7fffffff));
+  b.finish();
+
+  w.expected_checksum = reference(block);
+  return w;
+}
+
+}  // namespace ilc::wl

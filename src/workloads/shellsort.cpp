@@ -1,0 +1,114 @@
+// shellsort — in-place gap-sequence sort: irregular data-dependent
+// branches and swap-heavy memory traffic.
+#include "workloads/common.hpp"
+#include "workloads/workloads.hpp"
+
+namespace ilc::wl {
+
+namespace {
+
+constexpr int kN = 256;
+const int kGaps[] = {64, 16, 4, 1};
+
+std::int64_t reference(std::vector<std::int64_t> v) {
+  for (int gap : kGaps) {
+    for (int i = gap; i < kN; ++i) {
+      const std::int64_t tmp = v[i];
+      int j = i;
+      while (j >= gap && v[j - gap] > tmp) {
+        v[j] = v[j - gap];
+        j -= gap;
+      }
+      v[j] = tmp;
+    }
+  }
+  std::int64_t sum = 0;
+  for (int i = 0; i < kN; ++i) sum = fold32(sum * 11 + v[i] * (i + 1));
+  return sum;
+}
+
+}  // namespace
+
+Workload make_shellsort() {
+  using namespace ir;
+  Workload w;
+  w.name = "shellsort";
+  Module& m = w.module;
+  m.name = "shellsort";
+
+  const auto data = random_values(0x5047, kN, -100000, 100000);
+  Global gd;
+  gd.name = "data";
+  gd.elem_width = 8;
+  gd.count = kN;
+  gd.init = data;
+  const GlobalId buf = m.add_global(gd);
+
+  Global gg;
+  gg.name = "gaps";
+  gg.elem_width = 8;
+  gg.count = 4;
+  gg.init.assign(kGaps, kGaps + 4);
+  const GlobalId gaps = m.add_global(gg);
+
+  FunctionBuilder b(m, "main", 0);
+  Reg base = b.global_addr(buf);
+  Reg gbase = b.global_addr(gaps);
+  Reg n = b.imm(kN);
+
+  CountedLoop lg = begin_loop(b, b.imm(4));
+  {
+    Reg gap = b.load(b.add(gbase, b.shl_i(lg.ivar, 3)), 0, MemWidth::W8);
+    // for (i = gap; i < n; ++i)
+    Reg i = b.fresh();
+    b.mov_to(i, gap);
+    BlockId ihead = b.new_block(), ibody = b.new_block(),
+            iexit = b.new_block();
+    b.jump(ihead);
+    b.switch_to(ihead);
+    b.br(b.cmp_lt(i, n), ibody, iexit);
+    b.switch_to(ibody);
+    {
+      Reg tmp = b.load(b.add(base, b.shl_i(i, 3)), 0, MemWidth::W8);
+      Reg j = b.fresh();
+      b.mov_to(j, i);
+      // while (j >= gap && v[j-gap] > tmp)
+      BlockId whead = b.new_block(), wcheck = b.new_block(),
+              wbody = b.new_block(), wexit = b.new_block();
+      b.jump(whead);
+      b.switch_to(whead);
+      b.br(b.cmp_ge(j, gap), wcheck, wexit);
+      b.switch_to(wcheck);
+      Reg jg = b.sub(j, gap);
+      Reg prev = b.load(b.add(base, b.shl_i(jg, 3)), 0, MemWidth::W8);
+      b.br(b.cmp_gt(prev, tmp), wbody, wexit);
+      b.switch_to(wbody);
+      b.store(b.add(base, b.shl_i(j, 3)), 0, prev, MemWidth::W8);
+      b.mov_to(j, jg);
+      b.jump(whead);
+      b.switch_to(wexit);
+      b.store(b.add(base, b.shl_i(j, 3)), 0, tmp, MemWidth::W8);
+    }
+    b.mov_to(i, b.add_i(i, 1));
+    b.jump(ihead);
+    b.switch_to(iexit);
+  }
+  end_loop(b, lg);
+
+  Reg sum = b.fresh();
+  b.imm_to(sum, 0);
+  CountedLoop lf = begin_loop(b, n);
+  {
+    Reg v = b.load(b.add(base, b.shl_i(lf.ivar, 3)), 0, MemWidth::W8);
+    Reg weighted = b.mul(v, b.add_i(lf.ivar, 1));
+    b.mov_to(sum, b.and_i(b.add(b.mul_i(sum, 11), weighted), 0x7fffffff));
+  }
+  end_loop(b, lf);
+  b.ret(sum);
+  b.finish();
+
+  w.expected_checksum = reference(data);
+  return w;
+}
+
+}  // namespace ilc::wl

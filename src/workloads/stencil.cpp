@@ -1,0 +1,117 @@
+// stencil — 5-point Jacobi relaxation on a 2-D grid with ping-pong
+// buffers: the regular HPC sweep where LICM/unrolling/prefetch matter.
+#include "workloads/common.hpp"
+#include "workloads/workloads.hpp"
+
+namespace ilc::wl {
+
+namespace {
+
+constexpr int kW = 40;
+constexpr int kH = 30;
+constexpr int kIters = 4;
+
+std::int64_t reference(const std::vector<std::int64_t>& init) {
+  std::vector<std::int64_t> a = init, b(kW * kH, 0);
+  for (int it = 0; it < kIters; ++it) {
+    for (int y = 1; y < kH - 1; ++y)
+      for (int x = 1; x < kW - 1; ++x) {
+        const int i = y * kW + x;
+        b[i] = (a[i] * 4 + a[i - 1] + a[i + 1] + a[i - kW] + a[i + kW]) >> 3;
+      }
+    std::swap(a, b);
+  }
+  std::int64_t sum = 0;
+  for (int i = 0; i < kW * kH; ++i) sum = fold32(sum * 7 + a[i]);
+  return sum;
+}
+
+}  // namespace
+
+Workload make_stencil() {
+  using namespace ir;
+  Workload w;
+  w.name = "stencil";
+  Module& m = w.module;
+  m.name = "stencil";
+
+  const auto grid = random_values(0x57e4, kW * kH, 0, 4096);
+  Global g0;
+  g0.name = "gridA";
+  g0.elem_width = 8;
+  g0.count = kW * kH;
+  g0.init = grid;
+  const GlobalId ga = m.add_global(g0);
+  Global g1;
+  g1.name = "gridB";
+  g1.elem_width = 8;
+  g1.count = kW * kH;
+  const GlobalId gb = m.add_global(g1);
+
+  // sweep(src_sel): reads from the selected buffer, writes the other.
+  FuncId f_sweep;
+  {
+    FunctionBuilder b(m, "sweep", 1);
+    Reg sel = b.arg(0);
+    Reg a0 = b.global_addr(ga);
+    Reg b0 = b.global_addr(gb);
+    // src = sel ? b0 : a0 ; dst = sel ? a0 : b0 (branchless select)
+    Reg mask = b.neg(b.cmp_ne(sel, b.imm(0)));  // 0 or -1
+    Reg src = b.or_(b.and_(mask, b0), b.and_(b.not_(mask), a0));
+    Reg dst = b.or_(b.and_(mask, a0), b.and_(b.not_(mask), b0));
+
+    Reg ylim = b.imm(kH - 1);
+    CountedLoop ly = begin_loop(b, ylim, 1);
+    {
+      Reg rowoff = b.shl_i(b.mul_i(ly.ivar, kW), 3);
+      Reg srow = b.add(src, rowoff);
+      Reg drow = b.add(dst, rowoff);
+      Reg xlim = b.imm(kW - 1);
+      CountedLoop lx = begin_loop(b, xlim, 1);
+      {
+        Reg off = b.shl_i(lx.ivar, 3);
+        Reg p = b.add(srow, off);
+        Reg c = b.load(p, 0, MemWidth::W8);
+        Reg l = b.load(p, -8, MemWidth::W8);
+        Reg r = b.load(p, 8, MemWidth::W8);
+        Reg up = b.load(p, -8 * kW, MemWidth::W8);
+        Reg dn = b.load(p, 8 * kW, MemWidth::W8);
+        Reg v = b.shr_i(
+            b.add(b.add(b.add(b.mul_i(c, 4), l), b.add(r, up)), dn), 3);
+        b.store(b.add(drow, off), 0, v, MemWidth::W8);
+      }
+      end_loop(b, lx);
+    }
+    end_loop(b, ly);
+    b.ret();
+    f_sweep = b.finish();
+  }
+
+  {
+    FunctionBuilder b(m, "main", 0);
+    Reg iters = b.imm(kIters);
+    CountedLoop li = begin_loop(b, iters);
+    {
+      Reg sel = b.and_i(li.ivar, 1);
+      b.call_void(f_sweep, {sel});
+    }
+    end_loop(b, li);
+    // After kIters sweeps the latest data is in gridA iff kIters is even.
+    Reg fin = b.global_addr(kIters % 2 == 0 ? ga : gb);
+    Reg sum = b.fresh();
+    b.imm_to(sum, 0);
+    CountedLoop lf = begin_loop(b, b.imm(kW * kH));
+    {
+      Reg v = b.load(b.add(fin, b.shl_i(lf.ivar, 3)), 0, MemWidth::W8);
+      b.mov_to(sum, b.and_i(b.add(b.mul_i(sum, 7), v), 0x7fffffff));
+    }
+    end_loop(b, lf);
+    b.ret(sum);
+    b.finish();
+  }
+
+  w.expected_checksum = reference(grid);
+  return w;
+}
+
+}  // namespace ilc::wl

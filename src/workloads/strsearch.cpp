@@ -1,0 +1,103 @@
+// strsearch — substring counting with early-exit inner comparison loops
+// over a synthetic text: short unpredictable branches.
+#include "workloads/common.hpp"
+#include "workloads/workloads.hpp"
+
+namespace ilc::wl {
+
+namespace {
+
+constexpr int kText = 2048;
+constexpr int kPat = 6;
+
+std::vector<std::int64_t> text_init() {
+  // Small alphabet so matches and near-matches actually occur.
+  return random_values(0x7e47, kText, 'a', 'e');
+}
+std::vector<std::int64_t> pat_init() {
+  return random_values(0x9a77, kPat, 'a', 'e');
+}
+
+std::int64_t reference(const std::vector<std::int64_t>& text,
+                       const std::vector<std::int64_t>& pat) {
+  std::int64_t count = 0, partial = 0;
+  for (int i = 0; i + kPat <= kText; ++i) {
+    int j = 0;
+    while (j < kPat && text[i + j] == pat[j]) ++j;
+    if (j == kPat) ++count;
+    partial = fold32(partial + j);
+  }
+  return fold32(count * 100003 + partial);
+}
+
+}  // namespace
+
+Workload make_strsearch() {
+  using namespace ir;
+  Workload w;
+  w.name = "strsearch";
+  Module& m = w.module;
+  m.name = "strsearch";
+
+  const auto text = text_init();
+  const auto pat = pat_init();
+
+  Global gt;
+  gt.name = "text";
+  gt.elem_width = 1;
+  gt.count = kText;
+  gt.init = text;
+  const GlobalId gtext = m.add_global(gt);
+
+  Global gp;
+  gp.name = "pat";
+  gp.elem_width = 1;
+  gp.count = kPat;
+  gp.init = pat;
+  const GlobalId gpat = m.add_global(gp);
+
+  FunctionBuilder b(m, "main", 0);
+  Reg tbase = b.global_addr(gtext);
+  Reg pbase = b.global_addr(gpat);
+  Reg count = b.fresh();
+  b.imm_to(count, 0);
+  Reg partial = b.fresh();
+  b.imm_to(partial, 0);
+  Reg outer = b.imm(kText - kPat + 1);
+  CountedLoop li = begin_loop(b, outer);
+  {
+    Reg j = b.fresh();
+    b.imm_to(j, 0);
+    Reg patn = b.imm(kPat);
+    BlockId whead = b.new_block(), wcheck = b.new_block(),
+            wbody = b.new_block(), wexit = b.new_block();
+    b.jump(whead);
+    b.switch_to(whead);
+    b.br(b.cmp_lt(j, patn), wcheck, wexit);
+    b.switch_to(wcheck);
+    Reg tc = b.load(b.add(tbase, b.add(li.ivar, j)), 0, MemWidth::W1);
+    Reg pc = b.load(b.add(pbase, j), 0, MemWidth::W1);
+    b.br(b.cmp_eq(tc, pc), wbody, wexit);
+    b.switch_to(wbody);
+    b.mov_to(j, b.add_i(j, 1));
+    b.jump(whead);
+    b.switch_to(wexit);
+
+    BlockId hit = b.new_block(), join = b.new_block();
+    b.br(b.cmp_eq(j, patn), hit, join);
+    b.switch_to(hit);
+    b.mov_to(count, b.add_i(count, 1));
+    b.jump(join);
+    b.switch_to(join);
+    b.mov_to(partial, b.and_i(b.add(partial, j), 0x7fffffff));
+  }
+  end_loop(b, li);
+  Reg result = b.add(b.mul_i(count, 100003), partial);
+  b.ret(b.and_i(result, 0x7fffffff));
+  b.finish();
+
+  w.expected_checksum = reference(text, pat);
+  return w;
+}
+
+}  // namespace ilc::wl

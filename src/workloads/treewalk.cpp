@@ -1,0 +1,163 @@
+// treewalk — iterative depth-first traversal of a randomly-shaped binary
+// search tree with an explicit stack of node pointers (a raw pointer
+// array, so pointer compression narrows both the node records AND the
+// stack slots). The third pointer-chasing program of the suite.
+#include "workloads/common.hpp"
+#include "workloads/workloads.hpp"
+
+namespace ilc::wl {
+
+namespace {
+
+constexpr int kTreeNodes = 1200;
+constexpr int kPasses = 3;
+
+struct TreeData {
+  std::vector<std::int64_t> val;
+  std::vector<std::int64_t> left;   // index, -1 = null
+  std::vector<std::int64_t> right;  // index, -1 = null
+};
+
+TreeData tree_data() {
+  support::Rng rng(0x73ee);
+  TreeData d;
+  d.val = random_values(0x74, kTreeNodes, 0, 1 << 30);
+  d.left.assign(kTreeNodes, -1);
+  d.right.assign(kTreeNodes, -1);
+  // BST insertion of nodes 1..n-1 under node 0 by val: random shape with
+  // pointer topology uncorrelated with memory order.
+  for (int i = 1; i < kTreeNodes; ++i) {
+    int cur = 0;
+    for (;;) {
+      if (d.val[i] < d.val[cur]) {
+        if (d.left[cur] < 0) {
+          d.left[cur] = i;
+          break;
+        }
+        cur = static_cast<int>(d.left[cur]);
+      } else {
+        if (d.right[cur] < 0) {
+          d.right[cur] = i;
+          break;
+        }
+        cur = static_cast<int>(d.right[cur]);
+      }
+    }
+  }
+  return d;
+}
+
+std::int64_t reference(const TreeData& d) {
+  std::int64_t sum = 0;
+  for (int p = 0; p < kPasses; ++p) {
+    std::vector<std::int64_t> stack;
+    stack.push_back(0);
+    while (!stack.empty()) {
+      const std::int64_t node = stack.back();
+      stack.pop_back();
+      sum = fold32(sum + d.val[node] + static_cast<std::int64_t>(stack.size()));
+      if (d.left[node] >= 0) stack.push_back(d.left[node]);
+      if (d.right[node] >= 0) stack.push_back(d.right[node]);
+    }
+  }
+  return sum;
+}
+
+}  // namespace
+
+Workload make_treewalk() {
+  using namespace ir;
+  Workload w;
+  w.name = "treewalk";
+  Module& m = w.module;
+  m.name = "treewalk";
+
+  RecordType node_t;
+  node_t.name = "tnode";
+  node_t.fields = {{"val", FieldKind::I64},
+                   {"left", FieldKind::Ptr},
+                   {"right", FieldKind::Ptr},
+                   {"parent", FieldKind::Ptr}};
+  const RecordId rec = m.add_record(node_t);
+  constexpr FieldId kVal = 0, kLeft = 1, kRight = 2;
+
+  const TreeData d = tree_data();
+  Global gnodes;
+  gnodes.name = "tnodes";
+  gnodes.kind = GlobalKind::RecordArray;
+  gnodes.record = rec;
+  gnodes.count = kTreeNodes;
+  const GlobalId nodes = static_cast<GlobalId>(m.globals().size());
+  gnodes.field_init.resize(node_t.fields.size());
+  gnodes.field_init[kVal].values = d.val;
+  gnodes.field_init[kLeft] = {d.left, nodes};
+  gnodes.field_init[kRight] = {d.right, nodes};
+  m.add_global(gnodes);
+
+  // Explicit DFS stack: a raw array of pointers into `tnodes`.
+  Global gstack;
+  gstack.name = "stack";
+  gstack.elem_is_ptr = true;
+  gstack.ptr_target = nodes;
+  gstack.count = kTreeNodes + 1;
+  const GlobalId stack = m.add_global(gstack);
+
+  FunctionBuilder b(m, "main", 0);
+  Reg sum = b.fresh();
+  b.imm_to(sum, 0);
+  Reg sbase = b.global_addr(stack);
+  Reg root = b.global_addr(nodes);  // node 0 is the tree root
+  Reg pw = b.imm_ptr_width();       // tagged: follows compression
+  const MemWidth pw_now = static_cast<MemWidth>(m.ptr_bytes());
+
+  Reg passes = b.imm(kPasses);
+  CountedLoop lp = begin_loop(b, passes);
+  {
+    Reg sp = b.fresh();
+    b.imm_to(sp, 1);
+    b.store(sbase, 0, root, pw_now, /*is_ptr=*/true);
+
+    BlockId whead = b.new_block(), wbody = b.new_block(),
+            wexit = b.new_block();
+    b.jump(whead);
+    b.switch_to(whead);
+    b.br(b.cmp_gt(sp, b.imm(0)), wbody, wexit);
+    b.switch_to(wbody);
+    {
+      b.mov_to(sp, b.sub_i(sp, 1));
+      Reg slot = b.add(sbase, b.mul(sp, pw));
+      Reg node = b.load(slot, 0, pw_now, /*is_ptr=*/true);
+      Reg val = b.load_field(node, rec, kVal);
+      b.mov_to(sum,
+               b.and_i(b.add(b.add(sum, val), sp), 0x7fffffff));
+
+      Reg left = b.load_field(node, rec, kLeft);
+      BlockId has_l = b.new_block(), after_l = b.new_block();
+      b.br(b.cmp_ne(left, b.imm(0)), has_l, after_l);
+      b.switch_to(has_l);
+      b.store(b.add(sbase, b.mul(sp, pw)), 0, left, pw_now, true);
+      b.mov_to(sp, b.add_i(sp, 1));
+      b.jump(after_l);
+      b.switch_to(after_l);
+
+      Reg right = b.load_field(node, rec, kRight);
+      BlockId has_r = b.new_block(), after_r = b.new_block();
+      b.br(b.cmp_ne(right, b.imm(0)), has_r, after_r);
+      b.switch_to(has_r);
+      b.store(b.add(sbase, b.mul(sp, pw)), 0, right, pw_now, true);
+      b.mov_to(sp, b.add_i(sp, 1));
+      b.jump(after_r);
+      b.switch_to(after_r);
+    }
+    b.jump(whead);
+    b.switch_to(wexit);
+  }
+  end_loop(b, lp);
+  b.ret(sum);
+  b.finish();
+
+  w.expected_checksum = reference(d);
+  return w;
+}
+
+}  // namespace ilc::wl

@@ -1,0 +1,64 @@
+// The benchmark suite: 15 programs written in ilc IR, each paired with a
+// C++ golden reference that computes the same checksum. Every program's
+// main() returns its checksum; the test suite asserts (a) the IR result
+// equals the golden value and (b) the result is invariant under every
+// optimization sequence — the core semantics-preservation property.
+//
+// The suite plays the role of SPEC/MiBench/Polyhedron in the paper:
+//   adpcm     — the Fig. 2 search target (branchy integer codec)
+//   mcf_lite  — the Fig. 3/4 memory-bound outlier (pointer-chasing records)
+//   the rest  — span compute-bound, branchy, and mixed behaviours so suite
+//               averages and leave-one-out training are meaningful.
+#pragma once
+
+#include <cstdint>
+#include <string>
+#include <vector>
+
+#include "ir/module.hpp"
+
+namespace ilc::wl {
+
+struct Workload {
+  std::string name;
+  ir::Module module;                  // contains main() and helpers
+  std::int64_t expected_checksum = 0; // golden value from the C++ reference
+
+  /// Optional per-item kernel for the dynamic-optimization harness:
+  /// after calling kernel_setup() once (if non-empty), kernel(i) is
+  /// invoked for i in [0, kernel_items); folding the returns with
+  /// checksum = (checksum + ret) & 0x7fffffff must yield kernel_checksum.
+  std::string kernel;
+  std::string kernel_setup;
+  std::int64_t kernel_items = 0;
+  std::int64_t kernel_checksum = 0;
+};
+
+Workload make_adpcm();
+Workload make_mcf_lite();
+Workload make_matmul();
+Workload make_fir();
+Workload make_crc32();
+Workload make_dijkstra();
+Workload make_histogram();
+Workload make_stencil();
+Workload make_shellsort();
+Workload make_strsearch();
+Workload make_sha_lite();
+Workload make_rle();
+Workload make_bitcount();
+Workload make_dotprod();
+Workload make_linklist();
+Workload make_treewalk();
+Workload make_phased_mix();
+
+/// Names of every workload in the suite, in canonical order.
+const std::vector<std::string>& workload_names();
+
+/// Construct a workload by name; throws on unknown names.
+Workload make_workload(const std::string& name);
+
+/// Construct the whole suite.
+std::vector<Workload> make_suite();
+
+}  // namespace ilc::wl

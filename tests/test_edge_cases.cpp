@@ -1,0 +1,322 @@
+// Targeted edge-case coverage across modules: builder record helpers,
+// module layout queries, machine-specific simulator behaviour, optimizer
+// corner cases, evaluator/pipeline equivalences, and GA constraint repair.
+#include <gtest/gtest.h>
+
+#include "ir/builder.hpp"
+#include "ir/verifier.hpp"
+#include "opt/pass.hpp"
+#include "opt/pipelines.hpp"
+#include "search/evaluator.hpp"
+#include "search/strategies.hpp"
+#include "sim/interpreter.hpp"
+#include "support/assert.hpp"
+#include "workloads/workloads.hpp"
+
+namespace {
+
+using namespace ilc;
+using namespace ilc::ir;
+
+// --- builder record helpers ------------------------------------------------
+
+Module record_module(RecordId* rec_out, GlobalId* gid_out) {
+  Module m;
+  RecordType t;
+  t.name = "pair";
+  t.fields = {{"next", FieldKind::Ptr}, {"v", FieldKind::I32}};
+  const RecordId rec = m.add_record(t);
+  Global g;
+  g.name = "pairs";
+  g.kind = GlobalKind::RecordArray;
+  g.record = rec;
+  g.count = 5;
+  g.field_init.resize(2);
+  g.field_init[0] = {{1, 2, 3, 4, -1}, 0};  // linear chain
+  g.field_init[1].values = {10, 20, 30, 40, 50};
+  const GlobalId gid = m.add_global(g);
+  if (rec_out) *rec_out = rec;
+  if (gid_out) *gid_out = gid;
+  return m;
+}
+
+TEST(BuilderRecords, ElemAddrAndFieldAccessAgreeWithLayout) {
+  RecordId rec;
+  GlobalId gid;
+  Module m = record_module(&rec, &gid);
+  FunctionBuilder b(m, "main", 0);
+  // Sum v over elements 0..4 via computed element addresses.
+  Reg sum = b.fresh();
+  b.imm_to(sum, 0);
+  for (int i = 0; i < 5; ++i) {
+    Reg addr = b.record_elem_addr(gid, b.imm(i));
+    b.mov_to(sum, b.add(sum, b.load_field(addr, rec, 1)));
+  }
+  b.ret(sum);
+  b.finish();
+  ASSERT_EQ(verify(m), "");
+  sim::Simulator s(m, sim::amd_like());
+  EXPECT_EQ(s.run().ret, 150);
+}
+
+TEST(BuilderRecords, ChainWalkSurvivesCompression) {
+  RecordId rec;
+  GlobalId gid;
+  Module m = record_module(&rec, &gid);
+  FunctionBuilder b(m, "main", 0);
+  Reg node = b.fresh();
+  b.mov_to(node, b.global_addr(gid));
+  Reg sum = b.fresh();
+  b.imm_to(sum, 0);
+  Reg n = b.imm(5);
+  BlockId head = b.new_block(), body = b.new_block(), exit = b.new_block();
+  Reg i = b.fresh();
+  b.imm_to(i, 0);
+  b.jump(head);
+  b.switch_to(head);
+  b.br(b.cmp_lt(i, n), body, exit);
+  b.switch_to(body);
+  b.mov_to(sum, b.add(sum, b.load_field(node, rec, 1)));
+  b.mov_to(node, b.load_field(node, rec, 0));
+  b.mov_to(i, b.add_i(i, 1));
+  b.jump(head);
+  b.switch_to(exit);
+  b.ret(sum);
+  b.finish();
+
+  sim::Simulator before(m, sim::amd_like());
+  const auto r1 = before.run();
+  EXPECT_EQ(r1.ret, 150);
+  ASSERT_TRUE(opt::compress_pointers(m));
+  ASSERT_EQ(verify(m), "");
+  sim::Simulator after(m, sim::amd_like());
+  EXPECT_EQ(after.run().ret, 150);
+}
+
+TEST(ModuleQueries, StrideAndBytesTrackPointerWidth) {
+  RecordId rec;
+  GlobalId gid;
+  Module m = record_module(&rec, &gid);
+  EXPECT_EQ(m.find_global("pairs"), gid);
+  EXPECT_EQ(m.find_global("nope"), kNoGlobal);
+  const auto bytes8 = m.global_bytes(gid);
+  m.set_ptr_bytes(4);
+  const auto bytes4 = m.global_bytes(gid);
+  EXPECT_LT(bytes4, bytes8);
+  EXPECT_EQ(m.global_stride(gid), m.record_layout(rec).stride);
+}
+
+TEST(BuilderErrors, ArgAndFrameBoundsChecked) {
+  Module m;
+  FunctionBuilder b(m, "f", 1, 8);
+  EXPECT_THROW(b.arg(1), support::CheckError);
+  EXPECT_THROW(b.frame_addr(8), support::CheckError);  // one past end
+  b.ret();
+  b.finish();
+}
+
+// --- machine-specific simulator behaviour ----------------------------------
+
+TEST(Machines, StaticPredictorPunishesAlternatingBranch) {
+  // An alternating (T,N,T,N) data-dependent branch: the gshare machine
+  // learns it, the static DSP predictor mispredicts half the time.
+  auto build = [] {
+    Module m;
+    FunctionBuilder b(m, "main", 0);
+    Reg acc = b.fresh();
+    b.imm_to(acc, 0);
+    Reg n = b.imm(512);
+    BlockId head = b.new_block(), body = b.new_block(),
+            odd = b.new_block(), join = b.new_block(), exit = b.new_block();
+    Reg i = b.fresh();
+    b.imm_to(i, 0);
+    b.jump(head);
+    b.switch_to(head);
+    b.br(b.cmp_lt(i, n), body, exit);
+    b.switch_to(body);
+    b.br(b.and_i(i, 1), odd, join);
+    b.switch_to(odd);
+    b.mov_to(acc, b.add_i(acc, 3));
+    b.jump(join);
+    b.switch_to(join);
+    b.mov_to(i, b.add_i(i, 1));
+    b.jump(head);
+    b.switch_to(exit);
+    b.ret(acc);
+    b.finish();
+    return m;
+  };
+  Module m1 = build(), m2 = build();
+  sim::Simulator dsp(m1, sim::c6713_like());
+  sim::Simulator amd(m2, sim::amd_like());
+  const auto r_dsp = dsp.run();
+  const auto r_amd = amd.run();
+  EXPECT_EQ(r_dsp.ret, r_amd.ret);
+  const double dsp_rate = static_cast<double>(r_dsp.counters[sim::BR_MSP]) /
+                          static_cast<double>(r_dsp.counters[sim::BR_INS]);
+  const double amd_rate = static_cast<double>(r_amd.counters[sim::BR_MSP]) /
+                          static_cast<double>(r_amd.counters[sim::BR_INS]);
+  EXPECT_GT(dsp_rate, 0.2);
+  EXPECT_LT(amd_rate, dsp_rate / 2);
+}
+
+TEST(Machines, CallOverheadVisible) {
+  auto build = [](int calls) {
+    Module m;
+    FuncId leaf;
+    {
+      FunctionBuilder b(m, "leaf", 1);
+      b.ret(b.add_i(b.arg(0), 1));
+      leaf = b.finish();
+    }
+    FunctionBuilder b(m, "main", 0);
+    Reg acc = b.fresh();
+    b.imm_to(acc, 0);
+    for (int i = 0; i < calls; ++i) acc = b.call(leaf, {acc});
+    b.ret(acc);
+    b.finish();
+    return m;
+  };
+  Module few = build(4), many = build(64);
+  sim::Simulator s1(few, sim::amd_like());
+  sim::Simulator s2(many, sim::amd_like());
+  const auto r1 = s1.run();
+  const auto r2 = s2.run();
+  EXPECT_EQ(r2.ret, 64);
+  // 60 extra calls at >= call_overhead + ~5 instructions each.
+  EXPECT_GT(r2.cycles, r1.cycles + 60 * sim::amd_like().call_overhead);
+}
+
+TEST(Machines, DeepRecursionTrapsAtDepthLimit) {
+  Module m;
+  FunctionBuilder b(m, "down", 1);
+  Reg n = b.arg(0);
+  BlockId base = b.new_block(), rec = b.new_block();
+  b.br(b.cmp_le(n, b.imm(0)), base, rec);
+  b.switch_to(base);
+  b.ret(n);
+  b.switch_to(rec);
+  b.ret(b.call(0, {b.sub_i(n, 1)}));
+  b.finish();
+  sim::Simulator s(m, sim::amd_like());
+  EXPECT_EQ(s.call("down", {100}).ret, 0);       // fine
+  EXPECT_THROW(s.call("down", {100000}), sim::TrapError);
+}
+
+// --- optimizer corner cases -------------------------------------------------
+
+TEST(OptCorners, DceNeverRemovesCalls) {
+  Module m;
+  FuncId effectful;
+  {
+    // Writes memory: removing the call would be observable.
+    Global g;
+    g.name = "cell";
+    g.elem_width = 8;
+    g.count = 1;
+    m.add_global(g);
+    FunctionBuilder b(m, "bump", 0);
+    Reg addr = b.global_addr(0);
+    b.store(addr, 0, b.add_i(b.load(addr, 0, MemWidth::W8), 1),
+            MemWidth::W8);
+    b.ret();
+    effectful = b.finish();
+  }
+  {
+    FunctionBuilder b(m, "main", 0);
+    b.call_void(effectful, {});
+    Reg dead = b.call(effectful, {});  // result unused, call must stay
+    (void)dead;
+    b.ret(b.load(b.global_addr(0), 0, MemWidth::W8));
+    b.finish();
+  }
+  for (auto& fn : m.functions()) opt::dce(fn);
+  sim::Simulator s(m, sim::amd_like());
+  EXPECT_EQ(s.run().ret, 2);
+}
+
+TEST(OptCorners, SimplifyCfgThreadsJumpChains) {
+  Module m;
+  FunctionBuilder b(m, "main", 0);
+  Reg v = b.imm(7);
+  BlockId hop1 = b.new_block(), hop2 = b.new_block(), end = b.new_block();
+  b.jump(hop1);
+  b.switch_to(hop1);
+  b.jump(hop2);
+  b.switch_to(hop2);
+  b.jump(end);
+  b.switch_to(end);
+  b.ret(v);
+  b.finish();
+  EXPECT_TRUE(opt::simplify_cfg(m.function(0)));
+  EXPECT_EQ(m.function(0).blocks.size(), 1u);
+  sim::Simulator s(m, sim::amd_like());
+  EXPECT_EQ(s.run().ret, 7);
+}
+
+TEST(OptCorners, LicmReusesExistingPreheader) {
+  // A loop whose header already has a unique jump-terminated out-of-loop
+  // predecessor: LICM must hoist there without growing the CFG.
+  wl::Workload w = wl::make_workload("fir");
+  Function& fn = w.module.function(w.module.find_function("main"));
+  opt::licm(fn);
+  const std::size_t blocks_after_first = fn.blocks.size();
+  opt::licm(fn);  // idempotent on CFG shape
+  EXPECT_EQ(fn.blocks.size(), blocks_after_first);
+  sim::Simulator s(w.module, sim::amd_like());
+  EXPECT_EQ(s.run().ret, w.expected_checksum);
+}
+
+TEST(OptCorners, InlineHandlesCallInMiddleOfBlock) {
+  Module m;
+  FuncId leaf;
+  {
+    FunctionBuilder b(m, "twice", 1);
+    b.ret(b.mul_i(b.arg(0), 2));
+    leaf = b.finish();
+  }
+  FunctionBuilder b(m, "main", 0);
+  Reg pre = b.imm(5);
+  Reg mid = b.call(leaf, {pre});
+  Reg post = b.add_i(mid, 1);  // instructions after the call in same block
+  b.ret(post);
+  b.finish();
+  EXPECT_TRUE(opt::inline_calls(m));
+  ASSERT_EQ(verify(m), "");
+  sim::Simulator s(m, sim::amd_like());
+  EXPECT_EQ(s.run().ret, 11);
+}
+
+// --- search-layer equivalences ----------------------------------------------
+
+TEST(SearchCorners, EvalFlagsMatchesManualPipeline) {
+  wl::Workload w = wl::make_workload("crc32");
+  search::Evaluator eval(w.module, sim::amd_like());
+  const opt::OptFlags flags = opt::fast_flags();
+  const auto via_flags = eval.eval_flags(flags);
+  const auto via_seq = eval.eval_sequence(opt::pipeline(flags));
+  EXPECT_EQ(via_flags.cycles, via_seq.cycles);
+  EXPECT_EQ(via_flags.code_size, via_seq.code_size);
+}
+
+TEST(SearchCorners, GaRepairKeepsUnrollConstraintUnderHighMutation) {
+  wl::Workload w = wl::make_workload("crc32");
+  search::Evaluator eval(w.module, sim::amd_like());
+  search::SequenceSpace space;
+  support::Rng rng(99);
+  search::GaParams params;
+  params.mutation_rate = 0.9;  // stress the repair path
+  const auto trace =
+      search::genetic_search(eval, space, rng, 40,
+                             search::Objective::Cycles, params);
+  EXPECT_TRUE(space.valid(trace.best_seq));
+}
+
+TEST(SearchCorners, EmptySequenceIsIdentity) {
+  wl::Workload w = wl::make_workload("bitcount");
+  search::Evaluator eval(w.module, sim::amd_like());
+  sim::Simulator s(w.module, sim::amd_like());
+  EXPECT_EQ(eval.eval_sequence({}).cycles, s.run().cycles);
+}
+
+}  // namespace

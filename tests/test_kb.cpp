@@ -1,0 +1,94 @@
+// Knowledge-base tests: record bookkeeping, queries, and the standard
+// text format round trip.
+#include <gtest/gtest.h>
+
+#include <cstdio>
+
+#include "kb/knowledge_base.hpp"
+
+namespace {
+
+using namespace ilc;
+
+kb::ExperimentRecord sample(const std::string& program, std::uint64_t cycles,
+                            const std::string& kind = "sequence") {
+  kb::ExperimentRecord r;
+  r.program = program;
+  r.machine = "amd-like";
+  r.kind = kind;
+  r.config = kind == "sequence" ? "constprop,dce,licm,peephole,schedule"
+                                : "1234";
+  r.cycles = cycles;
+  r.code_size = 100;
+  r.instructions = cycles / 2;
+  r.counters[sim::L1_TCM] = 7;
+  r.static_features = {1.5, -2.25, 0.0};
+  r.dynamic_features = {3.0, 0.125};
+  return r;
+}
+
+TEST(Kb, QueriesFilterByProgramAndKind) {
+  kb::KnowledgeBase base;
+  base.add(sample("a", 100));
+  base.add(sample("a", 90));
+  base.add(sample("b", 50));
+  base.add(sample("a", 80, "flags"));
+  EXPECT_EQ(base.for_program("a").size(), 3u);
+  EXPECT_EQ(base.for_program("a", "sequence").size(), 2u);
+  EXPECT_EQ(base.for_program("c").size(), 0u);
+  EXPECT_EQ(base.programs(), (std::vector<std::string>{"a", "b"}));
+}
+
+TEST(Kb, BestForProgramPicksMinimumCycles) {
+  kb::KnowledgeBase base;
+  base.add(sample("a", 100));
+  base.add(sample("a", 90));
+  base.add(sample("a", 95));
+  const auto* best = base.best_for_program("a");
+  ASSERT_NE(best, nullptr);
+  EXPECT_EQ(best->cycles, 90u);
+  EXPECT_EQ(base.best_for_program("zzz"), nullptr);
+}
+
+TEST(Kb, SerializeParseRoundTrip) {
+  kb::KnowledgeBase base;
+  base.add(sample("prog_one", 1234));
+  base.add(sample("prog,two \"quoted\"", 5678, "flags"));
+  const std::string text = base.serialize();
+  const auto parsed = kb::KnowledgeBase::parse(text);
+  ASSERT_TRUE(parsed.has_value());
+  ASSERT_EQ(parsed->size(), 2u);
+  const auto& r0 = parsed->records()[0];
+  EXPECT_EQ(r0.program, "prog_one");
+  EXPECT_EQ(r0.cycles, 1234u);
+  EXPECT_EQ(r0.counters[sim::L1_TCM], 7u);
+  EXPECT_EQ(r0.static_features, (std::vector<double>{1.5, -2.25, 0.0}));
+  EXPECT_EQ(r0.dynamic_features, (std::vector<double>{3.0, 0.125}));
+  const auto& r1 = parsed->records()[1];
+  EXPECT_EQ(r1.program, "prog,two \"quoted\"");
+  EXPECT_EQ(r1.kind, "flags");
+}
+
+TEST(Kb, ParseRejectsGarbage) {
+  EXPECT_FALSE(kb::KnowledgeBase::parse("not a kb").has_value());
+  EXPECT_FALSE(kb::KnowledgeBase::parse("").has_value());
+}
+
+TEST(Kb, SaveLoadFile) {
+  kb::KnowledgeBase base;
+  base.add(sample("a", 42));
+  const std::string path = "/tmp/ilc_kb_test.csv";
+  ASSERT_TRUE(base.save(path));
+  const auto loaded = kb::KnowledgeBase::load(path);
+  ASSERT_TRUE(loaded.has_value());
+  EXPECT_EQ(loaded->size(), 1u);
+  EXPECT_EQ(loaded->records()[0].cycles, 42u);
+  std::remove(path.c_str());
+}
+
+TEST(Kb, LoadMissingFileIsNullopt) {
+  EXPECT_FALSE(kb::KnowledgeBase::load("/tmp/definitely_missing_kb.csv")
+                   .has_value());
+}
+
+}  // namespace

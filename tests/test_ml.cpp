@@ -1,0 +1,173 @@
+// ML library tests: each classifier learns separable synthetic problems,
+// probability outputs are sane, and the validation protocols behave.
+#include <gtest/gtest.h>
+
+#include "ml/ml.hpp"
+#include "support/rng.hpp"
+
+namespace {
+
+using namespace ilc::ml;
+using ilc::support::Rng;
+
+/// Two Gaussian blobs in 2-D, linearly separable.
+Dataset blobs(std::uint64_t seed, int per_class, double sep = 3.0) {
+  Rng rng(seed);
+  Dataset d;
+  for (int c = 0; c < 2; ++c)
+    for (int i = 0; i < per_class; ++i) {
+      const double cx = c == 0 ? -sep / 2 : sep / 2;
+      d.add({cx + rng.next_double() - 0.5, rng.next_double() - 0.5}, c);
+    }
+  return d;
+}
+
+/// XOR-ish problem: not linearly separable, tree-friendly.
+Dataset xor_data(std::uint64_t seed, int n) {
+  Rng rng(seed);
+  Dataset d;
+  for (int i = 0; i < n; ++i) {
+    const double x = rng.next_double() * 2 - 1;
+    const double y = rng.next_double() * 2 - 1;
+    d.add({x, y}, (x > 0) != (y > 0) ? 1 : 0);
+  }
+  return d;
+}
+
+Dataset three_class(std::uint64_t seed, int per_class) {
+  Rng rng(seed);
+  Dataset d;
+  const double cx[3] = {-4, 0, 4};
+  for (int c = 0; c < 3; ++c)
+    for (int i = 0; i < per_class; ++i)
+      d.add({cx[c] + rng.next_double() - 0.5, rng.next_double()}, c);
+  return d;
+}
+
+template <typename Clf>
+void expect_learns_blobs(Clf&& clf, double min_acc) {
+  const Dataset train = blobs(1, 100);
+  const Dataset test = blobs(2, 50);
+  clf.fit(train);
+  EXPECT_GE(accuracy(clf, test), min_acc) << clf.name();
+}
+
+TEST(Knn, LearnsBlobs) { expect_learns_blobs(KnnClassifier(3), 0.98); }
+TEST(LogReg, LearnsBlobs) { expect_learns_blobs(LogisticRegression(), 0.98); }
+TEST(DTree, LearnsBlobs) { expect_learns_blobs(DecisionTree(), 0.95); }
+TEST(NBayes, LearnsBlobs) { expect_learns_blobs(NaiveBayes(), 0.98); }
+
+TEST(DTree, LearnsXorWhereLinearFails) {
+  const Dataset train = xor_data(3, 400);
+  const Dataset test = xor_data(4, 200);
+  DecisionTree tree;
+  tree.fit(train);
+  EXPECT_GE(accuracy(tree, test), 0.9);
+  LogisticRegression lr;
+  lr.fit(train);
+  EXPECT_LT(accuracy(lr, test), 0.75);  // linear model can't do XOR
+}
+
+TEST(Knn, MulticlassAndNearest) {
+  const Dataset train = three_class(5, 40);
+  KnnClassifier knn(3);
+  knn.fit(train);
+  EXPECT_EQ(knn.predict({-4, 0.5}), 0);
+  EXPECT_EQ(knn.predict({0, 0.5}), 1);
+  EXPECT_EQ(knn.predict({4, 0.5}), 2);
+  const std::size_t nn = knn.nearest({-4, 0.5});
+  EXPECT_EQ(train.y[nn], 0);
+}
+
+TEST(LogReg, MulticlassOneVsRest) {
+  const Dataset train = three_class(6, 60);
+  LogisticRegression lr;
+  lr.fit(train);
+  EXPECT_GE(accuracy(lr, train), 0.95);
+}
+
+TEST(ProbaOutputs, SumToOne) {
+  const Dataset train = three_class(7, 30);
+  std::vector<std::unique_ptr<Classifier>> clfs;
+  clfs.push_back(std::make_unique<KnnClassifier>(3));
+  clfs.push_back(std::make_unique<LogisticRegression>());
+  clfs.push_back(std::make_unique<DecisionTree>());
+  clfs.push_back(std::make_unique<NaiveBayes>());
+  for (auto& clf : clfs) {
+    clf->fit(train);
+    const auto p = clf->predict_proba({1.0, 0.3});
+    ASSERT_EQ(p.size(), 3u) << clf->name();
+    double total = 0;
+    for (double v : p) {
+      EXPECT_GE(v, 0.0) << clf->name();
+      total += v;
+    }
+    EXPECT_NEAR(total, 1.0, 1e-9) << clf->name();
+  }
+}
+
+TEST(DTree, RespectsDepthLimit) {
+  DecisionTree::Config cfg;
+  cfg.max_depth = 1;
+  DecisionTree stump(cfg);
+  stump.fit(xor_data(8, 200));
+  EXPECT_LE(stump.node_count(), 3u);  // root + two leaves
+}
+
+TEST(Dataset, WithoutRemovesExactlyOneRow) {
+  Dataset d = blobs(9, 5);
+  const Dataset d2 = d.without(3);
+  EXPECT_EQ(d2.size(), d.size() - 1);
+  EXPECT_EQ(d2.num_classes, d.num_classes);
+}
+
+TEST(Dataset, SplitByGroup) {
+  Dataset d;
+  d.add({0}, 0);
+  d.add({1}, 1);
+  d.add({2}, 0);
+  const std::vector<int> groups = {0, 1, 0};
+  auto [train, test] = Dataset::split_by_group(d, groups, 0);
+  EXPECT_EQ(test.size(), 2u);
+  EXPECT_EQ(train.size(), 1u);
+}
+
+TEST(Validation, LoocvHighOnSeparableData) {
+  const Dataset d = blobs(10, 20);
+  const double acc =
+      loocv_accuracy([] { return std::make_unique<KnnClassifier>(3); }, d);
+  EXPECT_GE(acc, 0.95);
+}
+
+TEST(Validation, LogoCoversEachGroup) {
+  Dataset d = blobs(11, 30);
+  std::vector<int> groups(d.size());
+  for (std::size_t i = 0; i < groups.size(); ++i)
+    groups[i] = static_cast<int>(i % 3);
+  const auto accs = logo_accuracy(
+      [] { return std::make_unique<NaiveBayes>(); }, d, groups, 3);
+  ASSERT_EQ(accs.size(), 3u);
+  for (double a : accs) EXPECT_GE(a, 0.9);
+}
+
+TEST(Validation, ConfusionDiagonalDominates) {
+  const Dataset d = blobs(12, 50);
+  KnnClassifier knn(1);
+  knn.fit(d);
+  const auto m = confusion(knn, d);
+  EXPECT_GE(m[0][0], 49u);
+  EXPECT_GE(m[1][1], 49u);
+}
+
+TEST(Determinism, SameDataSameModel) {
+  const Dataset d = three_class(13, 25);
+  LogisticRegression a, b;
+  a.fit(d);
+  b.fit(d);
+  for (int i = 0; i < 20; ++i) {
+    const std::vector<double> x = {static_cast<double>(i) - 10, 0.5};
+    EXPECT_EQ(a.predict(x), b.predict(x));
+  }
+}
+
+}  // namespace

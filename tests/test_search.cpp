@@ -1,0 +1,282 @@
+// Search-layer tests: evaluator caching, sequence-space combinatorics,
+// strategy behaviour (random / greedy / GA / generator), enumeration, and
+// the FOCUSSED model's learning behaviour.
+#include <gtest/gtest.h>
+
+#include "search/evaluator.hpp"
+#include "search/focused.hpp"
+#include "search/space.hpp"
+#include "search/strategies.hpp"
+#include "workloads/workloads.hpp"
+
+namespace {
+
+using namespace ilc;
+using namespace ilc::search;
+using opt::PassId;
+
+TEST(SpaceMath, CountMatchesConstraint) {
+  SequenceSpace space;
+  // 13 passes, 3 unrolls, length 5: 10^5 + 5*3*10^4 = 250,000.
+  EXPECT_EQ(space.count(), 250000u);
+  EXPECT_EQ(space.raw_count(), 371293u);  // 13^5
+  SequenceSpace unconstrained = space;
+  unconstrained.unroll_at_most_once = false;
+  EXPECT_EQ(unconstrained.count(), 371293u);
+}
+
+TEST(SpaceMath, ValidRejectsDoubleUnroll) {
+  SequenceSpace space;
+  std::vector<PassId> two_unrolls = {PassId::Unroll2, PassId::Unroll4,
+                                     PassId::Dce, PassId::Dce, PassId::Dce};
+  EXPECT_FALSE(space.valid(two_unrolls));
+  std::vector<PassId> one_unroll = {PassId::Unroll2, PassId::Cse,
+                                    PassId::Dce, PassId::Dce, PassId::Dce};
+  EXPECT_TRUE(space.valid(one_unroll));
+  std::vector<PassId> wrong_len = {PassId::Dce};
+  EXPECT_FALSE(space.valid(wrong_len));
+  std::vector<PassId> outside = {PassId::PtrCompress, PassId::Dce,
+                                 PassId::Dce, PassId::Dce, PassId::Dce};
+  EXPECT_FALSE(space.valid(outside));  // PtrCompress not in the 13
+}
+
+TEST(SpaceMath, SamplesAreValidAndVaried) {
+  SequenceSpace space;
+  support::Rng rng(5);
+  std::set<std::string> distinct;
+  for (int i = 0; i < 100; ++i) {
+    const auto seq = space.sample(rng);
+    EXPECT_TRUE(space.valid(seq));
+    distinct.insert(sequence_to_string(seq));
+  }
+  EXPECT_GT(distinct.size(), 90u);
+}
+
+TEST(SpaceMath, AtRawEnumeratesOdometer) {
+  SequenceSpace space;
+  const auto first = space.at_raw(0);
+  for (PassId id : first) EXPECT_EQ(id, space.passes[0]);
+  const auto second = space.at_raw(1);
+  EXPECT_EQ(second[0], space.passes[1]);
+  EXPECT_EQ(second[1], space.passes[0]);
+}
+
+TEST(SequenceStrings, RoundTrip) {
+  const std::vector<PassId> seq = {PassId::ConstProp, PassId::Unroll4,
+                                   PassId::Dce};
+  EXPECT_EQ(sequence_from_string(sequence_to_string(seq)), seq);
+  EXPECT_TRUE(sequence_from_string("").empty());
+}
+
+TEST(EvaluatorCache, CollapsesEquivalentSequences) {
+  wl::Workload w = wl::make_workload("crc32");
+  Evaluator eval(w.module, sim::amd_like());
+  // dce twice == dce-heavy sequences often converge to identical code.
+  const auto r1 = eval.eval_sequence({PassId::Dce});
+  const auto r2 = eval.eval_sequence({PassId::Dce, PassId::Dce});
+  EXPECT_EQ(r1.cycles, r2.cycles);
+  EXPECT_GE(eval.cache_hits(), 1u);
+  EXPECT_LE(eval.simulations(), 2u);
+}
+
+TEST(EvaluatorCache, DisableForcesResimulation) {
+  wl::Workload w = wl::make_workload("crc32");
+  Evaluator eval(w.module, sim::amd_like());
+  eval.set_cache_enabled(false);
+  eval.eval_sequence({PassId::Dce});
+  eval.eval_sequence({PassId::Dce});
+  EXPECT_EQ(eval.simulations(), 2u);
+  EXPECT_EQ(eval.cache_hits(), 0u);
+}
+
+TEST(EvaluatorResults, OptimizationNeverBreaksProgram) {
+  wl::Workload w = wl::make_workload("fir");
+  Evaluator eval(w.module, sim::amd_like());
+  support::Rng rng(3);
+  SequenceSpace space;
+  for (int i = 0; i < 10; ++i) {
+    const auto res = eval.eval_sequence(space.sample(rng));
+    EXPECT_GT(res.cycles, 0u);
+    EXPECT_GT(res.code_size, 0u);
+  }
+}
+
+TEST(Strategies, TracesAreMonotoneNonIncreasing) {
+  wl::Workload w = wl::make_workload("crc32");
+  Evaluator eval(w.module, sim::amd_like());
+  support::Rng rng(11);
+  SequenceSpace space;
+  for (auto trace :
+       {random_search(eval, space, rng, 20),
+        greedy_search(eval, space, rng, 20),
+        genetic_search(eval, space, rng, 30)}) {
+    ASSERT_GE(trace.best_so_far.size(), 18u);
+    for (std::size_t i = 1; i < trace.best_so_far.size(); ++i)
+      EXPECT_LE(trace.best_so_far[i], trace.best_so_far[i - 1]);
+    EXPECT_EQ(trace.best_metric, trace.best_so_far.back());
+    EXPECT_TRUE(space.valid(trace.best_seq));
+  }
+}
+
+TEST(Strategies, SearchBeatsO0) {
+  wl::Workload w = wl::make_workload("fir");
+  Evaluator eval(w.module, sim::amd_like());
+  const auto o0 = eval.eval_sequence({});
+  support::Rng rng(17);
+  SequenceSpace space;
+  const auto trace = random_search(eval, space, rng, 40);
+  EXPECT_LT(trace.best_metric, o0.cycles);
+}
+
+TEST(Strategies, GaCodeSizeObjectiveShrinksCode) {
+  wl::Workload w = wl::make_workload("adpcm");
+  Evaluator eval(w.module, sim::amd_like());
+  const auto o0 = eval.eval_sequence({});
+  support::Rng rng(23);
+  SequenceSpace space;
+  const auto trace = genetic_search(eval, space, rng, 60,
+                                    Objective::CodeSize);
+  EXPECT_LT(trace.best_metric, o0.code_size);
+}
+
+TEST(Strategies, EnumerationSamplesDistinctValidPoints) {
+  wl::Workload w = wl::make_workload("crc32");
+  Evaluator eval(w.module, sim::amd_like());
+  support::Rng rng(31);
+  SequenceSpace space;
+  const auto points = enumerate_space(eval, space, rng, 50);
+  EXPECT_EQ(points.size(), 50u);
+  for (const auto& pt : points) {
+    EXPECT_TRUE(space.valid(pt.seq));
+    EXPECT_GT(pt.cycles, 0u);
+  }
+}
+
+TEST(Strategies, FlagSearchIncludesAnchors) {
+  wl::Workload w = wl::make_workload("crc32");
+  Evaluator eval(w.module, sim::amd_like());
+  support::Rng rng(37);
+  const auto points = flag_search(eval, rng, 12);
+  EXPECT_EQ(points.size(), 12u);
+  EXPECT_EQ(points[0].flags, opt::o0_flags());
+  EXPECT_EQ(points[1].flags, opt::fast_flags());
+  EXPECT_TRUE(points[2].flags.ptrcompress);
+}
+
+// --- FOCUSSED model -------------------------------------------------------
+
+FocusedModel toy_model(FocusedKind kind = FocusedKind::Markov) {
+  SequenceSpace space;
+  // Two training "programs": one whose good sequences are all licm-ish,
+  // one all cse-ish, with well-separated features.
+  ProgramSearchData loopy;
+  loopy.program = "loopy";
+  loopy.features = {10.0, 0.0};
+  for (int i = 0; i < 20; ++i)
+    loopy.good_seqs.push_back({PassId::Licm, PassId::Unroll4, PassId::Licm,
+                               PassId::Schedule, PassId::Dce});
+  ProgramSearchData scalar;
+  scalar.program = "scalar";
+  scalar.features = {0.0, 10.0};
+  for (int i = 0; i < 20; ++i)
+    scalar.good_seqs.push_back({PassId::Cse, PassId::CopyProp, PassId::Cse,
+                                PassId::Peephole, PassId::Dce});
+  // mixture=1: the pure 1-NN model selection of Agakov et al.
+  return FocusedModel({loopy, scalar}, space, kind, /*mixture=*/1);
+}
+
+TEST(Focused, SelectsNearestProgramModel) {
+  FocusedModel model = toy_model();
+  model.set_target({9.0, 1.0});
+  EXPECT_EQ(model.selected_program(), "loopy");
+  model.set_target({1.0, 9.0});
+  EXPECT_EQ(model.selected_program(), "scalar");
+}
+
+TEST(Focused, SamplesConcentrateOnLearnedPasses) {
+  FocusedModel model = toy_model();
+  model.set_target({9.0, 1.0});
+  support::Rng rng(41);
+  unsigned licm_hits = 0, total = 0;
+  for (int i = 0; i < 100; ++i) {
+    const auto seq = model.sample(rng);
+    EXPECT_TRUE(model.space().valid(seq));
+    for (PassId id : seq) {
+      ++total;
+      if (id == PassId::Licm || id == PassId::Unroll4 ||
+          id == PassId::Schedule || id == PassId::Dce)
+        ++licm_hits;
+    }
+  }
+  EXPECT_GT(static_cast<double>(licm_hits) / total, 0.6);
+}
+
+TEST(Focused, LogProbRanksLearnedSequencesHigher) {
+  FocusedModel model = toy_model();
+  model.set_target({9.0, 1.0});
+  const double lp_good = model.log_prob(
+      {PassId::Licm, PassId::Unroll4, PassId::Licm, PassId::Schedule,
+       PassId::Dce});
+  const double lp_bad = model.log_prob(
+      {PassId::Cse, PassId::CopyProp, PassId::Cse, PassId::Peephole,
+       PassId::CopyProp});
+  EXPECT_GT(lp_good, lp_bad);
+}
+
+TEST(Focused, IidAndMarkovBothSampleValid) {
+  for (FocusedKind kind : {FocusedKind::Iid, FocusedKind::Markov}) {
+    FocusedModel model = toy_model(kind);
+    model.set_target({9.0, 1.0});
+    support::Rng rng(43);
+    for (int i = 0; i < 20; ++i)
+      EXPECT_TRUE(model.space().valid(model.sample(rng)));
+  }
+}
+
+TEST(Focused, MixtureBlendsNearestComponents) {
+  SequenceSpace space;
+  ProgramSearchData a, b, far;
+  a.program = "a";
+  a.features = {0.0, 0.0};
+  a.good_seqs.assign(10, {PassId::Licm, PassId::Licm, PassId::Licm,
+                          PassId::Licm, PassId::Licm});
+  b.program = "b";
+  b.features = {1.0, 0.0};
+  b.good_seqs.assign(10, {PassId::Cse, PassId::Cse, PassId::Cse,
+                          PassId::Cse, PassId::Cse});
+  far.program = "far";
+  far.features = {100.0, 100.0};
+  far.good_seqs.assign(10, {PassId::Dce, PassId::Dce, PassId::Dce,
+                            PassId::Dce, PassId::Dce});
+  FocusedModel model({a, b, far}, space, FocusedKind::Iid, /*mixture=*/2);
+  model.set_target({0.4, 0.0});  // between a and b, far from "far"
+  EXPECT_EQ(model.selected_program(), "a");
+  // Samples should draw from both near components, none from "far".
+  support::Rng rng(53);
+  unsigned licm = 0, cse = 0, dce = 0, total = 0;
+  for (int i = 0; i < 200; ++i) {
+    for (PassId id : model.sample(rng)) {
+      ++total;
+      licm += id == PassId::Licm;
+      cse += id == PassId::Cse;
+      dce += id == PassId::Dce;
+    }
+  }
+  EXPECT_GT(licm, total / 5);
+  EXPECT_GT(cse, total / 10);
+  EXPECT_LT(dce, total / 10);
+}
+
+TEST(Focused, GeneratorSearchUsesModelSamples) {
+  wl::Workload w = wl::make_workload("fir");
+  Evaluator eval(w.module, sim::amd_like());
+  FocusedModel model = toy_model();
+  model.set_target({9.0, 1.0});
+  support::Rng rng(47);
+  const auto trace = generator_search(
+      eval, [&] { return model.sample(rng); }, 15);
+  EXPECT_EQ(trace.evaluations, 15u);
+  EXPECT_TRUE(model.space().valid(trace.best_seq));
+}
+
+}  // namespace

@@ -1,0 +1,227 @@
+// Unit tests for the support substrate: RNG determinism and statistics,
+// hashing, thread pool / parallel_for, tables, CSV round-trips, strings.
+#include <gtest/gtest.h>
+
+#include <atomic>
+#include <set>
+
+#include "support/assert.hpp"
+#include "support/csv.hpp"
+#include "support/hash.hpp"
+#include "support/rng.hpp"
+#include "support/stats.hpp"
+#include "support/string_utils.hpp"
+#include "support/table.hpp"
+#include "support/thread_pool.hpp"
+
+namespace {
+
+using namespace ilc::support;
+
+TEST(Rng, DeterministicForSeed) {
+  Rng a(42), b(42);
+  for (int i = 0; i < 1000; ++i) EXPECT_EQ(a.next_u64(), b.next_u64());
+}
+
+TEST(Rng, DifferentSeedsDiverge) {
+  Rng a(1), b(2);
+  int same = 0;
+  for (int i = 0; i < 100; ++i)
+    if (a.next_u64() == b.next_u64()) ++same;
+  EXPECT_EQ(same, 0);
+}
+
+TEST(Rng, NextBelowIsInRange) {
+  Rng r(7);
+  for (int i = 0; i < 10000; ++i) EXPECT_LT(r.next_below(17), 17u);
+}
+
+TEST(Rng, NextBelowCoversAllValues) {
+  Rng r(7);
+  std::set<std::uint64_t> seen;
+  for (int i = 0; i < 2000; ++i) seen.insert(r.next_below(7));
+  EXPECT_EQ(seen.size(), 7u);
+}
+
+TEST(Rng, NextInInclusiveBounds) {
+  Rng r(3);
+  bool lo_seen = false, hi_seen = false;
+  for (int i = 0; i < 5000; ++i) {
+    const auto v = r.next_in(-2, 2);
+    EXPECT_GE(v, -2);
+    EXPECT_LE(v, 2);
+    lo_seen |= (v == -2);
+    hi_seen |= (v == 2);
+  }
+  EXPECT_TRUE(lo_seen);
+  EXPECT_TRUE(hi_seen);
+}
+
+TEST(Rng, DoubleInUnitInterval) {
+  Rng r(11);
+  for (int i = 0; i < 10000; ++i) {
+    const double d = r.next_double();
+    EXPECT_GE(d, 0.0);
+    EXPECT_LT(d, 1.0);
+  }
+}
+
+TEST(Rng, WeightedRespectsZeroWeights) {
+  Rng r(5);
+  std::vector<double> w = {0.0, 1.0, 0.0};
+  for (int i = 0; i < 200; ++i) EXPECT_EQ(r.next_weighted(w), 1u);
+}
+
+TEST(Rng, WeightedApproximatesDistribution) {
+  Rng r(6);
+  std::vector<double> w = {1.0, 3.0};
+  int hits = 0;
+  const int n = 20000;
+  for (int i = 0; i < n; ++i)
+    if (r.next_weighted(w) == 1) ++hits;
+  EXPECT_NEAR(static_cast<double>(hits) / n, 0.75, 0.02);
+}
+
+TEST(Rng, ShuffleIsPermutation) {
+  Rng r(9);
+  std::vector<int> v = {1, 2, 3, 4, 5, 6, 7, 8};
+  auto orig = v;
+  r.shuffle(v);
+  std::sort(v.begin(), v.end());
+  EXPECT_EQ(v, orig);
+}
+
+TEST(Rng, ForkProducesIndependentStreams) {
+  Rng base(1);
+  Rng a = base.fork(0);
+  Rng b = base.fork(1);
+  EXPECT_NE(a.next_u64(), b.next_u64());
+}
+
+TEST(Hash, StableAndSensitive) {
+  EXPECT_EQ(hash_bytes("abc", 3), hash_bytes("abc", 3));
+  EXPECT_NE(hash_bytes("abc", 3), hash_bytes("abd", 3));
+  EXPECT_NE(hash_combine(1, 2), hash_combine(2, 1));
+}
+
+TEST(Hash, HasherStrIncludesLength) {
+  Hasher a, b;
+  a.str("ab").str("c");
+  b.str("a").str("bc");
+  EXPECT_NE(a.digest(), b.digest());
+}
+
+TEST(Stats, MeanVarStd) {
+  std::vector<double> v = {1, 2, 3, 4};
+  EXPECT_DOUBLE_EQ(mean(v), 2.5);
+  EXPECT_DOUBLE_EQ(variance(v), 1.25);
+  EXPECT_NEAR(stdev(v), 1.118, 1e-3);
+}
+
+TEST(Stats, GeomeanOfPowers) {
+  std::vector<double> v = {1, 4};
+  EXPECT_DOUBLE_EQ(geomean(v), 2.0);
+}
+
+TEST(Stats, PercentileInterpolates) {
+  std::vector<double> v = {10, 20, 30, 40};
+  EXPECT_DOUBLE_EQ(percentile(v, 0), 10);
+  EXPECT_DOUBLE_EQ(percentile(v, 100), 40);
+  EXPECT_DOUBLE_EQ(percentile(v, 50), 25);
+}
+
+TEST(ThreadPool, RunsAllJobs) {
+  ThreadPool pool(4);
+  std::atomic<int> count{0};
+  for (int i = 0; i < 100; ++i) pool.submit([&] { ++count; });
+  pool.wait_idle();
+  EXPECT_EQ(count.load(), 100);
+}
+
+TEST(ParallelFor, CoversRangeExactlyOnce) {
+  std::vector<std::atomic<int>> hits(500);
+  parallel_for(0, 500, [&](std::size_t i) { ++hits[i]; }, 4);
+  for (auto& h : hits) EXPECT_EQ(h.load(), 1);
+}
+
+TEST(ParallelFor, PropagatesException) {
+  EXPECT_THROW(
+      parallel_for(0, 10,
+                   [](std::size_t i) {
+                     if (i == 5) throw std::runtime_error("boom");
+                   },
+                   4),
+      std::runtime_error);
+}
+
+TEST(ParallelFor, EmptyRangeIsNoop) {
+  parallel_for(5, 5, [](std::size_t) { FAIL(); }, 4);
+}
+
+TEST(Table, RendersAlignedCells) {
+  Table t({"name", "value"});
+  t.add_row({"x", "1.50"});
+  t.add_row({"longer", "20.25"});
+  const std::string out = t.render();
+  EXPECT_NE(out.find("| name   |"), std::string::npos);
+  EXPECT_NE(out.find("1.50"), std::string::npos);
+}
+
+TEST(Table, NumFormatters) {
+  EXPECT_EQ(Table::num(3.14159, 2), "3.14");
+  EXPECT_EQ(Table::num(1234567LL), "1,234,567");
+  EXPECT_EQ(Table::num(-42LL), "-42");
+}
+
+TEST(Table, RowWidthMismatchThrows) {
+  Table t({"a", "b"});
+  EXPECT_THROW(t.add_row({"only-one"}), CheckError);
+}
+
+TEST(Csv, RoundTripsQuotedCells) {
+  CsvWriter w;
+  w.row({"a", "b,with comma", "c\"quote"});
+  w.row({"1", "2", "3"});
+  const auto rows = parse_csv(w.str());
+  ASSERT_EQ(rows.size(), 2u);
+  EXPECT_EQ(rows[0][1], "b,with comma");
+  EXPECT_EQ(rows[0][2], "c\"quote");
+  EXPECT_EQ(rows[1][0], "1");
+}
+
+TEST(Csv, ParsesEmptyCells) {
+  const auto rows = parse_csv("a,,c\n");
+  ASSERT_EQ(rows.size(), 1u);
+  ASSERT_EQ(rows[0].size(), 3u);
+  EXPECT_EQ(rows[0][1], "");
+}
+
+TEST(Strings, SplitAndJoin) {
+  const auto parts = split("a:b::c", ':');
+  EXPECT_EQ(parts, (std::vector<std::string>{"a", "b", "", "c"}));
+  EXPECT_EQ(join({"a", "b", "c"}, "-"), "a-b-c");
+}
+
+TEST(Strings, SplitWsDropsEmpties) {
+  const auto parts = split_ws("  a \t b\nc  ");
+  EXPECT_EQ(parts, (std::vector<std::string>{"a", "b", "c"}));
+}
+
+TEST(Strings, TrimAndCase) {
+  EXPECT_EQ(trim("  hi \n"), "hi");
+  EXPECT_EQ(trim(""), "");
+  EXPECT_EQ(to_lower("MiXeD"), "mixed");
+  EXPECT_TRUE(starts_with("foobar", "foo"));
+  EXPECT_FALSE(starts_with("fo", "foo"));
+}
+
+TEST(Assert, CheckThrowsWithMessage) {
+  try {
+    ILC_CHECK_MSG(1 == 2, "custom " << 42);
+    FAIL();
+  } catch (const CheckError& e) {
+    EXPECT_NE(std::string(e.what()).find("custom 42"), std::string::npos);
+  }
+}
+
+}  // namespace

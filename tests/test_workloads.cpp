@@ -1,0 +1,89 @@
+// Workload suite validation: every program verifies, runs, and returns
+// its golden checksum; kernels match their kernel checksums; the
+// memory-bound/compute-bound poles show the expected counter signatures.
+#include <gtest/gtest.h>
+
+#include "ir/verifier.hpp"
+#include "sim/interpreter.hpp"
+#include "workloads/workloads.hpp"
+
+namespace {
+
+using namespace ilc;
+
+class WorkloadTest : public ::testing::TestWithParam<std::string> {};
+
+TEST_P(WorkloadTest, VerifiesAndMatchesGolden) {
+  wl::Workload w = wl::make_workload(GetParam());
+  EXPECT_EQ(ir::verify(w.module), "");
+  sim::Simulator s(w.module, sim::amd_like());
+  const sim::RunResult r = s.run();
+  EXPECT_EQ(r.ret, w.expected_checksum) << w.name;
+  EXPECT_GT(r.instructions, 1000u) << "workload too trivial";
+  EXPECT_GT(r.cycles, r.instructions / 4) << "cycle model implausible";
+}
+
+TEST_P(WorkloadTest, DeterministicAcrossSimulators) {
+  wl::Workload w = wl::make_workload(GetParam());
+  sim::Simulator s1(w.module, sim::amd_like());
+  sim::Simulator s2(w.module, sim::amd_like());
+  const auto r1 = s1.run();
+  const auto r2 = s2.run();
+  EXPECT_EQ(r1.ret, r2.ret);
+  EXPECT_EQ(r1.cycles, r2.cycles);
+  EXPECT_EQ(r1.counters, r2.counters);
+}
+
+TEST_P(WorkloadTest, RunsOnBothMachines) {
+  wl::Workload w = wl::make_workload(GetParam());
+  sim::Simulator dsp(w.module, sim::c6713_like());
+  EXPECT_EQ(dsp.run().ret, w.expected_checksum);
+}
+
+TEST_P(WorkloadTest, KernelChecksumMatches) {
+  wl::Workload w = wl::make_workload(GetParam());
+  if (w.kernel.empty()) GTEST_SKIP() << "no kernel";
+  sim::Simulator s(w.module, sim::amd_like());
+  if (!w.kernel_setup.empty()) s.call(w.kernel_setup);
+  std::int64_t sum = 0;
+  for (std::int64_t i = 0; i < w.kernel_items; ++i) {
+    sum = (sum + s.call(w.kernel, {i}).ret) & 0x7fffffff;
+  }
+  EXPECT_EQ(sum, w.kernel_checksum) << w.name;
+}
+
+INSTANTIATE_TEST_SUITE_P(Suite, WorkloadTest,
+                         ::testing::ValuesIn(wl::workload_names()),
+                         [](const auto& info) { return info.param; });
+
+TEST(SuiteShape, McfIsTheMemoryBoundOutlier) {
+  // Fig. 3's premise: mcf's per-instruction memory-miss counters tower
+  // over the suite average.
+  double mcf_l2_rate = 0;
+  std::vector<double> rates;
+  for (const auto& name : wl::workload_names()) {
+    wl::Workload w = wl::make_workload(name);
+    sim::Simulator s(w.module, sim::amd_like());
+    const auto r = s.run();
+    const double rate = static_cast<double>(r.counters[sim::L2_TCM]) /
+                        static_cast<double>(r.counters[sim::TOT_INS]);
+    if (name == "mcf_lite") mcf_l2_rate = rate;
+    rates.push_back(rate);
+  }
+  double avg = 0;
+  for (double x : rates) avg += x;
+  avg /= static_cast<double>(rates.size());
+  EXPECT_GT(mcf_l2_rate, 3.0 * avg)
+      << "mcf_lite should be a strong L2-miss outlier";
+}
+
+TEST(SuiteShape, ShaLiteIsComputeBound) {
+  wl::Workload w = wl::make_workload("sha_lite");
+  sim::Simulator s(w.module, sim::amd_like());
+  const auto r = s.run();
+  const double miss_rate = static_cast<double>(r.counters[sim::L1_TCM]) /
+                           static_cast<double>(r.counters[sim::TOT_INS]);
+  EXPECT_LT(miss_rate, 0.01);
+}
+
+}  // namespace
