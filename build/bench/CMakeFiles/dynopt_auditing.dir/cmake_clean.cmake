@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/dynopt_auditing.dir/dynopt_auditing.cpp.o"
+  "CMakeFiles/dynopt_auditing.dir/dynopt_auditing.cpp.o.d"
+  "dynopt_auditing"
+  "dynopt_auditing.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/dynopt_auditing.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/fig2a_space.dir/fig2a_space.cpp.o"
+  "CMakeFiles/fig2a_space.dir/fig2a_space.cpp.o.d"
+  "fig2a_space"
+  "fig2a_space.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/fig2a_space.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/fig2b_search.dir/fig2b_search.cpp.o"
+  "CMakeFiles/fig2b_search.dir/fig2b_search.cpp.o.d"
+  "fig2b_search"
+  "fig2b_search.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/fig2b_search.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

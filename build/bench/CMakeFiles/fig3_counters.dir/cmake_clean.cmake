@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/fig3_counters.dir/fig3_counters.cpp.o"
+  "CMakeFiles/fig3_counters.dir/fig3_counters.cpp.o.d"
+  "fig3_counters"
+  "fig3_counters.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/fig3_counters.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

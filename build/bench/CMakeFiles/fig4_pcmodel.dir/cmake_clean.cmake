@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/fig4_pcmodel.dir/fig4_pcmodel.cpp.o"
+  "CMakeFiles/fig4_pcmodel.dir/fig4_pcmodel.cpp.o.d"
+  "fig4_pcmodel"
+  "fig4_pcmodel.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/fig4_pcmodel.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

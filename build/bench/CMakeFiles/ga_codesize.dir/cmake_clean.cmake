@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/ga_codesize.dir/ga_codesize.cpp.o"
+  "CMakeFiles/ga_codesize.dir/ga_codesize.cpp.o.d"
+  "ga_codesize"
+  "ga_codesize.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/ga_codesize.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/pass_interactions.dir/pass_interactions.cpp.o"
+  "CMakeFiles/pass_interactions.dir/pass_interactions.cpp.o.d"
+  "pass_interactions"
+  "pass_interactions.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/pass_interactions.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

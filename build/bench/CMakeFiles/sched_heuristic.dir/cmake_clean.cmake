@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/sched_heuristic.dir/sched_heuristic.cpp.o"
+  "CMakeFiles/sched_heuristic.dir/sched_heuristic.cpp.o.d"
+  "sched_heuristic"
+  "sched_heuristic.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/sched_heuristic.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

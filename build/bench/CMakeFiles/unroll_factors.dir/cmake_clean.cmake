@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/unroll_factors.dir/unroll_factors.cpp.o"
+  "CMakeFiles/unroll_factors.dir/unroll_factors.cpp.o.d"
+  "unroll_factors"
+  "unroll_factors.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/unroll_factors.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

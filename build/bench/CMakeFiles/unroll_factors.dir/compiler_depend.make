@@ -1,0 +1,2 @@
+# Empty compiler generated dependencies file for unroll_factors.
+# This may be replaced when dependencies are built.

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/counter_guided.dir/counter_guided.cpp.o"
+  "CMakeFiles/counter_guided.dir/counter_guided.cpp.o.d"
+  "counter_guided"
+  "counter_guided.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/counter_guided.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

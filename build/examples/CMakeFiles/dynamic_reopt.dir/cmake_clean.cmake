@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/dynamic_reopt.dir/dynamic_reopt.cpp.o"
+  "CMakeFiles/dynamic_reopt.dir/dynamic_reopt.cpp.o.d"
+  "dynamic_reopt"
+  "dynamic_reopt.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/dynamic_reopt.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

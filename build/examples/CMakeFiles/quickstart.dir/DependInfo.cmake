@@ -1,0 +1,31 @@
+
+# Consider dependencies only in project.
+set(CMAKE_DEPENDS_IN_PROJECT_ONLY OFF)
+
+# The set of languages for which implicit dependencies are needed:
+set(CMAKE_DEPENDS_LANGUAGES
+  )
+
+# The set of dependency files which are needed:
+set(CMAKE_DEPENDS_DEPENDENCY_FILES
+  "/root/repo/examples/quickstart.cpp" "examples/CMakeFiles/quickstart.dir/quickstart.cpp.o" "gcc" "examples/CMakeFiles/quickstart.dir/quickstart.cpp.o.d"
+  )
+
+# Targets to which this target links.
+set(CMAKE_TARGET_LINKED_INFO_FILES
+  "/root/repo/build/src/controller/CMakeFiles/ilc_controller.dir/DependInfo.cmake"
+  "/root/repo/build/src/search/CMakeFiles/ilc_search.dir/DependInfo.cmake"
+  "/root/repo/build/src/dynopt/CMakeFiles/ilc_dynopt.dir/DependInfo.cmake"
+  "/root/repo/build/src/sched/CMakeFiles/ilc_sched.dir/DependInfo.cmake"
+  "/root/repo/build/src/kb/CMakeFiles/ilc_kb.dir/DependInfo.cmake"
+  "/root/repo/build/src/ml/CMakeFiles/ilc_ml.dir/DependInfo.cmake"
+  "/root/repo/build/src/features/CMakeFiles/ilc_features.dir/DependInfo.cmake"
+  "/root/repo/build/src/opt/CMakeFiles/ilc_opt.dir/DependInfo.cmake"
+  "/root/repo/build/src/sim/CMakeFiles/ilc_sim.dir/DependInfo.cmake"
+  "/root/repo/build/src/workloads/CMakeFiles/ilc_workloads.dir/DependInfo.cmake"
+  "/root/repo/build/src/ir/CMakeFiles/ilc_ir.dir/DependInfo.cmake"
+  "/root/repo/build/src/support/CMakeFiles/ilc_support.dir/DependInfo.cmake"
+  )
+
+# Fortran module output directory.
+set(CMAKE_Fortran_TARGET_MODULE_DIR "")

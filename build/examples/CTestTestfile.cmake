@@ -1,0 +1,18 @@
+# CMake generated Testfile for 
+# Source directory: /root/repo/examples
+# Build directory: /root/repo/build/examples
+# 
+# This file includes the relevant testing commands required for 
+# testing this directory and lists subdirectories to be tested as well.
+add_test(example_quickstart "/root/repo/build/examples/quickstart")
+set_tests_properties(example_quickstart PROPERTIES  _BACKTRACE_TRIPLES "/root/repo/examples/CMakeLists.txt;16;add_test;/root/repo/examples/CMakeLists.txt;0;")
+add_test(example_autotune "/root/repo/build/examples/autotune" "fir" "8")
+set_tests_properties(example_autotune PROPERTIES  _BACKTRACE_TRIPLES "/root/repo/examples/CMakeLists.txt;17;add_test;/root/repo/examples/CMakeLists.txt;0;")
+add_test(example_counter_guided "/root/repo/build/examples/counter_guided" "crc32")
+set_tests_properties(example_counter_guided PROPERTIES  _BACKTRACE_TRIPLES "/root/repo/examples/CMakeLists.txt;18;add_test;/root/repo/examples/CMakeLists.txt;0;")
+add_test(example_dynamic_reopt "/root/repo/build/examples/dynamic_reopt")
+set_tests_properties(example_dynamic_reopt PROPERTIES  _BACKTRACE_TRIPLES "/root/repo/examples/CMakeLists.txt;19;add_test;/root/repo/examples/CMakeLists.txt;0;")
+add_test(example_kb_tool_build "/root/repo/build/examples/kb_tool" "build" "kb_smoke.kb" "8")
+set_tests_properties(example_kb_tool_build PROPERTIES  _BACKTRACE_TRIPLES "/root/repo/examples/CMakeLists.txt;20;add_test;/root/repo/examples/CMakeLists.txt;0;")
+add_test(example_kb_tool_summary "/root/repo/build/examples/kb_tool" "summary" "kb_smoke.kb")
+set_tests_properties(example_kb_tool_summary PROPERTIES  DEPENDS "example_kb_tool_build" _BACKTRACE_TRIPLES "/root/repo/examples/CMakeLists.txt;21;add_test;/root/repo/examples/CMakeLists.txt;0;")

@@ -1,0 +1,18 @@
+# CMake generated Testfile for 
+# Source directory: /root/repo/src
+# Build directory: /root/repo/build/src
+# 
+# This file includes the relevant testing commands required for 
+# testing this directory and lists subdirectories to be tested as well.
+subdirs("support")
+subdirs("ir")
+subdirs("opt")
+subdirs("sim")
+subdirs("workloads")
+subdirs("features")
+subdirs("ml")
+subdirs("kb")
+subdirs("search")
+subdirs("controller")
+subdirs("dynopt")
+subdirs("sched")

@@ -1,0 +1,13 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/ilc_controller.dir/controller.cpp.o"
+  "CMakeFiles/ilc_controller.dir/controller.cpp.o.d"
+  "CMakeFiles/ilc_controller.dir/kb_builder.cpp.o"
+  "CMakeFiles/ilc_controller.dir/kb_builder.cpp.o.d"
+  "libilc_controller.a"
+  "libilc_controller.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/ilc_controller.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,13 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/ilc_dynopt.dir/dynamic_optimizer.cpp.o"
+  "CMakeFiles/ilc_dynopt.dir/dynamic_optimizer.cpp.o.d"
+  "CMakeFiles/ilc_dynopt.dir/phase_detector.cpp.o"
+  "CMakeFiles/ilc_dynopt.dir/phase_detector.cpp.o.d"
+  "libilc_dynopt.a"
+  "libilc_dynopt.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/ilc_dynopt.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

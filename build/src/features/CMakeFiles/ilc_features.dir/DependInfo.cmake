@@ -1,0 +1,26 @@
+
+# Consider dependencies only in project.
+set(CMAKE_DEPENDS_IN_PROJECT_ONLY OFF)
+
+# The set of languages for which implicit dependencies are needed:
+set(CMAKE_DEPENDS_LANGUAGES
+  )
+
+# The set of dependency files which are needed:
+set(CMAKE_DEPENDS_DEPENDENCY_FILES
+  "/root/repo/src/features/arch_probe.cpp" "src/features/CMakeFiles/ilc_features.dir/arch_probe.cpp.o" "gcc" "src/features/CMakeFiles/ilc_features.dir/arch_probe.cpp.o.d"
+  "/root/repo/src/features/dynamic_features.cpp" "src/features/CMakeFiles/ilc_features.dir/dynamic_features.cpp.o" "gcc" "src/features/CMakeFiles/ilc_features.dir/dynamic_features.cpp.o.d"
+  "/root/repo/src/features/loop_features.cpp" "src/features/CMakeFiles/ilc_features.dir/loop_features.cpp.o" "gcc" "src/features/CMakeFiles/ilc_features.dir/loop_features.cpp.o.d"
+  "/root/repo/src/features/mutual_info.cpp" "src/features/CMakeFiles/ilc_features.dir/mutual_info.cpp.o" "gcc" "src/features/CMakeFiles/ilc_features.dir/mutual_info.cpp.o.d"
+  "/root/repo/src/features/static_features.cpp" "src/features/CMakeFiles/ilc_features.dir/static_features.cpp.o" "gcc" "src/features/CMakeFiles/ilc_features.dir/static_features.cpp.o.d"
+  )
+
+# Targets to which this target links.
+set(CMAKE_TARGET_LINKED_INFO_FILES
+  "/root/repo/build/src/ir/CMakeFiles/ilc_ir.dir/DependInfo.cmake"
+  "/root/repo/build/src/sim/CMakeFiles/ilc_sim.dir/DependInfo.cmake"
+  "/root/repo/build/src/support/CMakeFiles/ilc_support.dir/DependInfo.cmake"
+  )
+
+# Fortran module output directory.
+set(CMAKE_Fortran_TARGET_MODULE_DIR "")

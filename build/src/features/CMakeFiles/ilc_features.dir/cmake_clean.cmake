@@ -1,0 +1,19 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/ilc_features.dir/arch_probe.cpp.o"
+  "CMakeFiles/ilc_features.dir/arch_probe.cpp.o.d"
+  "CMakeFiles/ilc_features.dir/dynamic_features.cpp.o"
+  "CMakeFiles/ilc_features.dir/dynamic_features.cpp.o.d"
+  "CMakeFiles/ilc_features.dir/loop_features.cpp.o"
+  "CMakeFiles/ilc_features.dir/loop_features.cpp.o.d"
+  "CMakeFiles/ilc_features.dir/mutual_info.cpp.o"
+  "CMakeFiles/ilc_features.dir/mutual_info.cpp.o.d"
+  "CMakeFiles/ilc_features.dir/static_features.cpp.o"
+  "CMakeFiles/ilc_features.dir/static_features.cpp.o.d"
+  "libilc_features.a"
+  "libilc_features.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/ilc_features.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

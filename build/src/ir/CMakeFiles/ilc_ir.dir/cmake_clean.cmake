@@ -1,0 +1,27 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/ilc_ir.dir/analysis.cpp.o"
+  "CMakeFiles/ilc_ir.dir/analysis.cpp.o.d"
+  "CMakeFiles/ilc_ir.dir/builder.cpp.o"
+  "CMakeFiles/ilc_ir.dir/builder.cpp.o.d"
+  "CMakeFiles/ilc_ir.dir/fingerprint.cpp.o"
+  "CMakeFiles/ilc_ir.dir/fingerprint.cpp.o.d"
+  "CMakeFiles/ilc_ir.dir/function.cpp.o"
+  "CMakeFiles/ilc_ir.dir/function.cpp.o.d"
+  "CMakeFiles/ilc_ir.dir/instruction.cpp.o"
+  "CMakeFiles/ilc_ir.dir/instruction.cpp.o.d"
+  "CMakeFiles/ilc_ir.dir/module.cpp.o"
+  "CMakeFiles/ilc_ir.dir/module.cpp.o.d"
+  "CMakeFiles/ilc_ir.dir/parser.cpp.o"
+  "CMakeFiles/ilc_ir.dir/parser.cpp.o.d"
+  "CMakeFiles/ilc_ir.dir/printer.cpp.o"
+  "CMakeFiles/ilc_ir.dir/printer.cpp.o.d"
+  "CMakeFiles/ilc_ir.dir/verifier.cpp.o"
+  "CMakeFiles/ilc_ir.dir/verifier.cpp.o.d"
+  "libilc_ir.a"
+  "libilc_ir.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/ilc_ir.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

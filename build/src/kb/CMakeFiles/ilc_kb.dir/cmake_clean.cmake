@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/ilc_kb.dir/knowledge_base.cpp.o"
+  "CMakeFiles/ilc_kb.dir/knowledge_base.cpp.o.d"
+  "libilc_kb.a"
+  "libilc_kb.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/ilc_kb.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

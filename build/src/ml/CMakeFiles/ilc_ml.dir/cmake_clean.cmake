@@ -1,0 +1,23 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/ilc_ml.dir/dataset.cpp.o"
+  "CMakeFiles/ilc_ml.dir/dataset.cpp.o.d"
+  "CMakeFiles/ilc_ml.dir/decision_tree.cpp.o"
+  "CMakeFiles/ilc_ml.dir/decision_tree.cpp.o.d"
+  "CMakeFiles/ilc_ml.dir/knn.cpp.o"
+  "CMakeFiles/ilc_ml.dir/knn.cpp.o.d"
+  "CMakeFiles/ilc_ml.dir/logistic.cpp.o"
+  "CMakeFiles/ilc_ml.dir/logistic.cpp.o.d"
+  "CMakeFiles/ilc_ml.dir/naive_bayes.cpp.o"
+  "CMakeFiles/ilc_ml.dir/naive_bayes.cpp.o.d"
+  "CMakeFiles/ilc_ml.dir/regress.cpp.o"
+  "CMakeFiles/ilc_ml.dir/regress.cpp.o.d"
+  "CMakeFiles/ilc_ml.dir/validation.cpp.o"
+  "CMakeFiles/ilc_ml.dir/validation.cpp.o.d"
+  "libilc_ml.a"
+  "libilc_ml.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/ilc_ml.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,29 @@
+
+# Consider dependencies only in project.
+set(CMAKE_DEPENDS_IN_PROJECT_ONLY OFF)
+
+# The set of languages for which implicit dependencies are needed:
+set(CMAKE_DEPENDS_LANGUAGES
+  )
+
+# The set of dependency files which are needed:
+set(CMAKE_DEPENDS_DEPENDENCY_FILES
+  "/root/repo/src/opt/cfg_simplify.cpp" "src/opt/CMakeFiles/ilc_opt.dir/cfg_simplify.cpp.o" "gcc" "src/opt/CMakeFiles/ilc_opt.dir/cfg_simplify.cpp.o.d"
+  "/root/repo/src/opt/inline.cpp" "src/opt/CMakeFiles/ilc_opt.dir/inline.cpp.o" "gcc" "src/opt/CMakeFiles/ilc_opt.dir/inline.cpp.o.d"
+  "/root/repo/src/opt/loop_opts.cpp" "src/opt/CMakeFiles/ilc_opt.dir/loop_opts.cpp.o" "gcc" "src/opt/CMakeFiles/ilc_opt.dir/loop_opts.cpp.o.d"
+  "/root/repo/src/opt/memory_opts.cpp" "src/opt/CMakeFiles/ilc_opt.dir/memory_opts.cpp.o" "gcc" "src/opt/CMakeFiles/ilc_opt.dir/memory_opts.cpp.o.d"
+  "/root/repo/src/opt/pass.cpp" "src/opt/CMakeFiles/ilc_opt.dir/pass.cpp.o" "gcc" "src/opt/CMakeFiles/ilc_opt.dir/pass.cpp.o.d"
+  "/root/repo/src/opt/pipelines.cpp" "src/opt/CMakeFiles/ilc_opt.dir/pipelines.cpp.o" "gcc" "src/opt/CMakeFiles/ilc_opt.dir/pipelines.cpp.o.d"
+  "/root/repo/src/opt/reassociate.cpp" "src/opt/CMakeFiles/ilc_opt.dir/reassociate.cpp.o" "gcc" "src/opt/CMakeFiles/ilc_opt.dir/reassociate.cpp.o.d"
+  "/root/repo/src/opt/scalar.cpp" "src/opt/CMakeFiles/ilc_opt.dir/scalar.cpp.o" "gcc" "src/opt/CMakeFiles/ilc_opt.dir/scalar.cpp.o.d"
+  "/root/repo/src/opt/schedule.cpp" "src/opt/CMakeFiles/ilc_opt.dir/schedule.cpp.o" "gcc" "src/opt/CMakeFiles/ilc_opt.dir/schedule.cpp.o.d"
+  )
+
+# Targets to which this target links.
+set(CMAKE_TARGET_LINKED_INFO_FILES
+  "/root/repo/build/src/ir/CMakeFiles/ilc_ir.dir/DependInfo.cmake"
+  "/root/repo/build/src/support/CMakeFiles/ilc_support.dir/DependInfo.cmake"
+  )
+
+# Fortran module output directory.
+set(CMAKE_Fortran_TARGET_MODULE_DIR "")

@@ -1,0 +1,27 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/ilc_opt.dir/cfg_simplify.cpp.o"
+  "CMakeFiles/ilc_opt.dir/cfg_simplify.cpp.o.d"
+  "CMakeFiles/ilc_opt.dir/inline.cpp.o"
+  "CMakeFiles/ilc_opt.dir/inline.cpp.o.d"
+  "CMakeFiles/ilc_opt.dir/loop_opts.cpp.o"
+  "CMakeFiles/ilc_opt.dir/loop_opts.cpp.o.d"
+  "CMakeFiles/ilc_opt.dir/memory_opts.cpp.o"
+  "CMakeFiles/ilc_opt.dir/memory_opts.cpp.o.d"
+  "CMakeFiles/ilc_opt.dir/pass.cpp.o"
+  "CMakeFiles/ilc_opt.dir/pass.cpp.o.d"
+  "CMakeFiles/ilc_opt.dir/pipelines.cpp.o"
+  "CMakeFiles/ilc_opt.dir/pipelines.cpp.o.d"
+  "CMakeFiles/ilc_opt.dir/reassociate.cpp.o"
+  "CMakeFiles/ilc_opt.dir/reassociate.cpp.o.d"
+  "CMakeFiles/ilc_opt.dir/scalar.cpp.o"
+  "CMakeFiles/ilc_opt.dir/scalar.cpp.o.d"
+  "CMakeFiles/ilc_opt.dir/schedule.cpp.o"
+  "CMakeFiles/ilc_opt.dir/schedule.cpp.o.d"
+  "libilc_opt.a"
+  "libilc_opt.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/ilc_opt.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,24 @@
+
+# Consider dependencies only in project.
+set(CMAKE_DEPENDS_IN_PROJECT_ONLY OFF)
+
+# The set of languages for which implicit dependencies are needed:
+set(CMAKE_DEPENDS_LANGUAGES
+  )
+
+# The set of dependency files which are needed:
+set(CMAKE_DEPENDS_DEPENDENCY_FILES
+  "/root/repo/src/sched/instances.cpp" "src/sched/CMakeFiles/ilc_sched.dir/instances.cpp.o" "gcc" "src/sched/CMakeFiles/ilc_sched.dir/instances.cpp.o.d"
+  "/root/repo/src/sched/learned_scheduler.cpp" "src/sched/CMakeFiles/ilc_sched.dir/learned_scheduler.cpp.o" "gcc" "src/sched/CMakeFiles/ilc_sched.dir/learned_scheduler.cpp.o.d"
+  )
+
+# Targets to which this target links.
+set(CMAKE_TARGET_LINKED_INFO_FILES
+  "/root/repo/build/src/opt/CMakeFiles/ilc_opt.dir/DependInfo.cmake"
+  "/root/repo/build/src/ml/CMakeFiles/ilc_ml.dir/DependInfo.cmake"
+  "/root/repo/build/src/ir/CMakeFiles/ilc_ir.dir/DependInfo.cmake"
+  "/root/repo/build/src/support/CMakeFiles/ilc_support.dir/DependInfo.cmake"
+  )
+
+# Fortran module output directory.
+set(CMAKE_Fortran_TARGET_MODULE_DIR "")

@@ -1,0 +1,13 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/ilc_sched.dir/instances.cpp.o"
+  "CMakeFiles/ilc_sched.dir/instances.cpp.o.d"
+  "CMakeFiles/ilc_sched.dir/learned_scheduler.cpp.o"
+  "CMakeFiles/ilc_sched.dir/learned_scheduler.cpp.o.d"
+  "libilc_sched.a"
+  "libilc_sched.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/ilc_sched.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,28 @@
+
+# Consider dependencies only in project.
+set(CMAKE_DEPENDS_IN_PROJECT_ONLY OFF)
+
+# The set of languages for which implicit dependencies are needed:
+set(CMAKE_DEPENDS_LANGUAGES
+  )
+
+# The set of dependency files which are needed:
+set(CMAKE_DEPENDS_DEPENDENCY_FILES
+  "/root/repo/src/search/evaluator.cpp" "src/search/CMakeFiles/ilc_search.dir/evaluator.cpp.o" "gcc" "src/search/CMakeFiles/ilc_search.dir/evaluator.cpp.o.d"
+  "/root/repo/src/search/focused.cpp" "src/search/CMakeFiles/ilc_search.dir/focused.cpp.o" "gcc" "src/search/CMakeFiles/ilc_search.dir/focused.cpp.o.d"
+  "/root/repo/src/search/genetic.cpp" "src/search/CMakeFiles/ilc_search.dir/genetic.cpp.o" "gcc" "src/search/CMakeFiles/ilc_search.dir/genetic.cpp.o.d"
+  "/root/repo/src/search/space.cpp" "src/search/CMakeFiles/ilc_search.dir/space.cpp.o" "gcc" "src/search/CMakeFiles/ilc_search.dir/space.cpp.o.d"
+  "/root/repo/src/search/strategies.cpp" "src/search/CMakeFiles/ilc_search.dir/strategies.cpp.o" "gcc" "src/search/CMakeFiles/ilc_search.dir/strategies.cpp.o.d"
+  )
+
+# Targets to which this target links.
+set(CMAKE_TARGET_LINKED_INFO_FILES
+  "/root/repo/build/src/opt/CMakeFiles/ilc_opt.dir/DependInfo.cmake"
+  "/root/repo/build/src/sim/CMakeFiles/ilc_sim.dir/DependInfo.cmake"
+  "/root/repo/build/src/features/CMakeFiles/ilc_features.dir/DependInfo.cmake"
+  "/root/repo/build/src/ir/CMakeFiles/ilc_ir.dir/DependInfo.cmake"
+  "/root/repo/build/src/support/CMakeFiles/ilc_support.dir/DependInfo.cmake"
+  )
+
+# Fortran module output directory.
+set(CMAKE_Fortran_TARGET_MODULE_DIR "")

@@ -1,0 +1,19 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/ilc_search.dir/evaluator.cpp.o"
+  "CMakeFiles/ilc_search.dir/evaluator.cpp.o.d"
+  "CMakeFiles/ilc_search.dir/focused.cpp.o"
+  "CMakeFiles/ilc_search.dir/focused.cpp.o.d"
+  "CMakeFiles/ilc_search.dir/genetic.cpp.o"
+  "CMakeFiles/ilc_search.dir/genetic.cpp.o.d"
+  "CMakeFiles/ilc_search.dir/space.cpp.o"
+  "CMakeFiles/ilc_search.dir/space.cpp.o.d"
+  "CMakeFiles/ilc_search.dir/strategies.cpp.o"
+  "CMakeFiles/ilc_search.dir/strategies.cpp.o.d"
+  "libilc_search.a"
+  "libilc_search.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/ilc_search.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,25 @@
+
+# Consider dependencies only in project.
+set(CMAKE_DEPENDS_IN_PROJECT_ONLY OFF)
+
+# The set of languages for which implicit dependencies are needed:
+set(CMAKE_DEPENDS_LANGUAGES
+  )
+
+# The set of dependency files which are needed:
+set(CMAKE_DEPENDS_DEPENDENCY_FILES
+  "/root/repo/src/sim/branch_predictor.cpp" "src/sim/CMakeFiles/ilc_sim.dir/branch_predictor.cpp.o" "gcc" "src/sim/CMakeFiles/ilc_sim.dir/branch_predictor.cpp.o.d"
+  "/root/repo/src/sim/cache.cpp" "src/sim/CMakeFiles/ilc_sim.dir/cache.cpp.o" "gcc" "src/sim/CMakeFiles/ilc_sim.dir/cache.cpp.o.d"
+  "/root/repo/src/sim/counters.cpp" "src/sim/CMakeFiles/ilc_sim.dir/counters.cpp.o" "gcc" "src/sim/CMakeFiles/ilc_sim.dir/counters.cpp.o.d"
+  "/root/repo/src/sim/interpreter.cpp" "src/sim/CMakeFiles/ilc_sim.dir/interpreter.cpp.o" "gcc" "src/sim/CMakeFiles/ilc_sim.dir/interpreter.cpp.o.d"
+  "/root/repo/src/sim/machine.cpp" "src/sim/CMakeFiles/ilc_sim.dir/machine.cpp.o" "gcc" "src/sim/CMakeFiles/ilc_sim.dir/machine.cpp.o.d"
+  )
+
+# Targets to which this target links.
+set(CMAKE_TARGET_LINKED_INFO_FILES
+  "/root/repo/build/src/ir/CMakeFiles/ilc_ir.dir/DependInfo.cmake"
+  "/root/repo/build/src/support/CMakeFiles/ilc_support.dir/DependInfo.cmake"
+  )
+
+# Fortran module output directory.
+set(CMAKE_Fortran_TARGET_MODULE_DIR "")

@@ -1,0 +1,19 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/ilc_sim.dir/branch_predictor.cpp.o"
+  "CMakeFiles/ilc_sim.dir/branch_predictor.cpp.o.d"
+  "CMakeFiles/ilc_sim.dir/cache.cpp.o"
+  "CMakeFiles/ilc_sim.dir/cache.cpp.o.d"
+  "CMakeFiles/ilc_sim.dir/counters.cpp.o"
+  "CMakeFiles/ilc_sim.dir/counters.cpp.o.d"
+  "CMakeFiles/ilc_sim.dir/interpreter.cpp.o"
+  "CMakeFiles/ilc_sim.dir/interpreter.cpp.o.d"
+  "CMakeFiles/ilc_sim.dir/machine.cpp.o"
+  "CMakeFiles/ilc_sim.dir/machine.cpp.o.d"
+  "libilc_sim.a"
+  "libilc_sim.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/ilc_sim.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

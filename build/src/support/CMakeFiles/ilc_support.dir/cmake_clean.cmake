@@ -1,0 +1,17 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/ilc_support.dir/csv.cpp.o"
+  "CMakeFiles/ilc_support.dir/csv.cpp.o.d"
+  "CMakeFiles/ilc_support.dir/string_utils.cpp.o"
+  "CMakeFiles/ilc_support.dir/string_utils.cpp.o.d"
+  "CMakeFiles/ilc_support.dir/table.cpp.o"
+  "CMakeFiles/ilc_support.dir/table.cpp.o.d"
+  "CMakeFiles/ilc_support.dir/thread_pool.cpp.o"
+  "CMakeFiles/ilc_support.dir/thread_pool.cpp.o.d"
+  "libilc_support.a"
+  "libilc_support.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/ilc_support.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,38 @@
+
+# Consider dependencies only in project.
+set(CMAKE_DEPENDS_IN_PROJECT_ONLY OFF)
+
+# The set of languages for which implicit dependencies are needed:
+set(CMAKE_DEPENDS_LANGUAGES
+  )
+
+# The set of dependency files which are needed:
+set(CMAKE_DEPENDS_DEPENDENCY_FILES
+  "/root/repo/src/workloads/adpcm.cpp" "src/workloads/CMakeFiles/ilc_workloads.dir/adpcm.cpp.o" "gcc" "src/workloads/CMakeFiles/ilc_workloads.dir/adpcm.cpp.o.d"
+  "/root/repo/src/workloads/bitcount.cpp" "src/workloads/CMakeFiles/ilc_workloads.dir/bitcount.cpp.o" "gcc" "src/workloads/CMakeFiles/ilc_workloads.dir/bitcount.cpp.o.d"
+  "/root/repo/src/workloads/crc32.cpp" "src/workloads/CMakeFiles/ilc_workloads.dir/crc32.cpp.o" "gcc" "src/workloads/CMakeFiles/ilc_workloads.dir/crc32.cpp.o.d"
+  "/root/repo/src/workloads/dijkstra.cpp" "src/workloads/CMakeFiles/ilc_workloads.dir/dijkstra.cpp.o" "gcc" "src/workloads/CMakeFiles/ilc_workloads.dir/dijkstra.cpp.o.d"
+  "/root/repo/src/workloads/dotprod.cpp" "src/workloads/CMakeFiles/ilc_workloads.dir/dotprod.cpp.o" "gcc" "src/workloads/CMakeFiles/ilc_workloads.dir/dotprod.cpp.o.d"
+  "/root/repo/src/workloads/fir.cpp" "src/workloads/CMakeFiles/ilc_workloads.dir/fir.cpp.o" "gcc" "src/workloads/CMakeFiles/ilc_workloads.dir/fir.cpp.o.d"
+  "/root/repo/src/workloads/histogram.cpp" "src/workloads/CMakeFiles/ilc_workloads.dir/histogram.cpp.o" "gcc" "src/workloads/CMakeFiles/ilc_workloads.dir/histogram.cpp.o.d"
+  "/root/repo/src/workloads/linklist.cpp" "src/workloads/CMakeFiles/ilc_workloads.dir/linklist.cpp.o" "gcc" "src/workloads/CMakeFiles/ilc_workloads.dir/linklist.cpp.o.d"
+  "/root/repo/src/workloads/matmul.cpp" "src/workloads/CMakeFiles/ilc_workloads.dir/matmul.cpp.o" "gcc" "src/workloads/CMakeFiles/ilc_workloads.dir/matmul.cpp.o.d"
+  "/root/repo/src/workloads/mcf_lite.cpp" "src/workloads/CMakeFiles/ilc_workloads.dir/mcf_lite.cpp.o" "gcc" "src/workloads/CMakeFiles/ilc_workloads.dir/mcf_lite.cpp.o.d"
+  "/root/repo/src/workloads/phased_mix.cpp" "src/workloads/CMakeFiles/ilc_workloads.dir/phased_mix.cpp.o" "gcc" "src/workloads/CMakeFiles/ilc_workloads.dir/phased_mix.cpp.o.d"
+  "/root/repo/src/workloads/registry.cpp" "src/workloads/CMakeFiles/ilc_workloads.dir/registry.cpp.o" "gcc" "src/workloads/CMakeFiles/ilc_workloads.dir/registry.cpp.o.d"
+  "/root/repo/src/workloads/rle.cpp" "src/workloads/CMakeFiles/ilc_workloads.dir/rle.cpp.o" "gcc" "src/workloads/CMakeFiles/ilc_workloads.dir/rle.cpp.o.d"
+  "/root/repo/src/workloads/sha_lite.cpp" "src/workloads/CMakeFiles/ilc_workloads.dir/sha_lite.cpp.o" "gcc" "src/workloads/CMakeFiles/ilc_workloads.dir/sha_lite.cpp.o.d"
+  "/root/repo/src/workloads/shellsort.cpp" "src/workloads/CMakeFiles/ilc_workloads.dir/shellsort.cpp.o" "gcc" "src/workloads/CMakeFiles/ilc_workloads.dir/shellsort.cpp.o.d"
+  "/root/repo/src/workloads/stencil.cpp" "src/workloads/CMakeFiles/ilc_workloads.dir/stencil.cpp.o" "gcc" "src/workloads/CMakeFiles/ilc_workloads.dir/stencil.cpp.o.d"
+  "/root/repo/src/workloads/strsearch.cpp" "src/workloads/CMakeFiles/ilc_workloads.dir/strsearch.cpp.o" "gcc" "src/workloads/CMakeFiles/ilc_workloads.dir/strsearch.cpp.o.d"
+  "/root/repo/src/workloads/treewalk.cpp" "src/workloads/CMakeFiles/ilc_workloads.dir/treewalk.cpp.o" "gcc" "src/workloads/CMakeFiles/ilc_workloads.dir/treewalk.cpp.o.d"
+  )
+
+# Targets to which this target links.
+set(CMAKE_TARGET_LINKED_INFO_FILES
+  "/root/repo/build/src/ir/CMakeFiles/ilc_ir.dir/DependInfo.cmake"
+  "/root/repo/build/src/support/CMakeFiles/ilc_support.dir/DependInfo.cmake"
+  )
+
+# Fortran module output directory.
+set(CMAKE_Fortran_TARGET_MODULE_DIR "")

@@ -1,0 +1,3 @@
+file(REMOVE_RECURSE
+  "libilc_workloads.a"
+)

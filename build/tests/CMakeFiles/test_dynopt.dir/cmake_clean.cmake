@@ -1,0 +1,12 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/test_dynopt.dir/test_dynopt.cpp.o"
+  "CMakeFiles/test_dynopt.dir/test_dynopt.cpp.o.d"
+  "test_dynopt"
+  "test_dynopt.pdb"
+  "test_dynopt[1]_tests.cmake"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/test_dynopt.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,12 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/test_kb.dir/test_kb.cpp.o"
+  "CMakeFiles/test_kb.dir/test_kb.cpp.o.d"
+  "test_kb"
+  "test_kb.pdb"
+  "test_kb[1]_tests.cmake"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/test_kb.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

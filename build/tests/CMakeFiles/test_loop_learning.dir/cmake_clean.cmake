@@ -1,0 +1,12 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/test_loop_learning.dir/test_loop_learning.cpp.o"
+  "CMakeFiles/test_loop_learning.dir/test_loop_learning.cpp.o.d"
+  "test_loop_learning"
+  "test_loop_learning.pdb"
+  "test_loop_learning[1]_tests.cmake"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/test_loop_learning.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()
