@@ -1,0 +1,130 @@
+// tuning_server — drive svc::TuningService over the line protocol from
+// stdin or a scripted request file. The persistent serving mode of the
+// intelligent compiler: results accumulate in the knowledge base across
+// invocations, so re-running a script answers instantly from the KB.
+//
+//   $ ./tuning_server --kb my.kb --script requests.txt
+//   $ echo "tune fir budget=10" | ./tuning_server --kb my.kb
+//
+// Tune commands are submitted asynchronously as they are read; responses
+// are printed in submission order at the next synchronization point
+// (metrics / save / quit / EOF), so a script full of tunes exercises the
+// scheduler's full concurrency.
+#include <cstdio>
+#include <cstring>
+#include <fstream>
+#include <iostream>
+#include <optional>
+#include <sstream>
+#include <string>
+#include <unordered_map>
+#include <vector>
+
+#include "svc/protocol.hpp"
+#include "svc/service.hpp"
+
+using namespace ilc;
+
+namespace {
+
+struct PendingTune {
+  std::shared_future<svc::TuningResponse> future;
+};
+
+void flush_pending(std::vector<PendingTune>& pending) {
+  for (auto& p : pending)
+    std::printf("%s\n", svc::format_response(p.future.get()).c_str());
+  pending.clear();
+  std::fflush(stdout);
+}
+
+int usage(const char* argv0) {
+  std::fprintf(stderr,
+               "usage: %s [--workers N] [--kb path] [--script file|-]\n",
+               argv0);
+  return 2;
+}
+
+}  // namespace
+
+int main(int argc, char** argv) {
+  svc::TuningService::Options opts;
+  std::string script = "-";
+  for (int i = 1; i < argc; ++i) {
+    if (!std::strcmp(argv[i], "--workers") && i + 1 < argc) {
+      opts.workers = static_cast<std::size_t>(std::atoi(argv[++i]));
+    } else if (!std::strcmp(argv[i], "--kb") && i + 1 < argc) {
+      opts.kb_path = argv[++i];
+    } else if (!std::strcmp(argv[i], "--script") && i + 1 < argc) {
+      script = argv[++i];
+    } else {
+      return usage(argv[0]);
+    }
+  }
+
+  std::ifstream file;
+  if (script != "-") {
+    file.open(script);
+    if (!file) {
+      std::fprintf(stderr, "cannot open script %s\n", script.c_str());
+      return 1;
+    }
+  }
+  std::istream& in = script == "-" ? std::cin : file;
+
+  std::optional<svc::TuningService> service;
+  try {
+    service.emplace(opts);
+  } catch (const std::exception& e) {
+    std::fprintf(stderr, "cannot start service: %s\n", e.what());
+    return 1;
+  }
+  std::vector<PendingTune> pending;
+  // Inline modules registered by `module` commands, usable by `tune`.
+  std::unordered_map<std::string, std::string> modules;
+
+  std::string line;
+  while (std::getline(in, line)) {
+    svc::Command cmd = svc::parse_command(line);
+    switch (cmd.kind) {
+      case svc::Command::Kind::Empty:
+        break;
+      case svc::Command::Kind::Invalid:
+        flush_pending(pending);
+        std::printf("err %s\n", cmd.error.c_str());
+        break;
+      case svc::Command::Kind::Module: {
+        std::ostringstream ir;
+        std::string ir_line;
+        for (std::size_t i = 0; i < cmd.module_lines; ++i) {
+          if (!std::getline(in, ir_line)) break;
+          ir << ir_line << '\n';
+        }
+        modules[cmd.module_name] = ir.str();
+        break;
+      }
+      case svc::Command::Kind::Tune: {
+        auto it = modules.find(cmd.request.program);
+        if (it != modules.end()) cmd.request.ir_text = it->second;
+        pending.push_back({service->submit(std::move(cmd.request))});
+        break;
+      }
+      case svc::Command::Kind::Metrics:
+        flush_pending(pending);
+        std::printf("%s\n", svc::format_metrics(service->metrics()).c_str());
+        break;
+      case svc::Command::Kind::Save: {
+        flush_pending(pending);
+        const bool ok = cmd.path.empty() ? service->save()
+                                         : service->save_to(cmd.path);
+        std::printf("%s\n", ok ? "ok saved" : "err save failed");
+        break;
+      }
+      case svc::Command::Kind::Quit:
+        flush_pending(pending);
+        return 0;
+    }
+  }
+  flush_pending(pending);
+  return 0;
+}

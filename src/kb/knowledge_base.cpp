@@ -1,5 +1,8 @@
 #include "kb/knowledge_base.hpp"
 
+#include <cerrno>
+#include <charconv>
+#include <cstdlib>
 #include <fstream>
 #include <sstream>
 
@@ -22,11 +25,35 @@ std::string join_doubles(const std::vector<double>& v) {
   return os.str();
 }
 
-std::vector<double> parse_doubles(const std::string& s) {
+// Malformed knowledge bases must yield nullopt from parse(), never throw
+// or crash, so every numeric field goes through these checked helpers.
+std::optional<std::uint64_t> parse_u64(const std::string& s) {
+  if (s.empty()) return std::nullopt;
+  std::uint64_t v = 0;
+  const char* first = s.data();
+  const char* last = s.data() + s.size();
+  const auto [ptr, ec] = std::from_chars(first, last, v);
+  if (ec != std::errc() || ptr != last) return std::nullopt;
+  return v;
+}
+
+std::optional<double> parse_double(const std::string& s) {
+  if (s.empty()) return std::nullopt;
+  errno = 0;
+  char* end = nullptr;
+  const double v = std::strtod(s.c_str(), &end);
+  if (errno != 0 || end != s.c_str() + s.size()) return std::nullopt;
+  return v;
+}
+
+std::optional<std::vector<double>> parse_doubles(const std::string& s) {
   std::vector<double> out;
   if (s.empty()) return out;
-  for (const std::string& part : support::split(s, ';'))
-    out.push_back(std::stod(part));
+  for (const std::string& part : support::split(s, ';')) {
+    const auto v = parse_double(part);
+    if (!v) return std::nullopt;
+    out.push_back(*v);
+  }
   return out;
 }
 
@@ -39,12 +66,15 @@ std::string join_counters(const sim::Counters& c) {
   return os.str();
 }
 
-sim::Counters parse_counters(const std::string& s) {
+std::optional<sim::Counters> parse_counters(const std::string& s) {
   sim::Counters c;
   if (s.empty()) return c;
   const auto parts = support::split(s, ';');
-  for (std::size_t i = 0; i < parts.size() && i < sim::kNumCounters; ++i)
-    c.v[i] = std::stoull(parts[i]);
+  for (std::size_t i = 0; i < parts.size() && i < sim::kNumCounters; ++i) {
+    const auto v = parse_u64(parts[i]);
+    if (!v) return std::nullopt;
+    c.v[i] = *v;
+  }
   return c;
 }
 
@@ -69,6 +99,27 @@ const ExperimentRecord* KnowledgeBase::best_for_program(
   for (const auto* r : for_program(program, kind))
     if (best == nullptr || r->cycles < best->cycles) best = r;
   return best;
+}
+
+const ExperimentRecord* KnowledgeBase::find(const std::string& program,
+                                            const std::string& machine,
+                                            const std::string& kind) const {
+  for (const auto& r : records_)
+    if (r.program == program && r.machine == machine && r.kind == kind)
+      return &r;
+  return nullptr;
+}
+
+bool KnowledgeBase::upsert(ExperimentRecord rec) {
+  for (auto& r : records_) {
+    if (r.program == rec.program && r.machine == rec.machine &&
+        r.kind == rec.kind) {
+      r = std::move(rec);
+      return true;
+    }
+  }
+  records_.push_back(std::move(rec));
+  return false;
 }
 
 std::vector<std::string> KnowledgeBase::programs() const {
@@ -109,12 +160,21 @@ std::optional<KnowledgeBase> KnowledgeBase::parse(const std::string& text) {
     r.machine = row[1];
     r.kind = row[2];
     r.config = row[3];
-    r.cycles = std::stoull(row[4]);
-    r.code_size = std::stoull(row[5]);
-    r.instructions = std::stoull(row[6]);
-    r.counters = parse_counters(row[7]);
-    r.static_features = parse_doubles(row[8]);
-    r.dynamic_features = parse_doubles(row[9]);
+    const auto cycles = parse_u64(row[4]);
+    const auto code_size = parse_u64(row[5]);
+    const auto instructions = parse_u64(row[6]);
+    const auto counters = parse_counters(row[7]);
+    auto static_features = parse_doubles(row[8]);
+    auto dynamic_features = parse_doubles(row[9]);
+    if (!cycles || !code_size || !instructions || !counters ||
+        !static_features || !dynamic_features)
+      return std::nullopt;
+    r.cycles = *cycles;
+    r.code_size = *code_size;
+    r.instructions = *instructions;
+    r.counters = *counters;
+    r.static_features = std::move(*static_features);
+    r.dynamic_features = std::move(*dynamic_features);
     out.add(std::move(r));
   }
   return out;

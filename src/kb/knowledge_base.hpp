@@ -45,6 +45,19 @@ class KnowledgeBase {
   const ExperimentRecord* best_for_program(const std::string& program,
                                            const std::string& kind = "") const;
 
+  /// The unique record for a (program, machine, kind) key, or nullptr.
+  /// Meaningful for stores maintained via upsert(), which keeps at most
+  /// one record per key.
+  const ExperimentRecord* find(const std::string& program,
+                               const std::string& machine,
+                               const std::string& kind) const;
+
+  /// Replace the record matching (program, machine, kind) in place, or
+  /// append if no match exists. Returns true when an existing record was
+  /// replaced. The serving layer uses this to keep exactly one
+  /// best-configuration record per cache key.
+  bool upsert(ExperimentRecord rec);
+
   /// Distinct program names in insertion order.
   std::vector<std::string> programs() const;
 

@@ -19,7 +19,7 @@ EvalResult Evaluator::measure(const ir::Module& optimized_mod) {
     std::lock_guard<std::mutex> lock(mu_);
     auto it = cache_.find(fp);
     if (it != cache_.end()) {
-      ++cache_hits_;
+      cache_hits_.fetch_add(1, std::memory_order_relaxed);
       return it->second;
     }
   }
@@ -32,9 +32,11 @@ EvalResult Evaluator::measure(const ir::Module& optimized_mod) {
   res.instructions = rr.instructions;
   res.counters = rr.counters;
 
-  std::lock_guard<std::mutex> lock(mu_);
-  ++simulations_;
-  if (cache_enabled_) cache_.emplace(fp, res);
+  simulations_.fetch_add(1, std::memory_order_relaxed);
+  if (cache_enabled_) {
+    std::lock_guard<std::mutex> lock(mu_);
+    cache_.emplace(fp, res);
+  }
   return res;
 }
 

@@ -5,6 +5,7 @@
 // collapses them (design decision #4 in DESIGN.md).
 #pragma once
 
+#include <atomic>
 #include <mutex>
 #include <unordered_map>
 
@@ -33,9 +34,14 @@ class Evaluator {
   /// Optimized module for a configuration (no caching; for inspection).
   ir::Module optimized(const std::vector<opt::PassId>& seq) const;
 
-  /// Number of real simulations performed / cache hits observed.
-  std::size_t simulations() const { return simulations_; }
-  std::size_t cache_hits() const { return cache_hits_; }
+  /// Number of real simulations performed / cache hits observed. Atomic,
+  /// so harnesses may poll them while workers are still evaluating.
+  std::size_t simulations() const {
+    return simulations_.load(std::memory_order_relaxed);
+  }
+  std::size_t cache_hits() const {
+    return cache_hits_.load(std::memory_order_relaxed);
+  }
   void set_cache_enabled(bool enabled) { cache_enabled_ = enabled; }
 
   const ir::Module& base() const { return base_; }
@@ -49,8 +55,8 @@ class Evaluator {
   bool cache_enabled_ = true;
   std::unordered_map<std::uint64_t, EvalResult> cache_;
   std::mutex mu_;
-  std::size_t simulations_ = 0;
-  std::size_t cache_hits_ = 0;
+  std::atomic<std::size_t> simulations_{0};
+  std::atomic<std::size_t> cache_hits_{0};
 };
 
 }  // namespace ilc::search

@@ -1,0 +1,69 @@
+#include "svc/cache.hpp"
+
+#include <fstream>
+#include <sstream>
+
+namespace ilc::svc {
+
+namespace {
+
+// Record kinds the service owns inside the shared knowledge base.
+constexpr const char* kBestKind = "svc-best";
+constexpr const char* kBaseKind = "svc-base";
+
+}  // namespace
+
+std::optional<ResultCache> ResultCache::open(const std::string& path) {
+  std::ifstream probe(path, std::ios::binary);
+  if (!probe) return ResultCache();  // no file yet: start empty
+  probe.close();
+  auto base = kb::KnowledgeBase::load(path);
+  if (!base) return std::nullopt;
+  return ResultCache(std::move(*base));
+}
+
+std::string ResultCache::key(std::uint64_t fingerprint,
+                             search::Objective objective) {
+  std::ostringstream os;
+  os << "fp:" << std::hex << fingerprint << std::dec << '+'
+     << (objective == search::Objective::Cycles ? "cycles" : "size");
+  return os.str();
+}
+
+std::optional<CachedResult> ResultCache::lookup(
+    const std::string& key, const std::string& machine) const {
+  const kb::ExperimentRecord* best = base_.find(key, machine, kBestKind);
+  if (!best) return std::nullopt;
+  CachedResult out;
+  out.config = best->config;
+  out.best_metric = best->cycles;
+  const kb::ExperimentRecord* baseline = base_.find(key, machine, kBaseKind);
+  out.baseline_metric = baseline ? baseline->cycles : best->cycles;
+  return out;
+}
+
+void ResultCache::store(const std::string& key, const std::string& machine,
+                        const CachedResult& result) {
+  const kb::ExperimentRecord* prior = base_.find(key, machine, kBestKind);
+  if (prior && prior->cycles <= result.best_metric) return;
+
+  // The cycles column carries the objective metric (which the key names);
+  // that keeps records honest for the default cycles objective and
+  // self-describing for code size.
+  kb::ExperimentRecord best;
+  best.program = key;
+  best.machine = machine;
+  best.kind = kBestKind;
+  best.config = result.config;
+  best.cycles = result.best_metric;
+  base_.upsert(std::move(best));
+
+  kb::ExperimentRecord baseline;
+  baseline.program = key;
+  baseline.machine = machine;
+  baseline.kind = kBaseKind;
+  baseline.cycles = result.baseline_metric;
+  base_.upsert(std::move(baseline));
+}
+
+}  // namespace ilc::svc

@@ -1,0 +1,62 @@
+// The persistent result cache of the tuning service: a thin layer over
+// kb::KnowledgeBase that keeps exactly two records per cache key (the
+// tuned best and the -O0 baseline, both honest ExperimentRecords in the
+// standard format), so a service restarted against the same KB file
+// answers previously-tuned requests without a single simulation.
+//
+// Keys identify *code*, not names: module fingerprint + objective, with
+// the machine carried in the record's machine column. Two requests whose
+// modules optimize identically share an entry regardless of how the
+// client labeled them.
+#pragma once
+
+#include <cstdint>
+#include <optional>
+#include <string>
+
+#include "kb/knowledge_base.hpp"
+#include "search/strategies.hpp"
+
+namespace ilc::svc {
+
+/// What the cache remembers about one (module, machine, objective) key.
+struct CachedResult {
+  std::string config;                 // best pass sequence, textual
+  std::uint64_t best_metric = 0;      // objective metric of `config`
+  std::uint64_t baseline_metric = 0;  // objective metric at -O0
+};
+
+class ResultCache {
+ public:
+  ResultCache() = default;
+
+  /// Wrap an existing knowledge base (e.g. loaded from disk). Non-service
+  /// records are preserved and round-trip through save().
+  explicit ResultCache(kb::KnowledgeBase base) : base_(std::move(base)) {}
+
+  /// Load `path`, tolerating a missing file (fresh cache). Returns
+  /// nullopt only when the file exists but is not a valid KB.
+  static std::optional<ResultCache> open(const std::string& path);
+
+  /// The canonical cache key for a module fingerprint + objective.
+  static std::string key(std::uint64_t fingerprint,
+                         search::Objective objective);
+
+  std::optional<CachedResult> lookup(const std::string& key,
+                                     const std::string& machine) const;
+
+  /// Keep the better of the stored and offered result for `key` (lower
+  /// metric wins; first write always stored).
+  void store(const std::string& key, const std::string& machine,
+             const CachedResult& result);
+
+  bool save(const std::string& path) const { return base_.save(path); }
+
+  const kb::KnowledgeBase& kb() const { return base_; }
+  std::size_t size() const { return base_.size(); }
+
+ private:
+  kb::KnowledgeBase base_;
+};
+
+}  // namespace ilc::svc

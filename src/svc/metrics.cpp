@@ -1,0 +1,68 @@
+#include "svc/metrics.hpp"
+
+#include "support/stats.hpp"
+
+namespace ilc::svc {
+
+void MetricsCollector::on_request() {
+  std::lock_guard<std::mutex> lock(mu_);
+  ++m_.requests;
+}
+
+void MetricsCollector::on_warm_hit(std::uint64_t latency_us) {
+  std::lock_guard<std::mutex> lock(mu_);
+  ++m_.warm_hits;
+  latencies_us_.push_back(static_cast<double>(latency_us));
+}
+
+void MetricsCollector::on_coalesced() {
+  std::lock_guard<std::mutex> lock(mu_);
+  ++m_.coalesced;
+}
+
+void MetricsCollector::on_enqueued() {
+  std::lock_guard<std::mutex> lock(mu_);
+  ++m_.queued;
+}
+
+void MetricsCollector::on_search_started() {
+  std::lock_guard<std::mutex> lock(mu_);
+  --m_.queued;
+  ++m_.in_flight;
+}
+
+void MetricsCollector::on_search_finished(std::uint64_t simulations,
+                                          std::uint64_t latency_us) {
+  std::lock_guard<std::mutex> lock(mu_);
+  --m_.in_flight;
+  ++m_.searches;
+  m_.simulations += simulations;
+  latencies_us_.push_back(static_cast<double>(latency_us));
+}
+
+void MetricsCollector::on_search_failed(std::uint64_t latency_us) {
+  std::lock_guard<std::mutex> lock(mu_);
+  --m_.in_flight;
+  ++m_.errors;
+  latencies_us_.push_back(static_cast<double>(latency_us));
+}
+
+void MetricsCollector::on_error(std::uint64_t latency_us) {
+  std::lock_guard<std::mutex> lock(mu_);
+  ++m_.errors;
+  latencies_us_.push_back(static_cast<double>(latency_us));
+}
+
+Metrics MetricsCollector::snapshot() const {
+  std::lock_guard<std::mutex> lock(mu_);
+  Metrics out = m_;
+  if (!latencies_us_.empty()) {
+    out.p50_latency_us = static_cast<std::uint64_t>(
+        support::percentile(latencies_us_, 50.0));
+    out.p95_latency_us = static_cast<std::uint64_t>(
+        support::percentile(latencies_us_, 95.0));
+  }
+  return out;
+}
+
+}  // namespace ilc::svc

@@ -1,0 +1,54 @@
+// Live metrics of the tuning service: monotonic counters for request
+// outcomes, gauges for queue depth and in-flight work, and service-latency
+// percentiles. The collector is a single mutex-protected aggregate —
+// snapshots are internally consistent, and every access is lock-ordered so
+// the service stays clean under ThreadSanitizer.
+#pragma once
+
+#include <cstdint>
+#include <mutex>
+#include <vector>
+
+namespace ilc::svc {
+
+/// A consistent point-in-time copy of the service counters.
+struct Metrics {
+  std::uint64_t requests = 0;    // submitted, total
+  std::uint64_t warm_hits = 0;   // answered from the KB, no search
+  std::uint64_t coalesced = 0;   // joined an in-flight duplicate
+  std::uint64_t searches = 0;    // searches actually run
+  std::uint64_t errors = 0;      // malformed requests / failed searches
+
+  std::uint64_t queued = 0;      // gauge: waiting for a worker
+  std::uint64_t in_flight = 0;   // gauge: search running right now
+
+  std::uint64_t simulations = 0; // real simulator runs caused by searches
+
+  std::uint64_t p50_latency_us = 0;  // over completed requests
+  std::uint64_t p95_latency_us = 0;
+};
+
+class MetricsCollector {
+ public:
+  void on_request();
+  void on_warm_hit(std::uint64_t latency_us);
+  void on_coalesced();
+  void on_enqueued();              // queued++
+  void on_search_started();        // queued--, in_flight++
+  /// Search finished: in_flight--, searches++, record simulations/latency.
+  void on_search_finished(std::uint64_t simulations,
+                          std::uint64_t latency_us);
+  /// Search threw: in_flight--, errors++.
+  void on_search_failed(std::uint64_t latency_us);
+  /// Request rejected before it was ever enqueued.
+  void on_error(std::uint64_t latency_us);
+
+  Metrics snapshot() const;
+
+ private:
+  mutable std::mutex mu_;
+  Metrics m_;
+  std::vector<double> latencies_us_;
+};
+
+}  // namespace ilc::svc

@@ -1,0 +1,156 @@
+#include "svc/protocol.hpp"
+
+#include <charconv>
+#include <sstream>
+
+#include "support/string_utils.hpp"
+
+namespace ilc::svc {
+
+const char* strategy_name(Strategy s) {
+  switch (s) {
+    case Strategy::Random: return "random";
+    case Strategy::Greedy: return "greedy";
+    case Strategy::Genetic: return "genetic";
+  }
+  return "?";
+}
+
+const char* source_name(Source s) {
+  switch (s) {
+    case Source::Error: return "error";
+    case Source::WarmCache: return "warm";
+    case Source::Search: return "search";
+    case Source::Coalesced: return "coalesced";
+  }
+  return "?";
+}
+
+namespace {
+
+Command invalid(const std::string& why) {
+  Command c;
+  c.kind = Command::Kind::Invalid;
+  c.error = why;
+  return c;
+}
+
+bool parse_u64_field(const std::string& s, std::uint64_t& out) {
+  const char* last = s.data() + s.size();
+  const auto [ptr, ec] = std::from_chars(s.data(), last, out);
+  return ec == std::errc() && ptr == last && !s.empty();
+}
+
+bool parse_int_field(const std::string& s, int& out) {
+  const char* last = s.data() + s.size();
+  const auto [ptr, ec] = std::from_chars(s.data(), last, out);
+  return ec == std::errc() && ptr == last && !s.empty();
+}
+
+/// Apply one key=value option to a request; empty return = accepted.
+std::string apply_option(TuningRequest& req, const std::string& key,
+                         const std::string& value) {
+  if (key == "machine") {
+    if (value == "amd") req.machine = sim::amd_like();
+    else if (value == "c6713") req.machine = sim::c6713_like();
+    else return "unknown machine '" + value + "' (amd|c6713)";
+  } else if (key == "budget") {
+    std::uint64_t v = 0;
+    if (!parse_u64_field(value, v)) return "bad budget '" + value + "'";
+    req.budget = static_cast<unsigned>(v);
+  } else if (key == "objective") {
+    if (value == "cycles") req.objective = search::Objective::Cycles;
+    else if (value == "size") req.objective = search::Objective::CodeSize;
+    else return "unknown objective '" + value + "' (cycles|size)";
+  } else if (key == "strategy") {
+    if (value == "random") req.strategy = Strategy::Random;
+    else if (value == "greedy") req.strategy = Strategy::Greedy;
+    else if (value == "genetic") req.strategy = Strategy::Genetic;
+    else return "unknown strategy '" + value + "'";
+  } else if (key == "priority") {
+    if (!parse_int_field(value, req.priority))
+      return "bad priority '" + value + "'";
+  } else if (key == "seed") {
+    if (!parse_u64_field(value, req.seed)) return "bad seed '" + value + "'";
+  } else {
+    return "unknown option '" + key + "'";
+  }
+  return "";
+}
+
+}  // namespace
+
+Command parse_command(const std::string& line) {
+  const std::string text = support::trim(line);
+  if (text.empty() || text[0] == '#') return Command{};
+
+  const std::vector<std::string> words = support::split_ws(text);
+  Command c;
+
+  if (words[0] == "tune") {
+    if (words.size() < 2) return invalid("tune: missing program name");
+    c.kind = Command::Kind::Tune;
+    c.request.program = words[1];
+    for (std::size_t i = 2; i < words.size(); ++i) {
+      const auto eq = words[i].find('=');
+      if (eq == std::string::npos)
+        return invalid("tune: expected key=value, got '" + words[i] + "'");
+      const std::string err = apply_option(c.request, words[i].substr(0, eq),
+                                           words[i].substr(eq + 1));
+      if (!err.empty()) return invalid("tune: " + err);
+    }
+    return c;
+  }
+  if (words[0] == "module") {
+    if (words.size() != 3) return invalid("module: want `module <name> <n>`");
+    std::uint64_t n = 0;
+    if (!parse_u64_field(words[2], n))
+      return invalid("module: bad line count '" + words[2] + "'");
+    c.kind = Command::Kind::Module;
+    c.module_name = words[1];
+    c.module_lines = static_cast<std::size_t>(n);
+    return c;
+  }
+  if (words[0] == "metrics") {
+    c.kind = Command::Kind::Metrics;
+    return c;
+  }
+  if (words[0] == "save") {
+    c.kind = Command::Kind::Save;
+    if (words.size() > 1) c.path = words[1];
+    return c;
+  }
+  if (words[0] == "quit") {
+    c.kind = Command::Kind::Quit;
+    return c;
+  }
+  return invalid("unknown command '" + words[0] + "'");
+}
+
+std::string format_response(const TuningResponse& r) {
+  std::ostringstream os;
+  if (!r.ok) {
+    os << "err " << (r.error.empty() ? "request failed" : r.error);
+    return os.str();
+  }
+  os << "ok program=" << r.program << " source=" << source_name(r.source)
+     << " config=\"" << r.config << "\" base=" << r.baseline_metric
+     << " best=" << r.best_metric;
+  os.precision(3);
+  os << " speedup=" << std::fixed << r.speedup << " sims=" << r.simulations
+     << " latency_us=" << r.latency_us;
+  return os.str();
+}
+
+std::string format_metrics(const Metrics& m) {
+  std::ostringstream os;
+  os << "metrics requests=" << m.requests << " warm_hits=" << m.warm_hits
+     << " coalesced=" << m.coalesced << " searches=" << m.searches
+     << " errors=" << m.errors << " queued=" << m.queued
+     << " in_flight=" << m.in_flight << " simulations=" << m.simulations
+     << " p50_latency_us=" << m.p50_latency_us
+     << " p95_latency_us=" << m.p95_latency_us;
+  return os.str();
+}
+
+}  // namespace ilc::svc

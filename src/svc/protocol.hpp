@@ -1,0 +1,54 @@
+// Line-oriented request/response protocol of the tuning service, so any
+// transport that can move text lines (stdin, a scripted request file,
+// later a socket) can drive svc::TuningService.
+//
+// Request lines (`#` starts a comment; blank lines are ignored):
+//   tune <program> [machine=amd|c6713] [budget=N] [objective=cycles|size]
+//                  [strategy=random|greedy|genetic] [priority=N] [seed=N]
+//   module <name> <n-lines>   — the next n-lines of input are inline IR
+//                               text registered under <name>; a later
+//                               "tune <name>" submits it
+//   metrics                   — emit a metrics snapshot line
+//   save [path]               — persist the knowledge base
+//   quit
+//
+// Response lines:
+//   ok program=<p> source=<warm|search|coalesced> config="<seq>"
+//      base=<n> best=<n> speedup=<x> sims=<n> latency_us=<n>
+//   err <message>
+//   metrics requests=<n> warm_hits=<n> coalesced=<n> searches=<n> ...
+#pragma once
+
+#include <string>
+
+#include "svc/metrics.hpp"
+#include "svc/request.hpp"
+
+namespace ilc::svc {
+
+struct Command {
+  enum class Kind {
+    Empty,    // blank or comment line: no response
+    Tune,     // `request` is populated
+    Module,   // read `module_lines` lines of IR as `module_name`
+    Metrics,
+    Save,     // `path` may be empty = service default
+    Quit,
+    Invalid,  // `error` says why
+  };
+
+  Kind kind = Kind::Empty;
+  TuningRequest request;
+  std::string module_name;
+  std::size_t module_lines = 0;
+  std::string path;
+  std::string error;
+};
+
+/// Parse one request line. Never throws.
+Command parse_command(const std::string& line);
+
+std::string format_response(const TuningResponse& r);
+std::string format_metrics(const Metrics& m);
+
+}  // namespace ilc::svc

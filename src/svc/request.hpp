@@ -1,0 +1,67 @@
+// Request/response vocabulary of the tuning service (paper Fig. 1 run as a
+// persistent system): a client asks "how should I optimize this program?"
+// by naming a suite workload or shipping inline IR text, together with the
+// machine to tune for, a search budget, and an objective. The response is
+// the best configuration the service knows — found by a fresh search, by
+// joining a search already in flight, or straight from the knowledge base.
+#pragma once
+
+#include <cstdint>
+#include <string>
+
+#include "search/strategies.hpp"
+#include "sim/machine.hpp"
+
+namespace ilc::svc {
+
+/// Which search strategy a miss should run.
+enum class Strategy { Random, Greedy, Genetic };
+
+const char* strategy_name(Strategy s);
+
+struct TuningRequest {
+  /// Workload name (wl::make_workload) when ir_text is empty; otherwise a
+  /// label for the inline module.
+  std::string program;
+  /// Optional inline IR in the textual form of ir/printer.hpp.
+  std::string ir_text;
+
+  sim::MachineConfig machine;
+  unsigned budget = 20;  // evaluations a cache miss may spend
+  search::Objective objective = search::Objective::Cycles;
+  Strategy strategy = Strategy::Random;
+
+  /// Higher priorities are scheduled first; equal priorities run FIFO.
+  int priority = 0;
+  /// Search RNG seed — responses are deterministic in (request, KB state).
+  std::uint64_t seed = 2008;
+
+  TuningRequest() : machine(sim::amd_like()) {}
+};
+
+/// How a response was produced.
+enum class Source {
+  Error,      // request malformed or search failed
+  WarmCache,  // answered from the knowledge base, zero simulations
+  Search,     // this request ran the search
+  Coalesced,  // joined an identical in-flight request's search
+};
+
+const char* source_name(Source s);
+
+struct TuningResponse {
+  bool ok = false;
+  std::string error;  // set when !ok
+
+  std::string program;
+  std::string config;  // best pass sequence, textual form
+  std::uint64_t baseline_metric = 0;  // objective metric at -O0
+  std::uint64_t best_metric = 0;      // objective metric of `config`
+  double speedup = 0.0;               // baseline / best
+
+  Source source = Source::Error;
+  std::size_t simulations = 0;  // real simulator runs this request caused
+  std::uint64_t latency_us = 0;
+};
+
+}  // namespace ilc::svc

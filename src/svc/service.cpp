@@ -1,0 +1,266 @@
+#include "svc/service.hpp"
+
+#include <exception>
+#include <sstream>
+
+#include "ir/fingerprint.hpp"
+#include "ir/parser.hpp"
+#include "support/assert.hpp"
+#include "support/rng.hpp"
+#include "workloads/workloads.hpp"
+
+namespace ilc::svc {
+
+namespace {
+
+std::uint64_t elapsed_us(std::chrono::steady_clock::time_point start) {
+  return static_cast<std::uint64_t>(
+      std::chrono::duration_cast<std::chrono::microseconds>(
+          std::chrono::steady_clock::now() - start)
+          .count());
+}
+
+}  // namespace
+
+struct TuningService::Job {
+  TuningRequest request;
+  std::string cache_key;   // module fingerprint + objective
+  std::string flight_key;  // cache_key + machine: the single-flight key
+  std::string eval_key;    // fingerprint + machine: evaluator sharing
+  std::shared_ptr<ir::Module> module;
+  int priority = 0;
+  std::uint64_t seq = 0;
+  Clock::time_point submitted;
+  std::promise<TuningResponse> promise;
+  std::shared_future<TuningResponse> future;
+};
+
+bool TuningService::JobOrder::operator()(
+    const std::shared_ptr<Job>& a, const std::shared_ptr<Job>& b) const {
+  if (a->priority != b->priority) return a->priority < b->priority;
+  return a->seq > b->seq;  // earlier submissions first among equals
+}
+
+TuningService::TuningService(Options opts)
+    : opts_(std::move(opts)), pool_(opts_.workers) {
+  if (!opts_.kb_path.empty()) {
+    auto cache = ResultCache::open(opts_.kb_path);
+    ILC_CHECK_MSG(cache.has_value(),
+                  "not a valid knowledge base: " + opts_.kb_path);
+    cache_ = std::move(*cache);
+  }
+}
+
+TuningService::~TuningService() {
+  pool_.wait_idle();
+  if (!opts_.kb_path.empty()) save();
+}
+
+std::shared_future<TuningResponse> TuningService::ready_response(
+    TuningResponse r) {
+  std::promise<TuningResponse> p;
+  p.set_value(std::move(r));
+  return p.get_future().share();
+}
+
+std::shared_future<TuningResponse> TuningService::submit(TuningRequest req) {
+  const Clock::time_point start = Clock::now();
+  metrics_.on_request();
+
+  auto module = std::make_shared<ir::Module>();
+  try {
+    if (!req.ir_text.empty()) {
+      *module = ir::parse_module(req.ir_text);
+    } else {
+      *module = wl::make_workload(req.program).module;
+    }
+  } catch (const std::exception& e) {
+    TuningResponse r;
+    r.program = req.program;
+    r.error = e.what();
+    r.latency_us = elapsed_us(start);
+    metrics_.on_error(r.latency_us);
+    return ready_response(std::move(r));
+  }
+
+  const std::uint64_t fp = ir::fingerprint(*module);
+  const std::string cache_key = ResultCache::key(fp, req.objective);
+  const std::string flight_key = cache_key + '|' + req.machine.name;
+
+  std::shared_ptr<Job> job;
+  {
+    std::lock_guard<std::mutex> lock(mu_);
+
+    auto it = inflight_.find(flight_key);
+    if (it != inflight_.end()) {
+      metrics_.on_coalesced();
+      return it->second->future;
+    }
+
+    if (auto hit = cache_.lookup(cache_key, req.machine.name)) {
+      TuningResponse r;
+      r.ok = true;
+      r.program = req.program;
+      r.config = hit->config;
+      r.baseline_metric = hit->baseline_metric;
+      r.best_metric = hit->best_metric;
+      r.speedup = hit->best_metric
+                      ? static_cast<double>(hit->baseline_metric) /
+                            static_cast<double>(hit->best_metric)
+                      : 0.0;
+      r.source = Source::WarmCache;
+      r.latency_us = elapsed_us(start);
+      metrics_.on_warm_hit(r.latency_us);
+      return ready_response(std::move(r));
+    }
+
+    job = std::make_shared<Job>();
+    job->request = std::move(req);
+    job->cache_key = cache_key;
+    job->flight_key = flight_key;
+    {
+      std::ostringstream os;
+      os << std::hex << fp << '|' << job->request.machine.name;
+      job->eval_key = os.str();
+    }
+    job->module = std::move(module);
+    job->priority = job->request.priority;
+    job->seq = next_seq_++;
+    job->submitted = start;
+    job->future = job->promise.get_future().share();
+    inflight_.emplace(flight_key, job);
+    queue_.push(job);
+    metrics_.on_enqueued();
+  }
+
+  pool_.submit([this] { run_one(); });
+  return job->future;
+}
+
+TuningResponse TuningService::tune(TuningRequest req) {
+  return submit(std::move(req)).get();
+}
+
+void TuningService::drain() { pool_.wait_idle(); }
+
+TuningResponse TuningService::execute(const Job& job) {
+  const TuningRequest& req = job.request;
+
+  std::shared_ptr<search::Evaluator> eval;
+  {
+    std::lock_guard<std::mutex> lock(mu_);
+    auto& slot = evaluators_[job.eval_key];
+    if (!slot)
+      slot = std::make_shared<search::Evaluator>(*job.module, req.machine);
+    eval = slot;
+  }
+
+  // Simulations attributed to this request. When two non-duplicate jobs
+  // share an evaluator the split is approximate, but the metrics total is
+  // exact because the evaluator's own counter is monotonic.
+  const std::size_t sims_before = eval->simulations();
+
+  const search::EvalResult baseline = eval->eval_sequence({});
+  const std::uint64_t base_metric = metric_of(baseline, req.objective);
+
+  support::Rng rng(req.seed);
+  search::SequenceSpace space;
+  search::SearchTrace trace;
+  switch (req.strategy) {
+    case Strategy::Random:
+      trace = search::random_search(*eval, space, rng, req.budget,
+                                    req.objective);
+      break;
+    case Strategy::Greedy:
+      trace = search::greedy_search(*eval, space, rng, req.budget,
+                                    req.objective);
+      break;
+    case Strategy::Genetic:
+      trace = search::genetic_search(*eval, space, rng, req.budget,
+                                     req.objective);
+      break;
+  }
+
+  TuningResponse r;
+  r.ok = true;
+  r.program = req.program;
+  if (trace.evaluations == 0 || trace.best_metric > base_metric) {
+    // Zero budget or a search that never beat -O0: serve the baseline.
+    r.config = "";
+    r.best_metric = base_metric;
+  } else {
+    r.config = search::sequence_to_string(trace.best_seq);
+    r.best_metric = trace.best_metric;
+  }
+  r.baseline_metric = base_metric;
+  r.speedup = r.best_metric ? static_cast<double>(base_metric) /
+                                  static_cast<double>(r.best_metric)
+                            : 0.0;
+  r.source = Source::Search;
+  r.simulations = eval->simulations() - sims_before;
+  return r;
+}
+
+void TuningService::run_one() {
+  std::shared_ptr<Job> job;
+  {
+    std::lock_guard<std::mutex> lock(mu_);
+    ILC_ASSERT(!queue_.empty());
+    job = queue_.top();
+    queue_.pop();
+  }
+  metrics_.on_search_started();
+
+  TuningResponse resp;
+  bool failed = false;
+  try {
+    resp = execute(*job);
+  } catch (const std::exception& e) {
+    failed = true;
+    resp.ok = false;
+    resp.program = job->request.program;
+    resp.error = e.what();
+    resp.source = Source::Error;
+  }
+  resp.latency_us = elapsed_us(job->submitted);
+
+  {
+    // Publish to the cache and retire the flight atomically: a concurrent
+    // submit must observe either "in flight" or "cached", never neither.
+    std::lock_guard<std::mutex> lock(mu_);
+    if (!failed) {
+      CachedResult cached;
+      cached.config = resp.config;
+      cached.best_metric = resp.best_metric;
+      cached.baseline_metric = resp.baseline_metric;
+      cache_.store(job->cache_key, job->request.machine.name, cached);
+    }
+    inflight_.erase(job->flight_key);
+    if (!failed && opts_.autosave && !opts_.kb_path.empty())
+      cache_.save(opts_.kb_path);
+  }
+
+  if (failed) {
+    metrics_.on_search_failed(resp.latency_us);
+  } else {
+    metrics_.on_search_finished(resp.simulations, resp.latency_us);
+  }
+  job->promise.set_value(std::move(resp));
+}
+
+bool TuningService::save() const {
+  if (opts_.kb_path.empty()) return false;
+  return save_to(opts_.kb_path);
+}
+
+bool TuningService::save_to(const std::string& path) const {
+  std::lock_guard<std::mutex> lock(mu_);
+  return cache_.save(path);
+}
+
+std::size_t TuningService::kb_size() const {
+  std::lock_guard<std::mutex> lock(mu_);
+  return cache_.size();
+}
+
+}  // namespace ilc::svc

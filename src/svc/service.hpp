@@ -1,0 +1,105 @@
+// The tuning service — the persistent serving layer over the batch
+// machinery (paper Fig. 1 as a long-running system). Requests are
+// scheduled on a bounded worker pool through a priority queue with FIFO
+// tie-breaking; concurrent duplicates are coalesced into a single search
+// (single-flight, keyed by module fingerprint + machine + objective); and
+// completed results persist through a knowledge-base-backed cache, so a
+// service restarted against the same KB file answers repeat queries with
+// zero simulations.
+//
+// Request lifecycle:
+//   submit() -> [warm KB hit -> ready future]
+//            -> [duplicate in flight -> share that future (coalesced)]
+//            -> [enqueue -> worker pops highest-priority job -> search
+//                -> write best back to KB (+autosave) -> resolve future]
+#pragma once
+
+#include <chrono>
+#include <cstdint>
+#include <future>
+#include <memory>
+#include <mutex>
+#include <queue>
+#include <string>
+#include <unordered_map>
+#include <vector>
+
+#include "search/evaluator.hpp"
+#include "svc/cache.hpp"
+#include "svc/metrics.hpp"
+#include "svc/request.hpp"
+#include "support/thread_pool.hpp"
+
+namespace ilc::svc {
+
+class TuningService {
+ public:
+  struct Options {
+    std::size_t workers = 2;
+    /// Path of the persistent KB; empty keeps the cache in memory only.
+    std::string kb_path;
+    /// Save the KB after every completed search (cheap at our scale).
+    bool autosave = true;
+  };
+
+  /// Loads Options::kb_path when present; an unparsable file throws
+  /// support::CheckError rather than silently starting cold.
+  explicit TuningService(Options opts);
+  ~TuningService();  // drains all queued work
+
+  TuningService(const TuningService&) = delete;
+  TuningService& operator=(const TuningService&) = delete;
+
+  /// Schedule a request. The future is shared: duplicates of an in-flight
+  /// request receive the same one. Never throws on bad input — malformed
+  /// requests resolve to a response with ok=false.
+  std::shared_future<TuningResponse> submit(TuningRequest req);
+
+  /// submit() + wait. Convenience for sequential clients.
+  TuningResponse tune(TuningRequest req);
+
+  /// Block until no request is queued or running.
+  void drain();
+
+  Metrics metrics() const { return metrics_.snapshot(); }
+  /// Persist the KB to Options::kb_path (false when none configured).
+  bool save() const;
+  /// Persist the KB to an explicit path.
+  bool save_to(const std::string& path) const;
+  std::size_t kb_size() const;
+  std::size_t workers() const { return pool_.size(); }
+
+ private:
+  struct Job;
+  /// Max-heap order: higher priority first, then FIFO by sequence number.
+  struct JobOrder {
+    bool operator()(const std::shared_ptr<Job>& a,
+                    const std::shared_ptr<Job>& b) const;
+  };
+  using Clock = std::chrono::steady_clock;
+
+  std::shared_future<TuningResponse> ready_response(TuningResponse r);
+  void run_one();
+  TuningResponse execute(const Job& job);
+
+  Options opts_;
+
+  mutable std::mutex mu_;  // guards cache_, queue_, inflight_, evaluators_
+  ResultCache cache_;
+  std::uint64_t next_seq_ = 0;
+  std::priority_queue<std::shared_ptr<Job>, std::vector<std::shared_ptr<Job>>,
+                      JobOrder> queue_;
+  std::unordered_map<std::string, std::shared_ptr<Job>> inflight_;
+  /// Evaluators are shared across requests keyed by module fingerprint +
+  /// machine, so repeat searches reuse memoized simulations.
+  std::unordered_map<std::string, std::shared_ptr<search::Evaluator>>
+      evaluators_;
+
+  MetricsCollector metrics_;
+
+  // Destroyed first (reverse member order): the pool drains its queue on
+  // destruction, and its jobs touch every field above.
+  support::ThreadPool pool_;
+};
+
+}  // namespace ilc::svc

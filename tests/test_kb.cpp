@@ -5,6 +5,7 @@
 #include <cstdio>
 
 #include "kb/knowledge_base.hpp"
+#include "support/rng.hpp"
 
 namespace {
 
@@ -72,6 +73,117 @@ TEST(Kb, SerializeParseRoundTrip) {
 TEST(Kb, ParseRejectsGarbage) {
   EXPECT_FALSE(kb::KnowledgeBase::parse("not a kb").has_value());
   EXPECT_FALSE(kb::KnowledgeBase::parse("").has_value());
+}
+
+TEST(Kb, ParseRejectsBadVersionHeader) {
+  kb::KnowledgeBase base;
+  base.add(sample("a", 1));
+  std::string text = base.serialize();
+  // Same structure, wrong version tag.
+  text.replace(text.find("ilc-kb v1"), 9, "ilc-kb v9");
+  EXPECT_FALSE(kb::KnowledgeBase::parse(text).has_value());
+}
+
+// Malformed data rows must yield nullopt, never throw or crash.
+TEST(Kb, ParseRejectsMalformedRows) {
+  kb::KnowledgeBase base;
+  base.add(sample("a", 123));
+  const std::string good = base.serialize();
+
+  // Truncated mid-row (chop the last 20 characters).
+  EXPECT_FALSE(
+      kb::KnowledgeBase::parse(good.substr(0, good.size() - 20)).has_value());
+
+  const std::string header = good.substr(0, good.find('\n', good.find('\n') + 1) + 1);
+  // Wrong column count.
+  EXPECT_FALSE(kb::KnowledgeBase::parse(header + "a,b,c\n").has_value());
+  // Non-numeric cycles / code_size / instructions.
+  EXPECT_FALSE(kb::KnowledgeBase::parse(
+                   header + "p,m,sequence,dce,NaN-cycles,1,2,,,\n")
+                   .has_value());
+  EXPECT_FALSE(kb::KnowledgeBase::parse(
+                   header + "p,m,sequence,dce,1,12kb,2,,,\n")
+                   .has_value());
+  EXPECT_FALSE(kb::KnowledgeBase::parse(
+                   header + "p,m,sequence,dce,1,2,-3,,,\n")
+                   .has_value());
+  // Non-numeric counter / feature cells.
+  EXPECT_FALSE(kb::KnowledgeBase::parse(
+                   header + "p,m,sequence,dce,1,2,3,4;x;6,,\n")
+                   .has_value());
+  EXPECT_FALSE(kb::KnowledgeBase::parse(
+                   header + "p,m,sequence,dce,1,2,3,,1.5;oops,\n")
+                   .has_value());
+  // The well-formed text still parses (the helpers above really are the
+  // only difference).
+  EXPECT_TRUE(kb::KnowledgeBase::parse(good).has_value());
+}
+
+// Property test: any records survive serialize -> parse bit-exactly.
+TEST(Kb, SerializeParseRoundTripProperty) {
+  support::Rng rng(20080601);
+  for (int trial = 0; trial < 25; ++trial) {
+    kb::KnowledgeBase base;
+    const unsigned n = 1 + static_cast<unsigned>(rng.next_below(8));
+    for (unsigned i = 0; i < n; ++i) {
+      kb::ExperimentRecord r;
+      r.program = "prog-" + std::to_string(rng.next_below(5));
+      r.machine = rng.next_below(2) ? "amd-like" : "c6713-like";
+      r.kind = rng.next_below(2) ? "sequence" : "flags";
+      r.config = rng.next_below(2) ? "licm,dce,\"quoted, comma\"" : "777";
+      r.cycles = rng.next_u64() >> (rng.next_below(40));
+      r.code_size = rng.next_below(100000);
+      r.instructions = rng.next_below(1u << 30);
+      for (unsigned c = 0; c < sim::kNumCounters; ++c)
+        r.counters.v[c] = rng.next_below(1u << 20);
+      const unsigned nf = static_cast<unsigned>(rng.next_below(6));
+      for (unsigned f = 0; f < nf; ++f)
+        r.static_features.push_back(rng.next_double() * 100.0 - 50.0);
+      const unsigned nd = static_cast<unsigned>(rng.next_below(4));
+      for (unsigned f = 0; f < nd; ++f)
+        r.dynamic_features.push_back(rng.next_double());
+      base.add(std::move(r));
+    }
+
+    const auto parsed = kb::KnowledgeBase::parse(base.serialize());
+    ASSERT_TRUE(parsed.has_value());
+    ASSERT_EQ(parsed->size(), base.size());
+    for (std::size_t i = 0; i < base.size(); ++i) {
+      const auto& a = base.records()[i];
+      const auto& b = parsed->records()[i];
+      EXPECT_EQ(a.program, b.program);
+      EXPECT_EQ(a.machine, b.machine);
+      EXPECT_EQ(a.kind, b.kind);
+      EXPECT_EQ(a.config, b.config);
+      EXPECT_EQ(a.cycles, b.cycles);
+      EXPECT_EQ(a.code_size, b.code_size);
+      EXPECT_EQ(a.instructions, b.instructions);
+      EXPECT_EQ(a.counters.v, b.counters.v);
+      EXPECT_EQ(a.static_features, b.static_features);
+      EXPECT_EQ(a.dynamic_features, b.dynamic_features);
+    }
+  }
+}
+
+TEST(Kb, FindAndUpsertKeepOneRecordPerKey) {
+  kb::KnowledgeBase base;
+  EXPECT_EQ(base.find("a", "amd-like", "sequence"), nullptr);
+
+  kb::ExperimentRecord r = sample("a", 100);
+  EXPECT_FALSE(base.upsert(r));  // insert
+  ASSERT_NE(base.find("a", "amd-like", "sequence"), nullptr);
+  EXPECT_EQ(base.find("a", "amd-like", "sequence")->cycles, 100u);
+  EXPECT_EQ(base.find("a", "amd-like", "flags"), nullptr);
+
+  r.cycles = 60;
+  EXPECT_TRUE(base.upsert(r));  // replace in place
+  EXPECT_EQ(base.size(), 1u);
+  EXPECT_EQ(base.find("a", "amd-like", "sequence")->cycles, 60u);
+
+  r.kind = "flags";
+  r.cycles = 80;
+  EXPECT_FALSE(base.upsert(r));  // distinct kind: new record
+  EXPECT_EQ(base.size(), 2u);
 }
 
 TEST(Kb, SaveLoadFile) {

@@ -158,6 +158,69 @@ TEST(ParallelFor, EmptyRangeIsNoop) {
   parallel_for(5, 5, [](std::size_t) { FAIL(); }, 4);
 }
 
+TEST(ThreadPool, WaitIdleWithNoSubmittedJobsReturnsImmediately) {
+  ThreadPool pool(2);
+  pool.wait_idle();  // must not deadlock or spin
+  pool.wait_idle();  // and must be repeatable
+  std::atomic<int> count{0};
+  pool.submit([&] { ++count; });
+  pool.wait_idle();
+  EXPECT_EQ(count.load(), 1);
+  pool.wait_idle();  // idempotent after completed work too
+}
+
+TEST(ThreadPool, SingleThreadPoolRunsEveryJob) {
+  // The hardware_concurrency()==1 configuration: one worker, strictly
+  // sequential execution, same results as any other width.
+  ThreadPool pool(1);
+  EXPECT_EQ(pool.size(), 1u);
+  std::vector<int> order;
+  for (int i = 0; i < 50; ++i) pool.submit([&order, i] { order.push_back(i); });
+  pool.wait_idle();
+  ASSERT_EQ(order.size(), 50u);
+  for (int i = 0; i < 50; ++i) EXPECT_EQ(order[i], i);  // FIFO, one worker
+}
+
+TEST(ParallelFor, SingleThreadDegradesToInlineLoop) {
+  // With threads == 1 (the hardware_concurrency()==1 path) iterations run
+  // on the calling thread, in order, with no pool spawned.
+  const std::thread::id caller = std::this_thread::get_id();
+  std::vector<std::size_t> order;
+  parallel_for(3, 9,
+               [&](std::size_t i) {
+                 EXPECT_EQ(std::this_thread::get_id(), caller);
+                 order.push_back(i);
+               },
+               1);
+  EXPECT_EQ(order, (std::vector<std::size_t>{3, 4, 5, 6, 7, 8}));
+}
+
+TEST(ParallelFor, SingleThreadPropagatesExceptionInline) {
+  int ran = 0;
+  EXPECT_THROW(parallel_for(0, 4,
+                            [&](std::size_t i) {
+                              ++ran;
+                              if (i == 1) throw std::runtime_error("inline");
+                            },
+                            1),
+               std::runtime_error);
+  EXPECT_EQ(ran, 2);  // inline loop stops at the throwing iteration
+}
+
+TEST(ParallelFor, ExceptionDoesNotPoisonLaterIterations) {
+  // Concurrent path: the first captured exception is rethrown only after
+  // every iteration finished, so all indices are still visited.
+  std::vector<std::atomic<int>> hits(64);
+  EXPECT_THROW(parallel_for(0, 64,
+                            [&](std::size_t i) {
+                              ++hits[i];
+                              if (i % 7 == 0) throw std::runtime_error("x");
+                            },
+                            4),
+               std::runtime_error);
+  for (auto& h : hits) EXPECT_EQ(h.load(), 1);
+}
+
 TEST(Table, RendersAlignedCells) {
   Table t({"name", "value"});
   t.add_row({"x", "1.50"});

@@ -1,0 +1,285 @@
+// Tuning-service tests: single-flight coalescing, persistent warm cache
+// across service instances, metrics consistency under a concurrent burst,
+// scheduling order, the result cache, and the line protocol.
+#include <gtest/gtest.h>
+
+#include <cstdio>
+#include <thread>
+#include <vector>
+
+#include "ir/printer.hpp"
+#include "svc/cache.hpp"
+#include "svc/protocol.hpp"
+#include "svc/service.hpp"
+#include "workloads/workloads.hpp"
+
+namespace {
+
+using namespace ilc;
+
+svc::TuningRequest request(const std::string& program, unsigned budget = 8) {
+  svc::TuningRequest req;
+  req.program = program;
+  req.budget = budget;
+  return req;
+}
+
+TEST(Svc, AnswersWithValidConfigAndMetrics) {
+  svc::TuningService service({.workers = 2});
+  const svc::TuningResponse r = service.tune(request("fir", 6));
+  ASSERT_TRUE(r.ok) << r.error;
+  EXPECT_EQ(r.source, svc::Source::Search);
+  EXPECT_GT(r.baseline_metric, 0u);
+  EXPECT_LE(r.best_metric, r.baseline_metric);
+  EXPECT_GE(r.speedup, 1.0);
+  EXPECT_GT(r.simulations, 0u);
+
+  const svc::Metrics m = service.metrics();
+  EXPECT_EQ(m.requests, 1u);
+  EXPECT_EQ(m.searches, 1u);
+  EXPECT_EQ(m.simulations, r.simulations);
+  EXPECT_EQ(m.queued, 0u);
+  EXPECT_EQ(m.in_flight, 0u);
+}
+
+// (a) N identical concurrent requests trigger exactly one search; every
+// other submission is either coalesced onto it or a warm hit after it.
+TEST(Svc, IdenticalConcurrentRequestsRunOneSearch) {
+  svc::TuningService service({.workers = 4});
+  constexpr unsigned kClients = 16;
+
+  std::vector<std::shared_future<svc::TuningResponse>> futures;
+  futures.reserve(kClients);
+  for (unsigned i = 0; i < kClients; ++i)
+    futures.push_back(service.submit(request("adpcm", 30)));
+  for (auto& f : futures) {
+    const svc::TuningResponse r = f.get();
+    ASSERT_TRUE(r.ok) << r.error;
+    EXPECT_EQ(r.best_metric, futures.front().get().best_metric);
+  }
+
+  const svc::Metrics m = service.metrics();
+  EXPECT_EQ(m.requests, kClients);
+  EXPECT_EQ(m.searches, 1u);
+  EXPECT_EQ(m.coalesced + m.warm_hits, kClients - 1);
+  EXPECT_LE(m.simulations, 31u);  // one search's budget + baseline
+}
+
+// (b) A second service instance over the same KB file answers a
+// previously-tuned request from the warm cache with zero simulations.
+TEST(Svc, WarmCachePersistsAcrossServiceInstances) {
+  const char* path = "svc_test_persist.kb";
+  std::remove(path);
+
+  std::uint64_t tuned_best = 0;
+  {
+    svc::TuningService service({.workers = 2, .kb_path = path});
+    const svc::TuningResponse r = service.tune(request("crc32", 6));
+    ASSERT_TRUE(r.ok) << r.error;
+    EXPECT_GT(r.simulations, 0u);
+    tuned_best = r.best_metric;
+  }
+  {
+    svc::TuningService service({.workers = 2, .kb_path = path});
+    const svc::TuningResponse r = service.tune(request("crc32", 6));
+    ASSERT_TRUE(r.ok) << r.error;
+    EXPECT_EQ(r.source, svc::Source::WarmCache);
+    EXPECT_EQ(r.simulations, 0u);
+    EXPECT_EQ(r.best_metric, tuned_best);
+
+    const svc::Metrics m = service.metrics();
+    EXPECT_EQ(m.warm_hits, 1u);
+    EXPECT_EQ(m.searches, 0u);
+    EXPECT_EQ(m.simulations, 0u);
+  }
+  std::remove(path);
+}
+
+// (c) Metrics stay consistent after a concurrent burst from many client
+// threads: every request is accounted for exactly once and no gauges leak.
+TEST(Svc, MetricsConsistentAfterConcurrentBurst) {
+  svc::TuningService service({.workers = 4});
+  const std::vector<std::string> programs = {"fir", "crc32", "rle",
+                                             "dotprod", "bitcount"};
+  constexpr unsigned kThreads = 8;
+  constexpr unsigned kPerThread = 5;
+
+  std::vector<std::thread> clients;
+  for (unsigned t = 0; t < kThreads; ++t) {
+    clients.emplace_back([&, t] {
+      for (unsigned i = 0; i < kPerThread; ++i) {
+        svc::TuningRequest req = request(programs[(t + i) % programs.size()], 4);
+        req.priority = static_cast<int>(i % 3);
+        EXPECT_TRUE(service.submit(req).get().ok);
+      }
+    });
+  }
+  for (auto& c : clients) c.join();
+  service.drain();
+
+  const svc::Metrics m = service.metrics();
+  EXPECT_EQ(m.requests, kThreads * kPerThread);
+  EXPECT_EQ(m.warm_hits + m.coalesced + m.searches + m.errors, m.requests);
+  EXPECT_EQ(m.searches, programs.size());  // one real search per program
+  EXPECT_EQ(m.queued, 0u);
+  EXPECT_EQ(m.in_flight, 0u);
+  EXPECT_GT(m.simulations, 0u);
+}
+
+TEST(Svc, UnknownProgramYieldsErrorResponseNotThrow) {
+  svc::TuningService service({.workers = 1});
+  const svc::TuningResponse r = service.tune(request("no-such-workload"));
+  EXPECT_FALSE(r.ok);
+  EXPECT_FALSE(r.error.empty());
+  EXPECT_EQ(r.source, svc::Source::Error);
+  EXPECT_EQ(service.metrics().errors, 1u);
+}
+
+TEST(Svc, MalformedInlineIrYieldsErrorResponse) {
+  svc::TuningService service({.workers = 1});
+  svc::TuningRequest req = request("inline");
+  req.ir_text = "fn main( {{{ not ir";
+  const svc::TuningResponse r = service.tune(req);
+  EXPECT_FALSE(r.ok);
+  EXPECT_EQ(service.metrics().errors, 1u);
+}
+
+// Inline IR shares the cache with identically-fingerprinted code: tuning a
+// module shipped as text is answered warm for a repeat of the same text.
+TEST(Svc, InlineIrRequestsAreCachedByFingerprint) {
+  svc::TuningService service({.workers = 2});
+  const std::string text = ir::to_string(wl::make_workload("dotprod").module);
+
+  svc::TuningRequest req = request("client-module", 5);
+  req.ir_text = text;
+  const svc::TuningResponse first = service.tune(req);
+  ASSERT_TRUE(first.ok) << first.error;
+  EXPECT_EQ(first.source, svc::Source::Search);
+
+  const svc::TuningResponse second = service.tune(req);
+  ASSERT_TRUE(second.ok);
+  EXPECT_EQ(second.source, svc::Source::WarmCache);
+  EXPECT_EQ(second.simulations, 0u);
+  EXPECT_EQ(second.best_metric, first.best_metric);
+}
+
+TEST(SvcCache, StoreLookupAndBetterResultWins) {
+  svc::ResultCache cache;
+  const std::string key = svc::ResultCache::key(0xabcd, search::Objective::Cycles);
+  EXPECT_FALSE(cache.lookup(key, "amd-like").has_value());
+
+  cache.store(key, "amd-like", {"licm,dce", 100, 250});
+  auto hit = cache.lookup(key, "amd-like");
+  ASSERT_TRUE(hit.has_value());
+  EXPECT_EQ(hit->config, "licm,dce");
+  EXPECT_EQ(hit->best_metric, 100u);
+  EXPECT_EQ(hit->baseline_metric, 250u);
+  EXPECT_FALSE(cache.lookup(key, "c6713-like").has_value());
+
+  cache.store(key, "amd-like", {"cse", 150, 250});  // worse: ignored
+  EXPECT_EQ(cache.lookup(key, "amd-like")->config, "licm,dce");
+  cache.store(key, "amd-like", {"cse,licm", 80, 250});  // better: replaces
+  EXPECT_EQ(cache.lookup(key, "amd-like")->best_metric, 80u);
+  // Upsert semantics: still one best + one baseline record per key.
+  EXPECT_EQ(cache.size(), 2u);
+}
+
+TEST(SvcCache, RoundTripsThroughKnowledgeBaseFormat) {
+  const char* path = "svc_test_cache.kb";
+  std::remove(path);
+  {
+    svc::ResultCache cache;
+    cache.store(svc::ResultCache::key(1, search::Objective::Cycles),
+                "amd-like", {"licm", 10, 20});
+    ASSERT_TRUE(cache.save(path));
+  }
+  auto reloaded = svc::ResultCache::open(path);
+  ASSERT_TRUE(reloaded.has_value());
+  auto hit = reloaded->lookup(
+      svc::ResultCache::key(1, search::Objective::Cycles), "amd-like");
+  ASSERT_TRUE(hit.has_value());
+  EXPECT_EQ(hit->config, "licm");
+  EXPECT_EQ(hit->baseline_metric, 20u);
+  std::remove(path);
+}
+
+TEST(SvcCache, OpenMissingFileIsEmptyAndGarbageIsNullopt) {
+  auto fresh = svc::ResultCache::open("definitely-missing.kb");
+  ASSERT_TRUE(fresh.has_value());
+  EXPECT_EQ(fresh->size(), 0u);
+
+  const char* path = "svc_test_garbage.kb";
+  {
+    FILE* f = fopen(path, "w");
+    fputs("not a knowledge base\n", f);
+    fclose(f);
+  }
+  EXPECT_FALSE(svc::ResultCache::open(path).has_value());
+  std::remove(path);
+}
+
+TEST(SvcProtocol, ParsesTuneWithOptions) {
+  const svc::Command c = svc::parse_command(
+      "tune fir machine=c6713 budget=25 objective=size strategy=genetic "
+      "priority=3 seed=99");
+  ASSERT_EQ(c.kind, svc::Command::Kind::Tune);
+  EXPECT_EQ(c.request.program, "fir");
+  EXPECT_EQ(c.request.machine.name, "c6713-like");
+  EXPECT_EQ(c.request.budget, 25u);
+  EXPECT_EQ(c.request.objective, search::Objective::CodeSize);
+  EXPECT_EQ(c.request.strategy, svc::Strategy::Genetic);
+  EXPECT_EQ(c.request.priority, 3);
+  EXPECT_EQ(c.request.seed, 99u);
+}
+
+TEST(SvcProtocol, RejectsMalformedLines) {
+  EXPECT_EQ(svc::parse_command("tune").kind, svc::Command::Kind::Invalid);
+  EXPECT_EQ(svc::parse_command("tune fir budget=x").kind,
+            svc::Command::Kind::Invalid);
+  EXPECT_EQ(svc::parse_command("tune fir machine=sparc").kind,
+            svc::Command::Kind::Invalid);
+  EXPECT_EQ(svc::parse_command("frobnicate").kind,
+            svc::Command::Kind::Invalid);
+  EXPECT_EQ(svc::parse_command("module only-name").kind,
+            svc::Command::Kind::Invalid);
+}
+
+TEST(SvcProtocol, SkipsBlanksAndCommentsParsesControlLines) {
+  EXPECT_EQ(svc::parse_command("").kind, svc::Command::Kind::Empty);
+  EXPECT_EQ(svc::parse_command("  # comment").kind, svc::Command::Kind::Empty);
+  EXPECT_EQ(svc::parse_command("metrics").kind, svc::Command::Kind::Metrics);
+  EXPECT_EQ(svc::parse_command("quit").kind, svc::Command::Kind::Quit);
+  const svc::Command save = svc::parse_command("save out.kb");
+  EXPECT_EQ(save.kind, svc::Command::Kind::Save);
+  EXPECT_EQ(save.path, "out.kb");
+  const svc::Command mod = svc::parse_command("module m 3");
+  EXPECT_EQ(mod.kind, svc::Command::Kind::Module);
+  EXPECT_EQ(mod.module_name, "m");
+  EXPECT_EQ(mod.module_lines, 3u);
+}
+
+TEST(SvcProtocol, FormatsResponsesAndMetrics) {
+  svc::TuningResponse r;
+  r.ok = true;
+  r.program = "fir";
+  r.config = "licm,dce";
+  r.baseline_metric = 200;
+  r.best_metric = 100;
+  r.speedup = 2.0;
+  r.source = svc::Source::WarmCache;
+  const std::string line = svc::format_response(r);
+  EXPECT_NE(line.find("ok program=fir"), std::string::npos);
+  EXPECT_NE(line.find("source=warm"), std::string::npos);
+  EXPECT_NE(line.find("config=\"licm,dce\""), std::string::npos);
+
+  r.ok = false;
+  r.error = "boom";
+  EXPECT_EQ(svc::format_response(r), "err boom");
+
+  svc::Metrics m;
+  m.requests = 7;
+  const std::string mline = svc::format_metrics(m);
+  EXPECT_NE(mline.find("metrics requests=7"), std::string::npos);
+}
+
+}  // namespace
