@@ -1,0 +1,129 @@
+// Genetic-search wall-clock at 1, 2, and 4 evaluation workers on the
+// Fig. 2 target (adpcm). Every width re-runs the identical fixed-seed GA
+// from a cold evaluator and program cache; the bench fails unless each
+// parallel trace is bit-identical to the sequential one (same best_so_far
+// curve, best sequence, and best metric) — speed is only admissible if
+// determinism held. Speedups are bounded by the host's core count, which
+// is recorded alongside the numbers.
+//
+//   ILC_GA_BUDGET  evaluations per run   (default 400)
+//   ILC_GA_SEED    GA seed               (default 2008)
+//   --smoke        budget 60 (CI correctness pass)
+//   --json <path>  machine-readable summary
+#include <chrono>
+#include <cstdio>
+#include <iostream>
+#include <thread>
+#include <vector>
+
+#include "bench_common.hpp"
+#include "search/strategies.hpp"
+#include "sim/program_cache.hpp"
+#include "support/table.hpp"
+#include "workloads/workloads.hpp"
+
+using namespace ilc;
+
+namespace {
+
+using Clock = std::chrono::steady_clock;
+
+struct Run {
+  search::SearchTrace trace;
+  double secs = 0.0;
+};
+
+Run run_ga(const ir::Module& mod, unsigned budget, std::uint64_t seed,
+           unsigned workers) {
+  // Cold start per width: a fresh evaluator (empty memo cache) and an
+  // empty decoded-program cache, so no width inherits the previous one's
+  // work.
+  sim::ProgramCache::instance().clear();
+  search::Evaluator eval(mod, sim::amd_like());
+  support::Rng rng(seed);
+  search::SequenceSpace space;
+  search::GaParams params;
+  params.workers = workers;
+
+  Run out;
+  const Clock::time_point t0 = Clock::now();
+  out.trace = search::genetic_search(eval, space, rng, budget,
+                                     search::Objective::Cycles, params);
+  out.secs = std::chrono::duration<double>(Clock::now() - t0).count();
+  return out;
+}
+
+bool identical(const search::SearchTrace& a, const search::SearchTrace& b) {
+  return a.evaluations == b.evaluations && a.best_metric == b.best_metric &&
+         a.best_seq == b.best_seq && a.best_so_far == b.best_so_far;
+}
+
+std::string fmt(double v) {
+  char buf[32];
+  std::snprintf(buf, sizeof buf, "%.2f", v);
+  return buf;
+}
+
+}  // namespace
+
+int main(int argc, char** argv) {
+  const bench::Args args = bench::parse_args(argc, argv);
+  const unsigned budget =
+      args.smoke ? 60 : bench::env_unsigned("ILC_GA_BUDGET", 400);
+  const std::uint64_t seed = bench::env_unsigned("ILC_GA_SEED", 2008);
+  const unsigned host_threads = std::thread::hardware_concurrency();
+
+  const wl::Workload w = wl::make_workload("adpcm");
+  std::printf("GA throughput on %s, budget %u, seed %llu, host threads %u\n\n",
+              w.name.c_str(), budget, static_cast<unsigned long long>(seed),
+              host_threads);
+
+  support::Table table(
+      {"workers", "secs", "evals/s", "speedup", "trace == seq"});
+  std::vector<std::string> json_rows;
+  bool ok = true;
+  double base_secs = 0.0;
+  search::SearchTrace reference;
+
+  for (const unsigned workers : {1u, 2u, 4u}) {
+    const Run run = run_ga(w.module, budget, seed, workers);
+    if (workers == 1) {
+      base_secs = run.secs;
+      reference = run.trace;
+    }
+    const bool same = identical(run.trace, reference);
+    ok = ok && same;
+
+    const double speedup = base_secs / run.secs;
+    const double eps = run.trace.evaluations / run.secs;
+    table.add_row({std::to_string(workers), fmt(run.secs), fmt(eps),
+                   fmt(speedup), same ? "yes" : "NO"});
+    json_rows.push_back(bench::Json()
+                            .integer("workers", workers)
+                            .number("secs", run.secs)
+                            .number("evals_per_s", eps)
+                            .number("speedup_vs_1", speedup)
+                            .boolean("trace_identical", same)
+                            .render());
+  }
+  table.print(std::cout);
+  std::printf("\nall parallel traces bit-identical to sequential: %s\n",
+              ok ? "PASS" : "FAIL");
+
+  if (!args.json_path.empty()) {
+    const std::string doc = bench::Json()
+                                .string("bench", "ga_throughput")
+                                .string("workload", w.name)
+                                .integer("budget", budget)
+                                .integer("seed", seed)
+                                .integer("host_threads", host_threads)
+                                .boolean("deterministic", ok)
+                                .raw("widths", bench::Json::array(json_rows))
+                                .render();
+    if (!bench::write_json(args.json_path, doc)) {
+      std::fprintf(stderr, "cannot write %s\n", args.json_path.c_str());
+      return 1;
+    }
+  }
+  return ok ? 0 : 1;
+}

@@ -1,0 +1,138 @@
+// Simulator throughput: Minstr/s of the legacy tree-walking interpreter
+// vs the pre-decoded execution path (sim::DecodedProgram) over the whole
+// workload suite. Both paths are run on identical modules and the bench
+// asserts they agree on return value, cycle count, and instruction count
+// for every workload — the speedup is only meaningful if the decoded path
+// is bit-identical.
+//
+//   ILC_SIMSPEED_REPS  simulator invocations timed per path  (default 5)
+//   --smoke            1 rep (CI correctness pass)
+//   --json <path>      machine-readable summary
+#include <chrono>
+#include <cmath>
+#include <cstdio>
+#include <iostream>
+#include <vector>
+
+#include "bench_common.hpp"
+#include "sim/interpreter.hpp"
+#include "sim/program_cache.hpp"
+#include "support/table.hpp"
+#include "workloads/workloads.hpp"
+
+using namespace ilc;
+
+namespace {
+
+using Clock = std::chrono::steady_clock;
+
+struct PathResult {
+  std::int64_t ret = 0;
+  std::uint64_t cycles = 0;
+  std::uint64_t instructions = 0;
+  double secs = 0.0;
+};
+
+/// Time `reps` full runs of `main` on one path; results must be invariant
+/// across reps (the simulator is deterministic), so the last one is kept.
+PathResult run_path(const ir::Module& mod, bool decoded, unsigned reps) {
+  sim::MachineConfig cfg = sim::amd_like();
+  cfg.decoded_execution = decoded;
+  PathResult out;
+  const Clock::time_point t0 = Clock::now();
+  for (unsigned r = 0; r < reps; ++r) {
+    sim::Simulator sim(mod, cfg);
+    const sim::RunResult rr = sim.run();
+    out.ret = rr.ret;
+    out.cycles = rr.cycles;
+    out.instructions = rr.instructions;
+  }
+  out.secs = std::chrono::duration<double>(Clock::now() - t0).count();
+  return out;
+}
+
+std::string fmt(double v) {
+  char buf[32];
+  std::snprintf(buf, sizeof buf, "%.2f", v);
+  return buf;
+}
+
+}  // namespace
+
+int main(int argc, char** argv) {
+  const bench::Args args = bench::parse_args(argc, argv);
+  const unsigned reps =
+      args.smoke ? 1 : bench::env_unsigned("ILC_SIMSPEED_REPS", 5);
+
+  std::printf("Simulator throughput, legacy vs decoded, %u reps/path\n\n",
+              reps);
+
+  support::Table table({"workload", "instrs", "legacy Mi/s", "decoded Mi/s",
+                        "speedup"});
+  std::vector<std::string> json_rows;
+  double log_speedup_sum = 0.0;
+  std::size_t n = 0;
+  bool ok = true;
+
+  for (const auto& name : wl::workload_names()) {
+    const wl::Workload w = wl::make_workload(name);
+    // Drop cached decodings so each workload pays its own decode cost
+    // inside the timed region (the honest amortized comparison).
+    sim::ProgramCache::instance().clear();
+    const PathResult legacy = run_path(w.module, /*decoded=*/false, reps);
+    const PathResult decoded = run_path(w.module, /*decoded=*/true, reps);
+
+    if (legacy.ret != decoded.ret || legacy.cycles != decoded.cycles ||
+        legacy.instructions != decoded.instructions) {
+      std::fprintf(stderr, "MISMATCH on %s: legacy(ret=%lld cyc=%llu i=%llu) "
+                           "decoded(ret=%lld cyc=%llu i=%llu)\n",
+                   name.c_str(), static_cast<long long>(legacy.ret),
+                   static_cast<unsigned long long>(legacy.cycles),
+                   static_cast<unsigned long long>(legacy.instructions),
+                   static_cast<long long>(decoded.ret),
+                   static_cast<unsigned long long>(decoded.cycles),
+                   static_cast<unsigned long long>(decoded.instructions));
+      ok = false;
+      continue;
+    }
+
+    const double total_mi =
+        static_cast<double>(legacy.instructions) * reps / 1e6;
+    const double legacy_mips = total_mi / legacy.secs;
+    const double decoded_mips = total_mi / decoded.secs;
+    const double speedup = legacy.secs / decoded.secs;
+    log_speedup_sum += std::log(speedup);
+    ++n;
+
+    table.add_row({name, std::to_string(legacy.instructions),
+                   fmt(legacy_mips), fmt(decoded_mips), fmt(speedup)});
+    json_rows.push_back(bench::Json()
+                            .string("workload", name)
+                            .integer("instructions", legacy.instructions)
+                            .number("legacy_minstr_per_s", legacy_mips)
+                            .number("decoded_minstr_per_s", decoded_mips)
+                            .number("speedup", speedup)
+                            .render());
+  }
+  table.print(std::cout);
+
+  const double geomean = n ? std::exp(log_speedup_sum / n) : 0.0;
+  std::printf("\ngeomean decoded/legacy speedup: %.2fx\n", geomean);
+  std::printf("legacy == decoded on ret/cycles/instructions: %s\n",
+              ok ? "PASS" : "FAIL");
+
+  if (!args.json_path.empty()) {
+    const std::string doc = bench::Json()
+                                .string("bench", "sim_speed")
+                                .integer("reps", reps)
+                                .number("geomean_speedup", geomean)
+                                .boolean("bit_identical", ok)
+                                .raw("workloads", bench::Json::array(json_rows))
+                                .render();
+    if (!bench::write_json(args.json_path, doc)) {
+      std::fprintf(stderr, "cannot write %s\n", args.json_path.c_str());
+      return 1;
+    }
+  }
+  return ok ? 0 : 1;
+}

@@ -3,9 +3,21 @@
 // it, and memoize the result by the fingerprint of the optimized module —
 // distinct sequences frequently converge to identical code, and the cache
 // collapses them (design decision #4 in DESIGN.md).
+//
+// Built for concurrent callers (the parallel GA and the tuning service):
+// the memo cache is striped across sharded mutexes so unrelated
+// fingerprints never contend, and each shard is single-flight — when two
+// workers miss on the same fingerprint simultaneously, one simulates and
+// the others block on the shard's condition variable until the result
+// lands, so every unique fingerprint is simulated exactly once. Candidate
+// materialization reuses a per-thread scratch module (copy-assignment into
+// retained capacity) instead of constructing a fresh deep copy per
+// candidate.
 #pragma once
 
+#include <array>
 #include <atomic>
+#include <condition_variable>
 #include <mutex>
 #include <unordered_map>
 
@@ -36,6 +48,8 @@ class Evaluator {
 
   /// Number of real simulations performed / cache hits observed. Atomic,
   /// so harnesses may poll them while workers are still evaluating.
+  /// A thread that joins an in-flight simulation of the same fingerprint
+  /// counts as a cache hit (it did not simulate).
   std::size_t simulations() const {
     return simulations_.load(std::memory_order_relaxed);
   }
@@ -49,12 +63,27 @@ class Evaluator {
 
  private:
   EvalResult measure(const ir::Module& optimized_mod);
+  EvalResult simulate(const ir::Module& optimized_mod, std::uint64_t fp);
+
+  /// One stripe of the memo cache. An entry is inserted not-ready by the
+  /// thread that takes ownership of the simulation (the leader); followers
+  /// wait on the shard cv. Erased (and broadcast) if the leader throws.
+  struct Entry {
+    bool ready = false;
+    EvalResult result;
+  };
+  struct Shard {
+    std::mutex mu;
+    std::condition_variable cv;
+    std::unordered_map<std::uint64_t, Entry> map;
+  };
+  static constexpr std::size_t kShards = 16;
+  Shard& shard_of(std::uint64_t fp) { return shards_[fp % kShards]; }
 
   ir::Module base_;
   sim::MachineConfig cfg_;
   bool cache_enabled_ = true;
-  std::unordered_map<std::uint64_t, EvalResult> cache_;
-  std::mutex mu_;
+  std::array<Shard, kShards> shards_;
   std::atomic<std::size_t> simulations_{0};
   std::atomic<std::size_t> cache_hits_{0};
 };

@@ -125,4 +125,11 @@ double FocusedModel::log_prob(const std::vector<opt::PassId>& seq) const {
   return std::log(std::max(p, 1e-300));
 }
 
+SearchTrace focused_search(Evaluator& eval, const FocusedModel& model,
+                           support::Rng& rng, unsigned budget, Objective obj,
+                           unsigned workers) {
+  return generator_search(
+      eval, [&] { return model.sample(rng); }, budget, obj, workers);
+}
+
 }  // namespace ilc::search

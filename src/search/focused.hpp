@@ -17,6 +17,7 @@
 
 #include "features/features.hpp"
 #include "search/space.hpp"
+#include "search/strategies.hpp"
 #include "support/rng.hpp"
 
 namespace ilc::search {
@@ -70,5 +71,15 @@ class FocusedModel {
   std::vector<std::pair<std::size_t, double>> active_;  // (model, weight)
   bool target_set_ = false;
 };
+
+/// Run a model-biased search: draw `budget` candidates from the focused
+/// model (sequentially, preserving the RNG stream) and evaluate them —
+/// concurrently when workers > 1 — committing results in sample order, so
+/// fixed-seed traces are identical at any worker count. The model must
+/// have a target set.
+SearchTrace focused_search(Evaluator& eval, const FocusedModel& model,
+                           support::Rng& rng, unsigned budget,
+                           Objective obj = Objective::Cycles,
+                           unsigned workers = 1);
 
 }  // namespace ilc::search

@@ -1,11 +1,20 @@
 // Generational genetic algorithm over pass sequences, after Cooper,
 // Schielke & Subramanian's code-size GA (paper Section IV): tournament
 // selection, single-point crossover, per-gene mutation, elitism.
+//
+// Evaluation is batched per generation: breeding (the only RNG consumer)
+// runs sequentially, then the new individuals are scored concurrently on a
+// thread pool and committed to the trace in population order. Because a
+// candidate's metric is a pure function of its genes, the trace — and
+// therefore selection in every later generation — is bit-identical to the
+// sequential GA for a fixed seed, at any GaParams::workers.
 #include "search/strategies.hpp"
 
 #include <algorithm>
+#include <memory>
 
 #include "support/assert.hpp"
+#include "support/thread_pool.hpp"
 
 namespace ilc::search {
 
@@ -42,20 +51,28 @@ SearchTrace genetic_search(Evaluator& eval, const SequenceSpace& space,
   ILC_CHECK(params.population >= 4);
   SearchTrace trace;
 
-  auto evaluate = [&](Individual& ind) {
-    ind.metric = metric_of(eval.eval_sequence(ind.genes), obj);
-    trace.record(ind.genes, ind.metric);
+  std::unique_ptr<support::ThreadPool> pool;
+  if (params.workers > 1)
+    pool = std::make_unique<support::ThreadPool>(params.workers);
+
+  // Score inds[first, first+count) concurrently, then commit the results
+  // in index order — the same order the sequential GA records them.
+  auto evaluate_range = [&](std::vector<Individual>& inds, std::size_t first,
+                            std::size_t count) {
+    support::parallel_for(pool.get(), first, first + count,
+                          [&](std::size_t i) {
+                            inds[i].metric =
+                                metric_of(eval.eval_sequence(inds[i].genes), obj);
+                          });
+    for (std::size_t i = first; i < first + count; ++i)
+      trace.record(inds[i].genes, inds[i].metric);
   };
 
   std::vector<Individual> pop(params.population);
-  for (auto& ind : pop) {
-    ind.genes = space.sample(rng);
-    if (trace.evaluations >= budget) {
-      ind.metric = ~0ULL;
-      continue;
-    }
-    evaluate(ind);
-  }
+  for (auto& ind : pop) ind.genes = space.sample(rng);
+  // Individuals past the budget stay unevaluated (metric ~0ULL), exactly
+  // as when the sequential loop stops recording mid-population.
+  evaluate_range(pop, 0, std::min<std::size_t>(params.population, budget));
 
   auto tournament = [&]() -> const Individual& {
     const Individual* best = &pop[rng.next_below(pop.size())];
@@ -93,10 +110,11 @@ SearchTrace genetic_search(Evaluator& eval, const SequenceSpace& space,
       ILC_ASSERT(space.valid(child.genes));
       next.push_back(std::move(child));
     }
-    for (std::size_t i = params.elites; i < next.size(); ++i) {
-      if (trace.evaluations >= budget) break;
-      evaluate(next[i]);
-    }
+    const std::size_t first =
+        std::min<std::size_t>(params.elites, next.size());
+    const std::size_t evaluable = std::min<std::size_t>(
+        next.size() - first, budget - trace.evaluations);
+    evaluate_range(next, first, evaluable);
     // Drop any never-evaluated stragglers (budget exhausted mid-generation).
     next.erase(std::remove_if(next.begin(), next.end(),
                               [](const Individual& ind) {

@@ -1,11 +1,34 @@
 #include "search/strategies.hpp"
 
-#include <algorithm>
+#include <memory>
 #include <unordered_set>
 
 #include "support/assert.hpp"
+#include "support/thread_pool.hpp"
 
 namespace ilc::search {
+
+namespace {
+
+/// Evaluate a pre-sampled candidate batch and commit it to the trace in
+/// submission order. The evaluation itself consumes no RNG, so fanning it
+/// out over the pool cannot perturb a fixed-seed run.
+void eval_batch(Evaluator& eval, const std::vector<std::vector<opt::PassId>>& seqs,
+                Objective obj, support::ThreadPool* pool, SearchTrace& trace) {
+  std::vector<std::uint64_t> metrics(seqs.size());
+  support::parallel_for(pool, 0, seqs.size(), [&](std::size_t i) {
+    metrics[i] = metric_of(eval.eval_sequence(seqs[i]), obj);
+  });
+  for (std::size_t i = 0; i < seqs.size(); ++i)
+    trace.record(seqs[i], metrics[i]);
+}
+
+std::unique_ptr<support::ThreadPool> make_pool(unsigned workers) {
+  if (workers <= 1) return nullptr;
+  return std::make_unique<support::ThreadPool>(workers);
+}
+
+}  // namespace
 
 void SearchTrace::record(const std::vector<opt::PassId>& seq,
                          std::uint64_t metric) {
@@ -18,23 +41,22 @@ void SearchTrace::record(const std::vector<opt::PassId>& seq,
 }
 
 SearchTrace random_search(Evaluator& eval, const SequenceSpace& space,
-                          support::Rng& rng, unsigned budget, Objective obj) {
+                          support::Rng& rng, unsigned budget, Objective obj,
+                          unsigned workers) {
   SearchTrace trace;
-  for (unsigned i = 0; i < budget; ++i) {
-    const auto seq = space.sample(rng);
-    trace.record(seq, metric_of(eval.eval_sequence(seq), obj));
-  }
+  std::vector<std::vector<opt::PassId>> seqs(budget);
+  for (auto& seq : seqs) seq = space.sample(rng);
+  eval_batch(eval, seqs, obj, make_pool(workers).get(), trace);
   return trace;
 }
 
 SearchTrace generator_search(
     Evaluator& eval, const std::function<std::vector<opt::PassId>()>& gen,
-    unsigned budget, Objective obj) {
+    unsigned budget, Objective obj, unsigned workers) {
   SearchTrace trace;
-  for (unsigned i = 0; i < budget; ++i) {
-    const auto seq = gen();
-    trace.record(seq, metric_of(eval.eval_sequence(seq), obj));
-  }
+  std::vector<std::vector<opt::PassId>> seqs(budget);
+  for (auto& seq : seqs) seq = gen();
+  eval_batch(eval, seqs, obj, make_pool(workers).get(), trace);
   return trace;
 }
 

@@ -3,6 +3,16 @@
 // search (the Cooper et al. baseline, usable for cycles or code size),
 // enumeration with sampling (Fig. 2a), and flag-space random search (the
 // Fig. 3/4 setting space).
+//
+// Parallel evaluation: strategies that evaluate independent candidate
+// batches (random, generator-driven, genetic) accept a worker count and
+// fan the batch out over a support::ThreadPool. Candidates are *sampled*
+// sequentially — the RNG is only ever consumed on the calling thread, in
+// the same order as the sequential implementation — and results are
+// committed to the SearchTrace in submission order, so a fixed-seed run
+// produces a bit-identical trace at any worker count (see DESIGN.md, "The
+// evaluation hot path"). Greedy search is inherently serial (each step
+// depends on the last result) and takes no worker count.
 #pragma once
 
 #include <functional>
@@ -32,7 +42,8 @@ struct SearchTrace {
 /// Evaluate `budget` uniform random sequences.
 SearchTrace random_search(Evaluator& eval, const SequenceSpace& space,
                           support::Rng& rng, unsigned budget,
-                          Objective obj = Objective::Cycles);
+                          Objective obj = Objective::Cycles,
+                          unsigned workers = 1);
 
 /// Hill-climbing: mutate the best-so-far sequence one position at a time,
 /// restarting from a random point when stuck.
@@ -41,9 +52,13 @@ SearchTrace greedy_search(Evaluator& eval, const SequenceSpace& space,
                           Objective obj = Objective::Cycles);
 
 /// Search driven by a sequence generator (used by the FOCUSSED model).
+/// All `budget` candidates are drawn from `gen` up front, on the calling
+/// thread, then evaluated (in parallel when workers > 1) — so a stateful
+/// generator sees exactly the sequential call pattern.
 SearchTrace generator_search(
     Evaluator& eval, const std::function<std::vector<opt::PassId>()>& gen,
-    unsigned budget, Objective obj = Objective::Cycles);
+    unsigned budget, Objective obj = Objective::Cycles,
+    unsigned workers = 1);
 
 struct GaParams {
   unsigned population = 20;
@@ -51,6 +66,9 @@ struct GaParams {
   double mutation_rate = 0.1;
   unsigned tournament = 3;
   unsigned elites = 2;
+  /// Evaluation fan-out per generation; breeding stays sequential, so the
+  /// trace is identical at any value.
+  unsigned workers = 1;
 };
 
 /// Generational GA in the style of Cooper et al.'s code-size work.

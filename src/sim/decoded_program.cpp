@@ -1,0 +1,105 @@
+#include "sim/decoded_program.hpp"
+
+#include "ir/fingerprint.hpp"
+#include "support/assert.hpp"
+#include "support/hash.hpp"
+
+namespace ilc::sim {
+
+namespace {
+
+LatClass lat_class(ir::Opcode op) {
+  switch (op) {
+    case ir::Opcode::Mul:
+      return LatClass::Mul;
+    case ir::Opcode::Div:
+    case ir::Opcode::Rem:
+      return LatClass::Div;
+    default:
+      return LatClass::Alu;
+  }
+}
+
+DecodedFunction decode_function(const ir::Function& fn, ir::FuncId fn_id,
+                                std::size_t num_funcs) {
+  DecodedFunction out;
+  out.name = fn.name;
+  out.num_args = fn.num_args;
+  out.num_regs = fn.num_regs;
+  out.frame_bytes = (fn.frame_size + 15) / 16 * 16;
+
+  out.block_entry.reserve(fn.blocks.size());
+  std::size_t total = 0;
+  for (const ir::BasicBlock& bb : fn.blocks) {
+    out.block_entry.push_back(static_cast<std::uint32_t>(total));
+    total += bb.insts.size();
+  }
+  out.code.reserve(total);
+
+  for (ir::BlockId block = 0; block < fn.blocks.size(); ++block) {
+    const ir::BasicBlock& bb = fn.blocks[block];
+    ILC_CHECK_MSG(!bb.insts.empty() && ir::is_terminator(bb.insts.back()),
+                  "decode: block without terminator in " << fn.name);
+    for (std::size_t ip = 0; ip < bb.insts.size(); ++ip) {
+      const ir::Instr& inst = bb.insts[ip];
+      DecodedInstr d;
+      d.op = inst.op;
+      d.lat = lat_class(inst.op);
+      d.width_bytes = static_cast<std::uint8_t>(ir::width_bytes(inst.width));
+      d.is_ptr = inst.is_ptr;
+      d.has_dst = ir::has_dst(inst);
+      d.dst = inst.dst;
+      d.a = inst.a;
+      d.b = inst.b;
+      d.imm = inst.imm;
+      d.callee = inst.callee;
+      d.gid = inst.gid;
+      d.nargs = inst.nargs;
+      d.args = inst.args;
+
+      unsigned nu = 0;
+      ir::append_uses(inst, d.uses, nu);
+      d.nu = static_cast<std::uint8_t>(nu);
+      for (unsigned u = 0; u < nu; ++u)
+        ILC_CHECK_MSG(d.uses[u] < fn.num_regs,
+                      "decode: register out of range in " << fn.name);
+      ILC_CHECK_MSG(!d.has_dst || d.dst < fn.num_regs,
+                    "decode: dst register out of range in " << fn.name);
+
+      if (inst.op == ir::Opcode::Call)
+        ILC_CHECK_MSG(inst.callee < num_funcs,
+                      "decode: bad callee in " << fn.name);
+      if (inst.op == ir::Opcode::Jump || inst.op == ir::Opcode::Br) {
+        ILC_CHECK_MSG(inst.t1 < fn.blocks.size(),
+                      "decode: bad branch target in " << fn.name);
+        d.t1 = out.block_entry[inst.t1];
+      }
+      if (inst.op == ir::Opcode::Br) {
+        ILC_CHECK_MSG(inst.t2 < fn.blocks.size(),
+                      "decode: bad branch target in " << fn.name);
+        d.t2 = out.block_entry[inst.t2];
+        d.backward = inst.t1 <= block;
+        d.branch_id = support::hash_combine(
+            support::hash_combine(fn_id, block), ip);
+      }
+      out.code.push_back(d);
+    }
+  }
+  return out;
+}
+
+}  // namespace
+
+std::shared_ptr<const DecodedProgram> decode_program(const ir::Module& mod) {
+  auto prog = std::make_shared<DecodedProgram>();
+  prog->fingerprint = ir::fingerprint(mod);
+  prog->funcs.reserve(mod.functions().size());
+  for (ir::FuncId id = 0; id < mod.functions().size(); ++id) {
+    prog->funcs.push_back(
+        decode_function(mod.function(id), id, mod.functions().size()));
+    prog->instruction_count += prog->funcs.back().code.size();
+  }
+  return prog;
+}
+
+}  // namespace ilc::sim

@@ -1,0 +1,92 @@
+// Pre-decoded simulator programs — the fast half of the evaluation hot
+// path. The interpreter's legacy loop re-derives, for every dynamic
+// instruction, facts that are static properties of the code: the register
+// use list (a per-opcode switch in ir::append_uses, an out-of-line call),
+// the branch identity (two hash_combine calls per Br), the access width,
+// the latency class, and the basic-block indirection through
+// fn.blocks[block].insts[ip].
+//
+// DecodedProgram flattens a module once into contiguous per-function
+// instruction arrays with all of that precomputed. Branch/jump targets are
+// resolved to flat offsets, so the inner loop is a single indexed fetch.
+// Decoding depends only on the module's *code* (not its memory image or a
+// machine config), which is what lets a process-wide ProgramCache share
+// decoded programs across Simulators, machines, and repeat evaluations of
+// the same optimized module.
+//
+// Invariant: executing the decoded form is bit-identical to the legacy
+// walk — same results, same cycle counts, same counters, same branch ids
+// fed to the predictor (tests/test_sim_decoded.cpp enforces this
+// differentially).
+#pragma once
+
+#include <array>
+#include <cstdint>
+#include <memory>
+#include <string>
+#include <vector>
+
+#include "ir/module.hpp"
+
+namespace ilc::sim {
+
+/// Latency class of an instruction, resolved against a MachineConfig at
+/// execution time (so decoded programs stay machine-independent).
+enum class LatClass : std::uint8_t { Alu = 0, Mul = 1, Div = 2 };
+
+/// One pre-decoded instruction. Larger than ir::Instr, but every field the
+/// inner loop touches is computed and the array is contiguous in execution
+/// order.
+struct DecodedInstr {
+  ir::Opcode op = ir::Opcode::Nop;
+  LatClass lat = LatClass::Alu;
+  std::uint8_t width_bytes = 8;  // Load/Store access width, resolved
+  bool is_ptr = false;
+  bool has_dst = false;
+  bool backward = false;  // Br: taken target not later in layout order
+  std::uint8_t nu = 0;    // register uses (sources incl. call args)
+  std::uint8_t nargs = 0;
+
+  ir::Reg dst = ir::kNoReg;
+  ir::Reg a = ir::kNoReg;
+  ir::Reg b = ir::kNoReg;
+  std::int64_t imm = 0;
+
+  std::uint32_t t1 = 0;  // Jump/Br taken target as a *flat* code offset
+  std::uint32_t t2 = 0;  // Br fall-through target as a flat code offset
+  ir::FuncId callee = ir::kNoFunc;
+  ir::GlobalId gid = ir::kNoGlobal;
+
+  /// Precomputed branch identity for Br, identical to the legacy
+  /// hash_combine(hash_combine(fn_id, block), ip) so predictor state and
+  /// misprediction counts match the legacy path exactly.
+  std::uint64_t branch_id = 0;
+
+  std::array<ir::Reg, 2 + ir::kMaxCallArgs> uses{};
+  std::array<ir::Reg, ir::kMaxCallArgs> args{};
+};
+
+/// One function, flattened: blocks concatenated in layout order.
+struct DecodedFunction {
+  std::string name;  // owned copy; traps must not dangle into the module
+  unsigned num_args = 0;
+  unsigned num_regs = 0;
+  std::uint64_t frame_bytes = 0;  // frame_size rounded up to 16
+
+  std::vector<DecodedInstr> code;
+  std::vector<std::uint32_t> block_entry;  // flat offset of each block
+};
+
+/// A whole module's code, decoded. Owns all its data — safe to outlive the
+/// source module (the ProgramCache does).
+struct DecodedProgram {
+  std::vector<DecodedFunction> funcs;
+  std::uint64_t fingerprint = 0;      // ir::fingerprint of the source
+  std::size_t instruction_count = 0;  // static instructions decoded
+};
+
+/// Decode a module. Validates terminator targets and register references
+/// (ILC_CHECK), so the execution loop can skip per-instruction asserts.
+std::shared_ptr<const DecodedProgram> decode_program(const ir::Module& mod);
+
+}  // namespace ilc::sim

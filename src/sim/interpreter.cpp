@@ -1,8 +1,10 @@
 #include "sim/interpreter.hpp"
 
+#include <algorithm>
 #include <sstream>
 
 #include "ir/printer.hpp"
+#include "sim/program_cache.hpp"
 #include "support/assert.hpp"
 #include "support/hash.hpp"
 
@@ -14,13 +16,17 @@ using ir::Instr;
 using ir::Opcode;
 using ir::Reg;
 
-Simulator::Simulator(const ir::Module& mod, const MachineConfig& cfg)
+Simulator::Simulator(const ir::Module& mod, const MachineConfig& cfg,
+                     std::shared_ptr<const DecodedProgram> decoded)
     : mod_(&mod),
       cfg_(cfg),
       image_(mod.build_image()),
       l1_(cfg.l1),
       l2_(cfg.l2),
-      bpred_(cfg.bpred_entries) {}
+      bpred_(cfg.bpred_entries) {
+  if (cfg_.decoded_execution)
+    decoded_ = decoded ? std::move(decoded) : ProgramCache::instance().get(mod);
+}
 
 void Simulator::switch_module(const ir::Module& next) {
   const ir::MemoryImage other = next.build_image(image_.stack_size);
@@ -29,6 +35,7 @@ void Simulator::switch_module(const ir::Module& next) {
                     other.ptr_bytes == image_.ptr_bytes,
                 "switch_module requires an identical memory layout");
   mod_ = &next;
+  if (decoded_) decoded_ = ProgramCache::instance().get(next);
 }
 
 void Simulator::clear_microarch_state() {
@@ -109,6 +116,11 @@ RunResult Simulator::run() { return call("main"); }
 
 RunResult Simulator::call(FuncId fn_id,
                           const std::vector<std::int64_t>& args) {
+  return decoded_ ? call_decoded(fn_id, args) : call_legacy(fn_id, args);
+}
+
+RunResult Simulator::call_legacy(FuncId fn_id,
+                                 const std::vector<std::int64_t>& args) {
   const Counters before = total_;
   const std::uint64_t cycles_before = cycle_;
   const std::uint64_t executed_before = executed_;
@@ -322,6 +334,264 @@ RunResult Simulator::call(FuncId fn_id,
     if (advance) {
       if (ir::has_dst(inst))
         fr.ready[inst.dst] = cycle_ + result_latency;
+      fr.ip += 1;
+    }
+  }
+
+  total_[TOT_CYC] += cycle_ - cycles_before;
+
+  RunResult rr;
+  rr.ret = final_ret;
+  rr.cycles = cycle_ - cycles_before;
+  rr.instructions = executed_ - executed_before;
+  rr.counters = total_ - before;
+  return rr;
+}
+
+// The hot path. Semantically a transliteration of call_legacy over the
+// flat pre-decoded arrays: no per-instruction use-list derivation, no
+// branch-id hashing, no block indirection, and the arithmetic switch is
+// inlined instead of routed through ir::fold_constant. Any divergence in
+// results, cycles, or counters is a bug (differential-tested).
+RunResult Simulator::call_decoded(FuncId fn_id,
+                                  const std::vector<std::int64_t>& args) {
+  const DecodedProgram& prog = *decoded_;
+  ILC_CHECK_MSG(fn_id < prog.funcs.size(), "no function with id " << fn_id);
+
+  const Counters before = total_;
+  const std::uint64_t cycles_before = cycle_;
+  const std::uint64_t executed_before = executed_;
+  const std::uint64_t budget_end = executed_ + cfg_.max_instructions;
+  const std::uint32_t lat_of[3] = {cfg_.lat_alu, cfg_.lat_mul, cfg_.lat_div};
+
+  std::vector<DecodedFrame> stack;
+  std::uint64_t frame_cursor = image_.stack_base;
+
+  auto push_frame = [&](FuncId id, Reg ret_dst) -> DecodedFrame& {
+    const DecodedFunction& fn = prog.funcs[id];
+    if (stack.size() >= kMaxCallDepth)
+      throw TrapError("call depth exceeded in " + fn.name);
+    DecodedFrame fr;
+    fr.fn = &fn;
+    fr.regs.assign(fn.num_regs, 0);
+    fr.ready.assign(fn.num_regs, 0);
+    fr.frame_base = frame_cursor;
+    frame_cursor += fn.frame_bytes;
+    if (frame_cursor > image_.stack_base + image_.stack_size)
+      throw TrapError("stack overflow in " + fn.name);
+    fr.ret_dst = ret_dst;
+    stack.push_back(std::move(fr));
+    return stack.back();
+  };
+
+  {
+    const DecodedFunction& fn = prog.funcs[fn_id];
+    ILC_CHECK_MSG(args.size() == fn.num_args,
+                  "arity mismatch calling " << fn.name);
+    DecodedFrame& fr = push_frame(fn_id, ir::kNoReg);
+    for (std::size_t i = 0; i < args.size(); ++i) fr.regs[i] = args[i];
+  }
+
+  std::int64_t final_ret = 0;
+
+  while (!stack.empty()) {
+    DecodedFrame& fr = stack.back();
+    const DecodedInstr& inst = fr.fn->code[fr.ip];
+    std::int64_t* const regs = fr.regs.data();
+    std::uint64_t* const ready = fr.ready.data();
+
+    if (++executed_ > budget_end)
+      throw TrapError("instruction budget exhausted (runaway loop?)");
+    total_[TOT_INS] += 1;
+
+    // --- timing: stall until register sources are ready, then claim an
+    // issue slot (issue_width instructions share a cycle).
+    std::uint64_t earliest = 0;
+    for (unsigned u = 0; u < inst.nu; ++u)
+      earliest = std::max(earliest, ready[inst.uses[u]]);
+    if (earliest > cycle_) {
+      cycle_ = earliest;
+      slots_used_ = 0;
+    } else if (slots_used_ >= cfg_.issue_width) {
+      cycle_ += 1;
+      slots_used_ = 0;
+    }
+    ++slots_used_;
+
+    std::uint32_t result_latency = lat_of[static_cast<unsigned>(inst.lat)];
+    bool advance = true;  // move ip forward unless control transfer happened
+
+    switch (inst.op) {
+      case Opcode::Nop:
+        break;
+      case Opcode::LoadImm:
+        regs[inst.dst] = inst.imm;
+        break;
+      case Opcode::Mov:
+        regs[inst.dst] = regs[inst.a];
+        break;
+      case Opcode::GlobalAddr:
+        regs[inst.dst] =
+            static_cast<std::int64_t>(image_.global_base[inst.gid]);
+        break;
+      case Opcode::FrameAddr:
+        regs[inst.dst] =
+            static_cast<std::int64_t>(fr.frame_base + inst.imm);
+        break;
+      // Arithmetic is inlined (same semantics as ir::fold_constant:
+      // wrapping 64-bit, defined division edge cases, masked shifts).
+      case Opcode::Neg:
+        regs[inst.dst] = static_cast<std::int64_t>(
+            0 - static_cast<std::uint64_t>(regs[inst.a]));
+        break;
+      case Opcode::Not:
+        regs[inst.dst] = ~regs[inst.a];
+        break;
+      case Opcode::Add:
+        regs[inst.dst] = static_cast<std::int64_t>(
+            static_cast<std::uint64_t>(regs[inst.a]) +
+            static_cast<std::uint64_t>(regs[inst.b]));
+        break;
+      case Opcode::Sub:
+        regs[inst.dst] = static_cast<std::int64_t>(
+            static_cast<std::uint64_t>(regs[inst.a]) -
+            static_cast<std::uint64_t>(regs[inst.b]));
+        break;
+      case Opcode::Mul:
+        regs[inst.dst] = static_cast<std::int64_t>(
+            static_cast<std::uint64_t>(regs[inst.a]) *
+            static_cast<std::uint64_t>(regs[inst.b]));
+        break;
+      case Opcode::Div: {
+        const std::int64_t a = regs[inst.a], b = regs[inst.b];
+        regs[inst.dst] =
+            b == 0 ? 0 : (a == INT64_MIN && b == -1 ? INT64_MIN : a / b);
+        break;
+      }
+      case Opcode::Rem: {
+        const std::int64_t a = regs[inst.a], b = regs[inst.b];
+        regs[inst.dst] = b == 0 ? a : (a == INT64_MIN && b == -1 ? 0 : a % b);
+        break;
+      }
+      case Opcode::And:
+        regs[inst.dst] = regs[inst.a] & regs[inst.b];
+        break;
+      case Opcode::Or:
+        regs[inst.dst] = regs[inst.a] | regs[inst.b];
+        break;
+      case Opcode::Xor:
+        regs[inst.dst] = regs[inst.a] ^ regs[inst.b];
+        break;
+      case Opcode::Shl:
+        regs[inst.dst] = static_cast<std::int64_t>(
+            static_cast<std::uint64_t>(regs[inst.a])
+            << (static_cast<std::uint64_t>(regs[inst.b]) & 63));
+        break;
+      case Opcode::Shr:  // arithmetic
+        regs[inst.dst] =
+            regs[inst.a] >> (static_cast<std::uint64_t>(regs[inst.b]) & 63);
+        break;
+      case Opcode::Min:
+        regs[inst.dst] = std::min(regs[inst.a], regs[inst.b]);
+        break;
+      case Opcode::Max:
+        regs[inst.dst] = std::max(regs[inst.a], regs[inst.b]);
+        break;
+      case Opcode::CmpEq:
+        regs[inst.dst] = regs[inst.a] == regs[inst.b];
+        break;
+      case Opcode::CmpNe:
+        regs[inst.dst] = regs[inst.a] != regs[inst.b];
+        break;
+      case Opcode::CmpLt:
+        regs[inst.dst] = regs[inst.a] < regs[inst.b];
+        break;
+      case Opcode::CmpLe:
+        regs[inst.dst] = regs[inst.a] <= regs[inst.b];
+        break;
+      case Opcode::CmpGt:
+        regs[inst.dst] = regs[inst.a] > regs[inst.b];
+        break;
+      case Opcode::CmpGe:
+        regs[inst.dst] = regs[inst.a] >= regs[inst.b];
+        break;
+      case Opcode::Load: {
+        const auto addr = static_cast<std::uint64_t>(regs[inst.a] + inst.imm);
+        bounds_check(addr, inst.width_bytes);
+        total_[LD_INS] += 1;
+        result_latency = mem_access(addr, /*is_write=*/false);
+        regs[inst.dst] = load_value(addr, inst.width_bytes, inst.is_ptr);
+        break;
+      }
+      case Opcode::Store: {
+        const auto addr = static_cast<std::uint64_t>(regs[inst.a] + inst.imm);
+        bounds_check(addr, inst.width_bytes);
+        total_[SR_INS] += 1;
+        // Stores retire through a store buffer: the cache access is
+        // counted but does not stall the pipeline.
+        mem_access(addr, /*is_write=*/true);
+        store_value(addr, regs[inst.b], inst.width_bytes);
+        break;
+      }
+      case Opcode::Prefetch: {
+        const auto addr = static_cast<std::uint64_t>(regs[inst.a] + inst.imm);
+        // Non-binding: out-of-range prefetches are dropped, in-range ones
+        // warm the hierarchy without stalling.
+        if (addr >= ir::MemoryImage::kNullGuard &&
+            addr + 8 <= image_.bytes.size()) {
+          mem_access(addr, /*is_write=*/false, /*counted=*/false);
+        }
+        break;
+      }
+      case Opcode::Jump:
+        fr.ip = inst.t1;
+        advance = false;
+        break;
+      case Opcode::Br: {
+        total_[BR_INS] += 1;
+        const bool taken = regs[inst.a] != 0;
+        const bool predicted = bpred_.predict(inst.branch_id, inst.backward);
+        bpred_.update(inst.branch_id, taken);
+        if (predicted != taken) {
+          total_[BR_MSP] += 1;
+          cycle_ += cfg_.mispredict_penalty;
+          slots_used_ = 0;  // pipeline redirect
+        }
+        fr.ip = taken ? inst.t1 : inst.t2;
+        advance = false;
+        break;
+      }
+      case Opcode::Call: {
+        cycle_ += cfg_.call_overhead;
+        slots_used_ = 0;
+        std::array<std::int64_t, ir::kMaxCallArgs> vals{};
+        for (unsigned i = 0; i < inst.nargs; ++i) vals[i] = regs[inst.args[i]];
+        fr.ip += 1;  // resume after the call on return
+        DecodedFrame& cf = push_frame(inst.callee, inst.dst);  // invalidates fr
+        for (unsigned i = 0; i < cf.fn->num_args; ++i) cf.regs[i] = vals[i];
+        advance = false;
+        break;
+      }
+      case Opcode::Ret: {
+        const std::int64_t value =
+            inst.a == ir::kNoReg ? 0 : regs[inst.a];
+        const Reg ret_dst = fr.ret_dst;
+        frame_cursor = fr.frame_base;
+        stack.pop_back();
+        if (stack.empty()) {
+          final_ret = value;
+        } else if (ret_dst != ir::kNoReg) {
+          DecodedFrame& caller = stack.back();
+          caller.regs[ret_dst] = value;
+          caller.ready[ret_dst] = cycle_ + 1;
+        }
+        advance = false;
+        break;
+      }
+    }
+
+    if (advance) {
+      if (inst.has_dst) ready[inst.dst] = cycle_ + result_latency;
       fr.ip += 1;
     }
   }

@@ -6,9 +6,19 @@
 // predictor), so a program can be invoked repeatedly — which is exactly
 // what the dynamic-optimization module needs to audit code versions
 // across execution intervals.
+//
+// Two execution paths produce bit-identical results:
+//   decoded (default) — executes a sim::DecodedProgram (flat pre-decoded
+//     instruction arrays shared through the process-wide ProgramCache);
+//     this is the evaluation hot path.
+//   legacy — walks ir::Instr trees directly, re-deriving use lists,
+//     branch ids, and widths per instruction. Kept as the differential
+//     reference (tests) and the baseline of bench/sim_speed.
+// Select with MachineConfig::decoded_execution.
 #pragma once
 
 #include <cstdint>
+#include <memory>
 #include <stdexcept>
 #include <string>
 #include <vector>
@@ -17,6 +27,7 @@
 #include "sim/branch_predictor.hpp"
 #include "sim/cache.hpp"
 #include "sim/counters.hpp"
+#include "sim/decoded_program.hpp"
 #include "sim/machine.hpp"
 
 namespace ilc::sim {
@@ -38,7 +49,12 @@ struct RunResult {
 
 class Simulator {
  public:
-  Simulator(const ir::Module& mod, const MachineConfig& cfg);
+  /// When `decoded` is null and the config selects decoded execution, the
+  /// program is obtained from the process-wide ProgramCache. Callers that
+  /// already fingerprinted the module (the search Evaluator) pass the
+  /// decoded program explicitly to avoid a second fingerprint pass.
+  Simulator(const ir::Module& mod, const MachineConfig& cfg,
+            std::shared_ptr<const DecodedProgram> decoded = nullptr);
 
   /// Invoke a function by id with the given arguments.
   RunResult call(ir::FuncId fn, const std::vector<std::int64_t>& args = {});
@@ -68,6 +84,8 @@ class Simulator {
   std::uint64_t global_base(ir::GlobalId gid) const;
   const MachineConfig& config() const { return cfg_; }
   const ir::Module& module() const { return *mod_; }
+  /// Null when executing on the legacy path.
+  const DecodedProgram* decoded_program() const { return decoded_.get(); }
 
  private:
   struct Frame {
@@ -82,6 +100,19 @@ class Simulator {
     ir::Reg ret_dst = ir::kNoReg;  // caller register receiving the result
   };
 
+  /// Decoded-path activation record: ip indexes the flat code array.
+  struct DecodedFrame {
+    const DecodedFunction* fn = nullptr;
+    std::vector<std::int64_t> regs;
+    std::vector<std::uint64_t> ready;
+    std::uint64_t frame_base = 0;
+    std::uint32_t ip = 0;
+    ir::Reg ret_dst = ir::kNoReg;
+  };
+
+  RunResult call_legacy(ir::FuncId fn, const std::vector<std::int64_t>& args);
+  RunResult call_decoded(ir::FuncId fn, const std::vector<std::int64_t>& args);
+
   /// Data-cache access; returns total load-to-use latency and updates
   /// counters. is_write distinguishes load/store miss counters. Software
   /// prefetches pass counted=false: they move lines but are invisible to
@@ -94,6 +125,7 @@ class Simulator {
   void bounds_check(std::uint64_t addr, unsigned bytes) const;
 
   const ir::Module* mod_;  // never null; switchable via switch_module
+  std::shared_ptr<const DecodedProgram> decoded_;  // null on the legacy path
   MachineConfig cfg_;
   ir::MemoryImage image_;
   Cache l1_;

@@ -33,6 +33,12 @@ struct MachineConfig {
 
   /// Abort a run after this many dynamic instructions (infinite-loop guard).
   std::uint64_t max_instructions = 200'000'000;
+
+  /// Execute pre-decoded programs (the fast path). Off = the legacy
+  /// ir::Instr walk, kept as the differential reference and the baseline
+  /// of bench/sim_speed. Both paths are bit-identical in results, cycles,
+  /// and counters.
+  bool decoded_execution = true;
 };
 
 MachineConfig c6713_like();

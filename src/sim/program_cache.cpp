@@ -1,0 +1,71 @@
+#include "sim/program_cache.hpp"
+
+#include "ir/fingerprint.hpp"
+
+namespace ilc::sim {
+
+ProgramCache& ProgramCache::instance() {
+  static ProgramCache cache;
+  return cache;
+}
+
+std::shared_ptr<const DecodedProgram> ProgramCache::get(
+    const ir::Module& mod) {
+  return get(mod, ir::fingerprint(mod));
+}
+
+std::shared_ptr<const DecodedProgram> ProgramCache::get(
+    const ir::Module& mod, std::uint64_t fingerprint) {
+  {
+    std::lock_guard<std::mutex> lock(mu_);
+    auto it = map_.find(fingerprint);
+    if (it != map_.end()) {
+      ++hits_;
+      lru_.splice(lru_.begin(), lru_, it->second.lru_pos);
+      return it->second.program;
+    }
+    ++misses_;
+  }
+
+  // Decode outside the lock: concurrent misses on the same fingerprint
+  // decode twice and the loser's copy is dropped — decoding is cheap and
+  // this keeps slow decodes from serializing unrelated lookups.
+  auto decoded = decode_program(mod);
+
+  std::lock_guard<std::mutex> lock(mu_);
+  auto it = map_.find(fingerprint);
+  if (it != map_.end()) {
+    lru_.splice(lru_.begin(), lru_, it->second.lru_pos);
+    return it->second.program;
+  }
+  lru_.push_front(fingerprint);
+  map_.emplace(fingerprint, Entry{decoded, lru_.begin()});
+  while (map_.size() > capacity_) {
+    map_.erase(lru_.back());
+    lru_.pop_back();
+  }
+  return decoded;
+}
+
+std::size_t ProgramCache::size() const {
+  std::lock_guard<std::mutex> lock(mu_);
+  return map_.size();
+}
+
+std::uint64_t ProgramCache::hits() const {
+  std::lock_guard<std::mutex> lock(mu_);
+  return hits_;
+}
+
+std::uint64_t ProgramCache::misses() const {
+  std::lock_guard<std::mutex> lock(mu_);
+  return misses_;
+}
+
+void ProgramCache::clear() {
+  std::lock_guard<std::mutex> lock(mu_);
+  map_.clear();
+  lru_.clear();
+}
+
+}  // namespace ilc::sim

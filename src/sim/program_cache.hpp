@@ -1,0 +1,59 @@
+// Process-wide cache of decoded programs, keyed by ir::fingerprint.
+//
+// The search layer evaluates the same optimized module many times under
+// different guises: svc warm paths re-tune identical code, GA elites
+// survive generations unchanged, and duplicate offspring converge to the
+// same fingerprint. Decoding is cheap but not free (linear in code size,
+// one allocation burst per function), and under a parallel GA it would
+// otherwise run once per Simulator construction. Sharing one immutable
+// DecodedProgram per fingerprint makes Simulator construction a hash
+// lookup on the warm path.
+//
+// Entries are immutable and handed out as shared_ptr<const>, so eviction
+// never invalidates a running Simulator. A bounded LRU keeps a long-lived
+// tuning service from accumulating one entry per candidate ever seen.
+#pragma once
+
+#include <cstdint>
+#include <list>
+#include <memory>
+#include <mutex>
+#include <unordered_map>
+
+#include "sim/decoded_program.hpp"
+
+namespace ilc::sim {
+
+class ProgramCache {
+ public:
+  /// The process-wide instance used by Simulator construction.
+  static ProgramCache& instance();
+
+  explicit ProgramCache(std::size_t capacity = 1024) : capacity_(capacity) {}
+
+  /// Decoded program for `mod`, decoding on miss. Fingerprints the module;
+  /// use the two-argument form when the caller already has the print.
+  std::shared_ptr<const DecodedProgram> get(const ir::Module& mod);
+  std::shared_ptr<const DecodedProgram> get(const ir::Module& mod,
+                                            std::uint64_t fingerprint);
+
+  std::size_t size() const;
+  std::uint64_t hits() const;
+  std::uint64_t misses() const;
+  void clear();
+
+ private:
+  struct Entry {
+    std::shared_ptr<const DecodedProgram> program;
+    std::list<std::uint64_t>::iterator lru_pos;
+  };
+
+  const std::size_t capacity_;
+  mutable std::mutex mu_;
+  std::unordered_map<std::uint64_t, Entry> map_;
+  std::list<std::uint64_t> lru_;  // front = most recently used
+  std::uint64_t hits_ = 0;
+  std::uint64_t misses_ = 0;
+};
+
+}  // namespace ilc::sim

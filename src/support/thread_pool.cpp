@@ -102,4 +102,30 @@ void parallel_for(std::size_t begin, std::size_t end,
   if (first_error) std::rethrow_exception(first_error);
 }
 
+void parallel_for(ThreadPool* pool, std::size_t begin, std::size_t end,
+                  const std::function<void(std::size_t)>& fn) {
+  if (begin >= end) return;
+  if (pool == nullptr || pool->size() <= 1 || end - begin == 1) {
+    for (std::size_t i = begin; i < end; ++i) fn(i);
+    return;
+  }
+
+  // Jobs run on pool workers whose loop has no handler, so each job must
+  // swallow its own exception; the first one re-surfaces after the batch.
+  std::exception_ptr first_error;
+  std::mutex error_mu;
+  for (std::size_t i = begin; i < end; ++i) {
+    pool->submit([&fn, &first_error, &error_mu, i] {
+      try {
+        fn(i);
+      } catch (...) {
+        std::lock_guard<std::mutex> lock(error_mu);
+        if (!first_error) first_error = std::current_exception();
+      }
+    });
+  }
+  pool->wait_idle();
+  if (first_error) std::rethrow_exception(first_error);
+}
+
 }  // namespace ilc::support

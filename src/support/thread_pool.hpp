@@ -54,4 +54,12 @@ void parallel_for(std::size_t begin, std::size_t end,
                   const std::function<void(std::size_t)>& fn,
                   std::size_t threads = 0);
 
+/// Same contract, but running on a caller-owned pool so repeated batches
+/// (e.g. one per GA generation) reuse warm worker threads instead of
+/// spawning fresh ones. A null pool, or one with a single worker, runs the
+/// loop inline. The pool must carry no other jobs: wait_idle() is the
+/// batch barrier.
+void parallel_for(ThreadPool* pool, std::size_t begin, std::size_t end,
+                  const std::function<void(std::size_t)>& fn);
+
 }  // namespace ilc::support

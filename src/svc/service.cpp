@@ -169,16 +169,19 @@ TuningResponse TuningService::execute(const Job& job) {
   switch (req.strategy) {
     case Strategy::Random:
       trace = search::random_search(*eval, space, rng, req.budget,
-                                    req.objective);
+                                    req.objective, opts_.search_workers);
       break;
     case Strategy::Greedy:
       trace = search::greedy_search(*eval, space, rng, req.budget,
                                     req.objective);
       break;
-    case Strategy::Genetic:
+    case Strategy::Genetic: {
+      search::GaParams ga;
+      ga.workers = opts_.search_workers;
       trace = search::genetic_search(*eval, space, rng, req.budget,
-                                     req.objective);
+                                     req.objective, ga);
       break;
+    }
   }
 
   TuningResponse r;

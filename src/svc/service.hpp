@@ -36,6 +36,10 @@ class TuningService {
  public:
   struct Options {
     std::size_t workers = 2;
+    /// Evaluation fan-out *within* one search (random/genetic candidate
+    /// batches). Distinct from `workers`, which is how many requests run
+    /// at once. Search results are deterministic at any value.
+    unsigned search_workers = 1;
     /// Path of the persistent KB; empty keeps the cache in memory only.
     std::string kb_path;
     /// Save the KB after every completed search (cheap at our scale).

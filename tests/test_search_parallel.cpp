@@ -1,0 +1,162 @@
+// Parallel candidate evaluation: fixed-seed searches must produce traces
+// bit-identical to the sequential implementation at any worker count (the
+// RNG is consumed only on the calling thread; results commit in
+// submission order), and the evaluator's single-flight memo cache must
+// run exactly one simulation per unique fingerprint even under a
+// concurrent burst of identical candidates.
+#include <gtest/gtest.h>
+
+#include <thread>
+#include <vector>
+
+#include "ir/fingerprint.hpp"
+#include "search/strategies.hpp"
+#include "workloads/workloads.hpp"
+
+namespace {
+
+using namespace ilc;
+
+search::Evaluator make_eval(const std::string& name = "dotprod") {
+  return search::Evaluator(wl::make_workload(name).module, sim::amd_like());
+}
+
+void expect_same_trace(const search::SearchTrace& a,
+                       const search::SearchTrace& b) {
+  EXPECT_EQ(a.evaluations, b.evaluations);
+  EXPECT_EQ(a.best_metric, b.best_metric);
+  EXPECT_EQ(a.best_seq, b.best_seq);
+  EXPECT_EQ(a.best_so_far, b.best_so_far);
+}
+
+TEST(ParallelSearch, GeneticTraceBitIdenticalAcrossWorkerCounts) {
+  const search::SequenceSpace space;
+  search::Evaluator seq_eval = make_eval();
+  support::Rng seq_rng(2008);
+  const search::SearchTrace reference = search::genetic_search(
+      seq_eval, space, seq_rng, 50, search::Objective::Cycles, {});
+
+  for (const unsigned workers : {2u, 4u, 8u}) {
+    search::Evaluator eval = make_eval();
+    support::Rng rng(2008);  // same seed, fresh stream
+    search::GaParams params;
+    params.workers = workers;
+    const search::SearchTrace trace = search::genetic_search(
+        eval, space, rng, 50, search::Objective::Cycles, params);
+    SCOPED_TRACE("workers=" + std::to_string(workers));
+    expect_same_trace(trace, reference);
+  }
+}
+
+TEST(ParallelSearch, RandomTraceBitIdenticalAcrossWorkerCounts) {
+  const search::SequenceSpace space;
+  search::Evaluator seq_eval = make_eval();
+  support::Rng seq_rng(7);
+  const search::SearchTrace reference =
+      search::random_search(seq_eval, space, seq_rng, 30);
+
+  search::Evaluator eval = make_eval();
+  support::Rng rng(7);
+  const search::SearchTrace trace = search::random_search(
+      eval, space, rng, 30, search::Objective::Cycles, /*workers=*/4);
+  expect_same_trace(trace, reference);
+}
+
+TEST(ParallelSearch, GeneratorSearchDrawsCandidatesSequentially) {
+  // A stateful generator must observe the exact sequential call pattern
+  // even when evaluation fans out.
+  const search::SequenceSpace space;
+  auto make_gen = [&space](support::Rng& rng) {
+    return [&space, &rng] { return space.sample(rng); };
+  };
+
+  search::Evaluator seq_eval = make_eval();
+  support::Rng seq_rng(99);
+  const search::SearchTrace reference =
+      search::generator_search(seq_eval, make_gen(seq_rng), 25);
+
+  search::Evaluator eval = make_eval();
+  support::Rng rng(99);
+  const search::SearchTrace trace =
+      search::generator_search(eval, make_gen(rng), 25,
+                               search::Objective::Cycles, /*workers=*/4);
+  expect_same_trace(trace, reference);
+}
+
+TEST(ParallelSearch, GeneticRespectsBudgetTruncationWhenParallel) {
+  // Budget smaller than the population: only `budget` evaluations may
+  // land in the trace, in the same order as the sequential run.
+  const search::SequenceSpace space;
+  search::Evaluator seq_eval = make_eval();
+  support::Rng seq_rng(13);
+  const search::SearchTrace reference = search::genetic_search(
+      seq_eval, space, seq_rng, 7, search::Objective::Cycles, {});
+  ASSERT_EQ(reference.evaluations, 7u);
+
+  search::Evaluator eval = make_eval();
+  support::Rng rng(13);
+  search::GaParams params;
+  params.workers = 4;
+  const search::SearchTrace trace = search::genetic_search(
+      eval, space, rng, 7, search::Objective::Cycles, params);
+  expect_same_trace(trace, reference);
+}
+
+// --- single-flight memo cache ---------------------------------------------
+
+TEST(EvaluatorStampede, OneSimulationPerUniqueFingerprintUnderBurst) {
+  search::Evaluator eval = make_eval();
+  const std::vector<opt::PassId> seq;  // every thread asks for -O0
+
+  constexpr unsigned kThreads = 8;
+  std::vector<search::EvalResult> results(kThreads);
+  {
+    std::vector<std::thread> burst;
+    burst.reserve(kThreads);
+    for (unsigned t = 0; t < kThreads; ++t)
+      burst.emplace_back(
+          [&, t] { results[t] = eval.eval_sequence(seq); });
+    for (auto& th : burst) th.join();
+  }
+
+  // One leader simulated; every other thread joined that flight (or hit
+  // the completed entry) and is counted as a cache hit.
+  EXPECT_EQ(eval.simulations(), 1u);
+  EXPECT_EQ(eval.cache_hits(), kThreads - 1);
+  for (const auto& r : results) {
+    EXPECT_EQ(r.cycles, results[0].cycles);
+    EXPECT_EQ(r.instructions, results[0].instructions);
+  }
+}
+
+TEST(EvaluatorStampede, DistinctFingerprintsSimulateIndependently) {
+  search::Evaluator eval = make_eval();
+  const search::SequenceSpace space;
+  support::Rng rng(5);
+  // Two sequences that optimize to different code, evaluated twice each:
+  // two simulations, two hits.
+  std::vector<opt::PassId> a, b;
+  do {
+    a = space.sample(rng);
+    b = space.sample(rng);
+  } while (ir::fingerprint(eval.optimized(a)) ==
+           ir::fingerprint(eval.optimized(b)));
+  eval.eval_sequence(a);
+  eval.eval_sequence(b);
+  eval.eval_sequence(a);
+  eval.eval_sequence(b);
+  EXPECT_EQ(eval.simulations(), 2u);
+  EXPECT_EQ(eval.cache_hits(), 2u);
+}
+
+TEST(EvaluatorStampede, CacheDisabledSimulatesEveryCall) {
+  search::Evaluator eval = make_eval();
+  eval.set_cache_enabled(false);
+  const std::vector<opt::PassId> seq;
+  eval.eval_sequence(seq);
+  eval.eval_sequence(seq);
+  EXPECT_EQ(eval.simulations(), 2u);
+  EXPECT_EQ(eval.cache_hits(), 0u);
+}
+
+}  // namespace

@@ -1,0 +1,128 @@
+// Differential tests of the pre-decoded execution path: the decoded
+// simulator must be observationally indistinguishable from the legacy
+// tree-walking interpreter — same return value, same cycle count, same
+// instruction count, and the same value for every hardware counter — on
+// every stock workload and on a batch of randomized modules (random
+// optimization sequences applied to suite programs, which perturbs block
+// structure, branch placement, instruction mix, and record layouts).
+#include <gtest/gtest.h>
+
+#include "ir/fingerprint.hpp"
+#include "search/space.hpp"
+#include "sim/decoded_program.hpp"
+#include "sim/interpreter.hpp"
+#include "sim/program_cache.hpp"
+#include "support/rng.hpp"
+#include "workloads/workloads.hpp"
+
+namespace {
+
+using namespace ilc;
+
+sim::RunResult run_with(const ir::Module& mod, bool decoded) {
+  sim::MachineConfig cfg = sim::amd_like();
+  cfg.decoded_execution = decoded;
+  sim::Simulator sim(mod, cfg);
+  return sim.run();
+}
+
+void expect_identical(const ir::Module& mod, const std::string& label) {
+  const sim::RunResult legacy = run_with(mod, false);
+  const sim::RunResult decoded = run_with(mod, true);
+  EXPECT_EQ(legacy.ret, decoded.ret) << label;
+  EXPECT_EQ(legacy.cycles, decoded.cycles) << label;
+  EXPECT_EQ(legacy.instructions, decoded.instructions) << label;
+  for (unsigned c = 0; c < sim::kNumCounters; ++c)
+    EXPECT_EQ(legacy.counters.v[c], decoded.counters.v[c])
+        << label << " counter "
+        << sim::counter_name(static_cast<sim::Counter>(c));
+}
+
+// --- stock workloads ------------------------------------------------------
+
+class DecodedDifferential : public ::testing::TestWithParam<std::string> {};
+
+TEST_P(DecodedDifferential, MatchesLegacyOnStockWorkload) {
+  const wl::Workload w = wl::make_workload(GetParam());
+  expect_identical(w.module, w.name);
+}
+
+INSTANTIATE_TEST_SUITE_P(Suite, DecodedDifferential,
+                         ::testing::ValuesIn(wl::workload_names()),
+                         [](const auto& info) { return info.param; });
+
+// --- randomized modules ---------------------------------------------------
+
+TEST(DecodedDifferentialRandom, MatchesLegacyOnRandomizedModules) {
+  // 20 random points of the optimization space, cycling through the
+  // suite: each optimized module is a structurally distinct program.
+  support::Rng rng(20080216);
+  const search::SequenceSpace space;
+  const auto& names = wl::workload_names();
+  for (int i = 0; i < 20; ++i) {
+    const wl::Workload w = wl::make_workload(names[i % names.size()]);
+    ir::Module mod = w.module;
+    const auto seq = space.sample(rng);
+    opt::run_sequence(mod, seq);
+    expect_identical(mod, w.name + "/" + search::sequence_to_string(seq));
+  }
+}
+
+// --- decoded representation & cache ---------------------------------------
+
+TEST(DecodedProgram, FlattensEveryFunctionAndInstruction) {
+  const wl::Workload w = wl::make_workload("adpcm");
+  const auto prog = sim::decode_program(w.module);
+  ASSERT_EQ(prog->funcs.size(), w.module.functions().size());
+  EXPECT_EQ(prog->fingerprint, ir::fingerprint(w.module));
+  std::size_t static_instrs = 0;
+  for (const auto& fn : w.module.functions())
+    for (const auto& b : fn.blocks) static_instrs += b.insts.size();
+  EXPECT_EQ(prog->instruction_count, static_instrs);
+  for (std::size_t f = 0; f < prog->funcs.size(); ++f) {
+    const auto& dfn = prog->funcs[f];
+    EXPECT_EQ(dfn.name, w.module.functions()[f].name);
+    ASSERT_EQ(dfn.block_entry.size(), w.module.functions()[f].blocks.size());
+    // Block entries partition the flat code array in order.
+    EXPECT_EQ(dfn.block_entry.front(), 0u);
+    for (std::size_t b = 1; b < dfn.block_entry.size(); ++b)
+      EXPECT_GT(dfn.block_entry[b], dfn.block_entry[b - 1]);
+  }
+}
+
+TEST(ProgramCache, SharesOneDecodingPerFingerprint) {
+  sim::ProgramCache cache(8);
+  const wl::Workload w = wl::make_workload("dotprod");
+  const auto a = cache.get(w.module);
+  const auto b = cache.get(w.module);
+  EXPECT_EQ(a.get(), b.get());  // same decoded program object
+  EXPECT_EQ(cache.size(), 1u);
+  EXPECT_EQ(cache.misses(), 1u);
+  EXPECT_EQ(cache.hits(), 1u);
+}
+
+TEST(ProgramCache, EvictsLeastRecentlyUsedAtCapacity) {
+  sim::ProgramCache cache(2);
+  const auto names = std::vector<std::string>{"dotprod", "rle", "crc32"};
+  std::vector<ir::Module> mods;
+  for (const auto& n : names) mods.push_back(wl::make_workload(n).module);
+  cache.get(mods[0]);
+  cache.get(mods[1]);
+  cache.get(mods[2]);  // evicts mods[0]
+  EXPECT_EQ(cache.size(), 2u);
+  cache.get(mods[0]);  // must re-decode
+  EXPECT_EQ(cache.misses(), 4u);
+}
+
+TEST(DecodedSimulator, ExposesDecodedProgramOnlyWhenEnabled) {
+  const wl::Workload w = wl::make_workload("dotprod");
+  sim::MachineConfig on = sim::amd_like();
+  sim::MachineConfig off = sim::amd_like();
+  off.decoded_execution = false;
+  sim::Simulator with(w.module, on);
+  sim::Simulator without(w.module, off);
+  EXPECT_NE(with.decoded_program(), nullptr);
+  EXPECT_EQ(without.decoded_program(), nullptr);
+}
+
+}  // namespace

@@ -42,6 +42,25 @@ TEST(Svc, AnswersWithValidConfigAndMetrics) {
   EXPECT_EQ(m.in_flight, 0u);
 }
 
+// Responses are deterministic in the request alone: fanning evaluation
+// out over search workers must not change what a search finds.
+TEST(Svc, SearchWorkersDoNotChangeResults) {
+  auto genetic_request = [] {
+    svc::TuningRequest req = request("rle", 30);
+    req.strategy = svc::Strategy::Genetic;
+    return req;
+  };
+  svc::TuningService sequential({.workers = 1, .search_workers = 1});
+  svc::TuningService parallel({.workers = 1, .search_workers = 4});
+  const svc::TuningResponse a = sequential.tune(genetic_request());
+  const svc::TuningResponse b = parallel.tune(genetic_request());
+  ASSERT_TRUE(a.ok) << a.error;
+  ASSERT_TRUE(b.ok) << b.error;
+  EXPECT_EQ(a.config, b.config);
+  EXPECT_EQ(a.best_metric, b.best_metric);
+  EXPECT_EQ(a.baseline_metric, b.baseline_metric);
+}
+
 // (a) N identical concurrent requests trigger exactly one search; every
 // other submission is either coalesced onto it or a warm hit after it.
 TEST(Svc, IdenticalConcurrentRequestsRunOneSearch) {
