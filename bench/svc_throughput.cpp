@@ -10,6 +10,7 @@
 #include <chrono>
 #include <cstdio>
 #include <cstdlib>
+#include <filesystem>
 #include <iostream>
 #include <vector>
 
@@ -78,7 +79,7 @@ int main() {
                         "warm sims", "warm/cold"});
   bool ok = true;
   for (const std::size_t workers : {1u, 2u, 4u}) {
-    std::remove(kb_path);
+    std::filesystem::remove_all(kb_path);  // the KB is a store directory now
 
     svc::TuningService::Options opts;
     opts.workers = workers;
@@ -101,7 +102,7 @@ int main() {
   }
   table.print(std::cout);
 
-  std::remove(kb_path);
+  std::filesystem::remove_all(kb_path);
   std::printf("\nwarm >= 10x cold at every width, 0 warm simulations: %s\n",
               ok ? "PASS" : "FAIL");
   return ok ? 0 : 1;

@@ -4,15 +4,21 @@
 // communication between machine learning components, optimization
 // algorithms, compiler and instrumentation tools ...").
 //
-//   $ ./kb_tool build my.kb 30         # training period -> my.kb
-//   $ ./kb_tool summary my.kb          # per-program best settings
-//   $ ./kb_tool predict my.kb mcf_lite # one-shot prediction from the file
+//   $ ./kb_tool build my.kb 30          # training period -> my.kb (CSV)
+//   $ ./kb_tool build-store my.kbd 30   # training period -> durable store,
+//                                       # each record WAL-appended as it lands
+//   $ ./kb_tool summary my.kb           # per-program best (CSV or store dir)
+//   $ ./kb_tool predict my.kb mcf_lite  # one-shot prediction from the file
+//   $ ./kb_tool import my.kb my.kbd     # legacy CSV -> durable store
+//   $ ./kb_tool export my.kbd my.kb     # durable store -> legacy CSV
 #include <cstdio>
 #include <cstdlib>
 #include <cstring>
+#include <filesystem>
 
 #include "controller/controller.hpp"
 #include "controller/kb_builder.hpp"
+#include "kbstore/store.hpp"
 #include "search/evaluator.hpp"
 #include "support/table.hpp"
 #include "workloads/workloads.hpp"
@@ -20,6 +26,17 @@
 using namespace ilc;
 
 namespace {
+
+/// Load a knowledge base from either format: a kbstore directory (crash
+/// recovery runs as part of open) or a legacy CSV file.
+std::optional<kb::KnowledgeBase> load_any(const char* path) {
+  if (std::filesystem::is_directory(path)) {
+    auto store = kbstore::Store::open(path);
+    if (!store) return std::nullopt;
+    return store->export_kb();
+  }
+  return kb::KnowledgeBase::load(path);
+}
 
 int cmd_build(const char* path, unsigned budget) {
   std::vector<wl::Workload> suite = wl::make_suite();
@@ -37,8 +54,63 @@ int cmd_build(const char* path, unsigned budget) {
   return 0;
 }
 
+int cmd_build_store(const char* dir, unsigned budget) {
+  kbstore::RecoveryInfo info;
+  auto store = kbstore::Store::open(dir, {}, &info);
+  if (!store) {
+    std::fprintf(stderr, "cannot open store at %s\n", dir);
+    return 1;
+  }
+  std::vector<wl::Workload> suite = wl::make_suite();
+  std::vector<ctrl::SuiteProgram> programs;
+  for (const auto& w : suite) programs.push_back({w.name, &w.module});
+  const std::size_t before = store->size();
+  ctrl::build_store(*store, programs, sim::amd_like(),
+                    /*sequence_budget=*/budget, /*flag_budget=*/budget,
+                    /*seed=*/2008);
+  const kbstore::StoreStats stats = store->stats();
+  std::printf(
+      "recovered %zu records (%zu snapshot + %zu wal%s), streamed %zu new; "
+      "store now holds %zu records, wal %llu bytes\n",
+      before, info.snapshot_records, info.wal_records,
+      info.torn_tail ? ", torn tail discarded" : "", store->size() - before,
+      store->size(), static_cast<unsigned long long>(stats.wal_bytes));
+  return 0;
+}
+
+int cmd_import(const char* csv, const char* dir) {
+  const auto base = kb::KnowledgeBase::load(csv);
+  if (!base) {
+    std::fprintf(stderr, "cannot parse %s as an ilc knowledge base\n", csv);
+    return 1;
+  }
+  auto store = kbstore::Store::open(dir);
+  if (!store || !store->import_records(*base)) {
+    std::fprintf(stderr, "cannot import into store at %s\n", dir);
+    return 1;
+  }
+  std::printf("imported %zu records into %s (%zu total)\n", base->size(), dir,
+              store->size());
+  return 0;
+}
+
+int cmd_export(const char* dir, const char* csv) {
+  auto store = kbstore::Store::open(dir);
+  if (!store) {
+    std::fprintf(stderr, "cannot open store at %s\n", dir);
+    return 1;
+  }
+  const kb::KnowledgeBase base = store->export_kb();
+  if (!base.save(csv)) {
+    std::fprintf(stderr, "cannot write %s\n", csv);
+    return 1;
+  }
+  std::printf("exported %zu records from %s to %s\n", base.size(), dir, csv);
+  return 0;
+}
+
 int cmd_summary(const char* path) {
-  const auto base = kb::KnowledgeBase::load(path);
+  const auto base = load_any(path);
   if (!base) {
     std::fprintf(stderr, "cannot parse %s as an ilc knowledge base\n", path);
     return 1;
@@ -68,7 +140,7 @@ int cmd_summary(const char* path) {
 }
 
 int cmd_predict(const char* path, const char* target) {
-  const auto base = kb::KnowledgeBase::load(path);
+  const auto base = load_any(path);
   if (!base) {
     std::fprintf(stderr, "cannot parse %s\n", path);
     return 1;
@@ -91,8 +163,11 @@ int cmd_predict(const char* path, const char* target) {
 void usage() {
   std::fprintf(stderr,
                "usage: kb_tool build <file> [budget]\n"
-               "       kb_tool summary <file>\n"
-               "       kb_tool predict <file> <workload>\n");
+               "       kb_tool build-store <dir> [budget]\n"
+               "       kb_tool summary <file-or-dir>\n"
+               "       kb_tool predict <file-or-dir> <workload>\n"
+               "       kb_tool import <csv-file> <store-dir>\n"
+               "       kb_tool export <store-dir> <csv-file>\n");
 }
 
 }  // namespace
@@ -105,9 +180,16 @@ int main(int argc, char** argv) {
   if (std::strcmp(argv[1], "build") == 0)
     return cmd_build(argv[2],
                      argc > 3 ? static_cast<unsigned>(std::atoi(argv[3])) : 30);
+  if (std::strcmp(argv[1], "build-store") == 0)
+    return cmd_build_store(
+        argv[2], argc > 3 ? static_cast<unsigned>(std::atoi(argv[3])) : 30);
   if (std::strcmp(argv[1], "summary") == 0) return cmd_summary(argv[2]);
   if (std::strcmp(argv[1], "predict") == 0 && argc > 3)
     return cmd_predict(argv[2], argv[3]);
+  if (std::strcmp(argv[1], "import") == 0 && argc > 3)
+    return cmd_import(argv[2], argv[3]);
+  if (std::strcmp(argv[1], "export") == 0 && argc > 3)
+    return cmd_export(argv[2], argv[3]);
   usage();
   return 2;
 }

@@ -26,12 +26,14 @@ kb::ExperimentRecord make_profile_record(const std::string& name,
   return rec;
 }
 
-void add_sequence_search_records(kb::KnowledgeBase& base,
-                                 const std::string& name,
-                                 const ir::Module& mod,
-                                 const sim::MachineConfig& machine,
-                                 const search::SequenceSpace& space,
-                                 support::Rng& rng, unsigned budget) {
+namespace {
+
+void stream_sequence_search_records(const RecordSink& sink,
+                                    const std::string& name,
+                                    const ir::Module& mod,
+                                    const sim::MachineConfig& machine,
+                                    const search::SequenceSpace& space,
+                                    support::Rng& rng, unsigned budget) {
   search::Evaluator eval(mod, machine);
   const auto static_features = feat::extract_static(mod);
   for (unsigned i = 0; i < budget; ++i) {
@@ -47,14 +49,15 @@ void add_sequence_search_records(kb::KnowledgeBase& base,
     rec.instructions = res.instructions;
     rec.counters = res.counters;
     rec.static_features = static_features;
-    base.add(std::move(rec));
+    sink(std::move(rec));
   }
 }
 
-void add_flag_search_records(kb::KnowledgeBase& base, const std::string& name,
-                             const ir::Module& mod,
-                             const sim::MachineConfig& machine,
-                             support::Rng& rng, unsigned budget) {
+void stream_flag_search_records(const RecordSink& sink,
+                                const std::string& name,
+                                const ir::Module& mod,
+                                const sim::MachineConfig& machine,
+                                support::Rng& rng, unsigned budget) {
   search::Evaluator eval(mod, machine);
   const auto static_features = feat::extract_static(mod);
   for (const auto& pt : search::flag_search(eval, rng, budget)) {
@@ -69,7 +72,54 @@ void add_flag_search_records(kb::KnowledgeBase& base, const std::string& name,
     rec.counters = pt.result.counters;
     rec.static_features = static_features;
     rec.dynamic_features = feat::extract_dynamic(pt.result.counters);
-    base.add(std::move(rec));
+    sink(std::move(rec));
+  }
+}
+
+}  // namespace
+
+void add_sequence_search_records(kb::KnowledgeBase& base,
+                                 const std::string& name,
+                                 const ir::Module& mod,
+                                 const sim::MachineConfig& machine,
+                                 const search::SequenceSpace& space,
+                                 support::Rng& rng, unsigned budget) {
+  stream_sequence_search_records(
+      [&base](kb::ExperimentRecord rec) { base.add(std::move(rec)); }, name,
+      mod, machine, space, rng, budget);
+}
+
+void add_flag_search_records(kb::KnowledgeBase& base, const std::string& name,
+                             const ir::Module& mod,
+                             const sim::MachineConfig& machine,
+                             support::Rng& rng, unsigned budget) {
+  stream_flag_search_records(
+      [&base](kb::ExperimentRecord rec) { base.add(std::move(rec)); }, name,
+      mod, machine, rng, budget);
+}
+
+void stream_training_records(const std::vector<SuiteProgram>& suite,
+                             const sim::MachineConfig& machine,
+                             unsigned sequence_budget, unsigned flag_budget,
+                             std::uint64_t seed, const RecordSink& sink) {
+  support::Rng root(seed);
+  const search::SequenceSpace space;
+  // The per-program fork is keyed by the number of records emitted so
+  // far, matching the historical base.size()-keyed forks bit-for-bit.
+  std::size_t emitted = 0;
+  const RecordSink counting = [&](kb::ExperimentRecord rec) {
+    ++emitted;
+    sink(std::move(rec));
+  };
+  for (const SuiteProgram& prog : suite) {
+    support::Rng rng = root.fork(emitted + 1);
+    counting(make_profile_record(prog.name, *prog.module, machine));
+    if (sequence_budget > 0)
+      stream_sequence_search_records(counting, prog.name, *prog.module,
+                                     machine, space, rng, sequence_budget);
+    if (flag_budget > 0)
+      stream_flag_search_records(counting, prog.name, *prog.module, machine,
+                                 rng, flag_budget);
   }
 }
 
@@ -79,19 +129,19 @@ kb::KnowledgeBase build_knowledge_base(const std::vector<SuiteProgram>& suite,
                                        unsigned flag_budget,
                                        std::uint64_t seed) {
   kb::KnowledgeBase base;
-  support::Rng root(seed);
-  const search::SequenceSpace space;
-  for (const SuiteProgram& prog : suite) {
-    support::Rng rng = root.fork(base.size() + 1);
-    base.add(make_profile_record(prog.name, *prog.module, machine));
-    if (sequence_budget > 0)
-      add_sequence_search_records(base, prog.name, *prog.module, machine,
-                                  space, rng, sequence_budget);
-    if (flag_budget > 0)
-      add_flag_search_records(base, prog.name, *prog.module, machine, rng,
-                              flag_budget);
-  }
+  stream_training_records(
+      suite, machine, sequence_budget, flag_budget, seed,
+      [&base](kb::ExperimentRecord rec) { base.add(std::move(rec)); });
   return base;
+}
+
+void build_store(kbstore::Store& store, const std::vector<SuiteProgram>& suite,
+                 const sim::MachineConfig& machine, unsigned sequence_budget,
+                 unsigned flag_budget, std::uint64_t seed) {
+  stream_training_records(
+      suite, machine, sequence_budget, flag_budget, seed,
+      [&store](kb::ExperimentRecord rec) { store.append(std::move(rec)); });
+  store.sync();
 }
 
 }  // namespace ilc::ctrl

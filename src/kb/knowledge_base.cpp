@@ -3,8 +3,10 @@
 #include <cerrno>
 #include <charconv>
 #include <cstdlib>
+#include <filesystem>
 #include <fstream>
 #include <sstream>
+#include <unordered_set>
 
 #include "support/csv.hpp"
 #include "support/string_utils.hpp"
@@ -80,7 +82,22 @@ std::optional<sim::Counters> parse_counters(const std::string& s) {
 
 }  // namespace
 
+std::string KnowledgeBase::key_of(const std::string& program,
+                                  const std::string& machine,
+                                  const std::string& kind) {
+  std::string key;
+  key.reserve(program.size() + machine.size() + kind.size() + 2);
+  key += program;
+  key += '\x1f';
+  key += machine;
+  key += '\x1f';
+  key += kind;
+  return key;
+}
+
 void KnowledgeBase::add(ExperimentRecord rec) {
+  first_by_key_.try_emplace(key_of(rec.program, rec.machine, rec.kind),
+                            records_.size());
   records_.push_back(std::move(rec));
 }
 
@@ -104,32 +121,26 @@ const ExperimentRecord* KnowledgeBase::best_for_program(
 const ExperimentRecord* KnowledgeBase::find(const std::string& program,
                                             const std::string& machine,
                                             const std::string& kind) const {
-  for (const auto& r : records_)
-    if (r.program == program && r.machine == machine && r.kind == kind)
-      return &r;
-  return nullptr;
+  const auto it = first_by_key_.find(key_of(program, machine, kind));
+  return it == first_by_key_.end() ? nullptr : &records_[it->second];
 }
 
 bool KnowledgeBase::upsert(ExperimentRecord rec) {
-  for (auto& r : records_) {
-    if (r.program == rec.program && r.machine == rec.machine &&
-        r.kind == rec.kind) {
-      r = std::move(rec);
-      return true;
-    }
+  const auto it =
+      first_by_key_.find(key_of(rec.program, rec.machine, rec.kind));
+  if (it != first_by_key_.end()) {
+    records_[it->second] = std::move(rec);
+    return true;
   }
-  records_.push_back(std::move(rec));
+  add(std::move(rec));
   return false;
 }
 
 std::vector<std::string> KnowledgeBase::programs() const {
   std::vector<std::string> out;
-  for (const auto& r : records_) {
-    bool seen = false;
-    for (const auto& p : out)
-      if (p == r.program) seen = true;
-    if (!seen) out.push_back(r.program);
-  }
+  std::unordered_set<std::string> seen;
+  for (const auto& r : records_)
+    if (seen.insert(r.program).second) out.push_back(r.program);
   return out;
 }
 
@@ -181,10 +192,27 @@ std::optional<KnowledgeBase> KnowledgeBase::parse(const std::string& text) {
 }
 
 bool KnowledgeBase::save(const std::string& path) const {
-  std::ofstream f(path, std::ios::binary);
-  if (!f) return false;
-  f << serialize();
-  return static_cast<bool>(f);
+  // Write-then-rename so a crash mid-save leaves any existing file intact;
+  // rename(2) within one directory is atomic.
+  const std::string tmp = path + ".tmp";
+  {
+    std::ofstream f(tmp, std::ios::binary | std::ios::trunc);
+    if (!f) return false;
+    f << serialize();
+    f.flush();
+    if (!f) {
+      std::error_code ec;
+      std::filesystem::remove(tmp, ec);
+      return false;
+    }
+  }
+  std::error_code ec;
+  std::filesystem::rename(tmp, path, ec);
+  if (ec) {
+    std::filesystem::remove(tmp, ec);
+    return false;
+  }
+  return true;
 }
 
 std::optional<KnowledgeBase> KnowledgeBase::load(const std::string& path) {

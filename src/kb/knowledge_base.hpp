@@ -9,6 +9,7 @@
 #include <cstdint>
 #include <optional>
 #include <string>
+#include <unordered_map>
 #include <vector>
 
 #include "sim/counters.hpp"
@@ -64,11 +65,21 @@ class KnowledgeBase {
   // --- the standard format -------------------------------------------
   std::string serialize() const;
   static std::optional<KnowledgeBase> parse(const std::string& text);
+  /// Atomic: writes to a temp file and renames over `path`, so a crash
+  /// mid-save can never truncate an existing knowledge base.
   bool save(const std::string& path) const;
   static std::optional<KnowledgeBase> load(const std::string& path);
 
  private:
+  static std::string key_of(const std::string& program,
+                            const std::string& machine,
+                            const std::string& kind);
+
   std::vector<ExperimentRecord> records_;
+  /// Index of the *first* record per (program, machine, kind): find() and
+  /// upsert() target that record, matching the historical linear-scan
+  /// semantics, in O(1) instead of O(n). records_ keeps insertion order.
+  std::unordered_map<std::string, std::size_t> first_by_key_;
 };
 
 }  // namespace ilc::kb

@@ -1,0 +1,78 @@
+#include "kbstore/log_format.hpp"
+
+#include "support/crc32.hpp"
+
+namespace ilc::kbstore {
+
+namespace {
+
+constexpr char kMagic[6] = {'i', 'l', 'c', 'k', 'b', '1'};
+
+void put_u32(std::string& out, std::uint32_t v) {
+  for (int i = 0; i < 4; ++i) out.push_back(static_cast<char>(v >> (8 * i)));
+}
+
+std::uint32_t get_u32(const char* p) {
+  std::uint32_t v = 0;
+  for (int i = 0; i < 4; ++i)
+    v |= static_cast<std::uint32_t>(static_cast<unsigned char>(p[i]))
+         << (8 * i);
+  return v;
+}
+
+std::uint64_t get_u64(const char* p) {
+  std::uint64_t v = 0;
+  for (int i = 0; i < 8; ++i)
+    v |= static_cast<std::uint64_t>(static_cast<unsigned char>(p[i]))
+         << (8 * i);
+  return v;
+}
+
+}  // namespace
+
+std::string log_header(char type, std::uint64_t generation) {
+  std::string out(kMagic, sizeof(kMagic));
+  out.push_back(type);
+  out.push_back('\n');
+  for (int i = 0; i < 8; ++i)
+    out.push_back(static_cast<char>(generation >> (8 * i)));
+  return out;
+}
+
+void append_frame(std::string& out, std::string_view payload) {
+  put_u32(out, static_cast<std::uint32_t>(payload.size()));
+  put_u32(out, support::crc32(payload));
+  out.append(payload);
+}
+
+ScannedLog scan_log(std::string_view bytes, char type) {
+  ScannedLog out;
+  if (bytes.size() < kHeaderSize) return out;  // torn header
+  if (std::string_view(bytes.data(), sizeof(kMagic)) !=
+          std::string_view(kMagic, sizeof(kMagic)) ||
+      bytes[6] != type || bytes[7] != '\n')
+    return out;  // wrong magic or file type
+  out.header_ok = true;
+  out.generation = get_u64(bytes.data() + 8);
+  out.good_bytes = kHeaderSize;
+
+  std::size_t off = kHeaderSize;
+  while (off < bytes.size()) {
+    if (bytes.size() - off < kFrameOverhead) break;  // torn length/crc
+    const std::uint32_t len = get_u32(bytes.data() + off);
+    const std::uint32_t crc = get_u32(bytes.data() + off + 4);
+    if (len > kMaxPayload || bytes.size() - off - kFrameOverhead < len)
+      break;  // insane length or torn payload
+    const std::string_view payload(bytes.data() + off + kFrameOverhead, len);
+    if (support::crc32(payload) != crc) break;  // corrupt payload
+    auto rec = decode_record(payload);
+    if (!rec) break;  // checksum ok but undecodable: treat as corrupt
+    out.records.push_back(std::move(*rec));
+    off += kFrameOverhead + len;
+    out.good_bytes = off;
+  }
+  out.clean = out.good_bytes == bytes.size();
+  return out;
+}
+
+}  // namespace ilc::kbstore

@@ -1,0 +1,54 @@
+// On-disk format shared by the store's write-ahead log and snapshot
+// files. Pure byte-level framing — no file IO — so fault-injection tests
+// can corrupt buffers directly.
+//
+//   file   := header frame*
+//   header := magic "ilckb1" | type ('W' | 'S') | '\n' | u64 generation
+//   frame  := u32 payload_len | u32 crc32(payload) | payload
+//
+// (all integers little-endian). The generation links a snapshot to the
+// WAL it covers: a snapshot at generation G contains every record from
+// WAL generations <= G, and a fresh WAL is created at G+1 after each
+// compaction. Recovery replays a WAL only when its generation is newer
+// than the snapshot's, which makes the compaction sequence (publish
+// snapshot, then truncate WAL) crash-safe at every intermediate point.
+//
+// scan_log stops at the first torn or checksum-failing frame and reports
+// how many bytes were intact, so recovery can keep every fully-written
+// record and discard only the tail.
+#pragma once
+
+#include <cstdint>
+#include <string>
+#include <string_view>
+#include <vector>
+
+#include "kbstore/record_codec.hpp"
+
+namespace ilc::kbstore {
+
+inline constexpr std::size_t kHeaderSize = 16;
+inline constexpr std::size_t kFrameOverhead = 8;  // length + crc
+inline constexpr std::uint32_t kMaxPayload = 1u << 28;
+inline constexpr char kWalType = 'W';
+inline constexpr char kSnapshotType = 'S';
+
+std::string log_header(char type, std::uint64_t generation);
+
+/// Append one length-prefixed, CRC32-checksummed frame to `out`.
+void append_frame(std::string& out, std::string_view payload);
+
+struct ScannedLog {
+  std::vector<LogRecord> records;  // every intact frame, in file order
+  std::uint64_t generation = 0;
+  std::uint64_t good_bytes = 0;  // header + intact frames
+  bool header_ok = false;        // magic/type matched (file long enough)
+  bool clean = false;            // no torn or corrupt bytes after good_bytes
+};
+
+/// Decode a log image: header check, then frames until the first bad one
+/// (short length prefix, length beyond buffer or kMaxPayload, CRC
+/// mismatch, or undecodable payload).
+ScannedLog scan_log(std::string_view bytes, char type);
+
+}  // namespace ilc::kbstore

@@ -1,0 +1,397 @@
+#include "kbstore/store.hpp"
+
+#include <algorithm>
+#include <filesystem>
+#include <fstream>
+#include <sstream>
+
+#include "kbstore/log_format.hpp"
+#include "support/hash.hpp"
+
+#ifdef __unix__
+#include <unistd.h>
+#endif
+
+namespace ilc::kbstore {
+
+namespace fs = std::filesystem;
+
+namespace {
+
+bool read_file_bytes(const std::string& path, std::string& out) {
+  std::ifstream f(path, std::ios::binary);
+  if (!f) return false;
+  std::ostringstream os;
+  os << f.rdbuf();
+  out = os.str();
+  return true;
+}
+
+bool fsync_file(std::FILE* f) {
+#ifdef __unix__
+  return ::fsync(fileno(f)) == 0;
+#else
+  (void)f;
+  return true;
+#endif
+}
+
+}  // namespace
+
+Store::Store(std::string dir, Options opts)
+    : dir_(std::move(dir)), opts_(opts) {}
+
+Store::~Store() {
+  if (bg_.joinable()) {
+    {
+      std::lock_guard<std::mutex> lock(bg_mu_);
+      bg_stop_ = true;
+    }
+    bg_cv_.notify_one();
+    bg_.join();
+  }
+  std::lock_guard<std::mutex> lock(wal_mu_);
+  flush_locked();
+  if (wal_) std::fclose(wal_);
+}
+
+std::unique_ptr<Store> Store::open(const std::string& dir, Options opts,
+                                   RecoveryInfo* info) {
+  std::unique_ptr<Store> store(new Store(dir, opts));
+  RecoveryInfo ri;
+  if (!store->recover(ri)) return nullptr;
+  if (info) *info = ri;
+  if (store->opts_.background_compaction)
+    store->bg_ = std::thread([s = store.get()] { s->background_loop(); });
+  return store;
+}
+
+std::string Store::key_of(const std::string& program,
+                          const std::string& machine,
+                          const std::string& kind) {
+  std::string key;
+  key.reserve(program.size() + machine.size() + kind.size() + 2);
+  key += program;
+  key += '\x1f';
+  key += machine;
+  key += '\x1f';
+  key += kind;
+  return key;
+}
+
+Store::Shard& Store::shard_of(const std::string& key) {
+  return shards_[support::hash_bytes(key.data(), key.size()) % kShards];
+}
+
+const Store::Shard& Store::shard_of(const std::string& key) const {
+  return shards_[support::hash_bytes(key.data(), key.size()) % kShards];
+}
+
+// ---- recovery ------------------------------------------------------------
+
+bool Store::recover(RecoveryInfo& info) {
+  std::error_code ec;
+  fs::create_directories(dir_, ec);
+  if (ec || !fs::is_directory(dir_)) return false;
+  // A leftover snapshot.tmp is a compaction that crashed before publish.
+  fs::remove(dir_ + "/snapshot.tmp", ec);
+
+  std::uint64_t snapshot_generation = 0;
+  if (fs::is_regular_file(snapshot_path())) {
+    std::string bytes;
+    if (!read_file_bytes(snapshot_path(), bytes)) return false;
+    ScannedLog scan = scan_log(bytes, kSnapshotType);
+    // Snapshots are published atomically, so damage is real corruption,
+    // not a torn write: refuse to open rather than silently drop data.
+    if (!scan.header_ok || !scan.clean) return false;
+    for (auto& lr : scan.records) apply(std::move(lr));
+    info.snapshot_records = scan.records.size();
+    snapshot_generation = scan.generation;
+  }
+  dead_ = 0;  // snapshot contents are the baseline, not garbage
+
+  if (fs::is_regular_file(wal_path())) {
+    std::string bytes;
+    if (!read_file_bytes(wal_path(), bytes)) return false;
+    if (bytes.size() < kHeaderSize) {
+      // Torn before the header finished: an empty log, minus the scraps.
+      info.torn_tail = !bytes.empty();
+      info.torn_bytes = bytes.size();
+    } else {
+      ScannedLog scan = scan_log(bytes, kWalType);
+      if (!scan.header_ok) return false;  // full-size foreign header
+      if (scan.generation <= snapshot_generation) {
+        // Compaction crashed between snapshot publish and WAL truncation:
+        // everything in this WAL is already in the snapshot.
+        info.stale_wal = true;
+      } else {
+        for (auto& lr : scan.records) apply(std::move(lr));
+        info.wal_records = scan.records.size();
+        if (!scan.clean) {
+          info.torn_tail = true;
+          info.torn_bytes = bytes.size() - scan.good_bytes;
+          fs::resize_file(wal_path(), scan.good_bytes, ec);
+          if (ec) return false;
+        }
+        wal_ = std::fopen(wal_path().c_str(), "ab");
+        if (!wal_) return false;
+        wal_generation_ = scan.generation;
+        wal_bytes_ = scan.good_bytes;
+      }
+    }
+  }
+
+  if (!wal_) {  // missing, torn-at-header, or stale: fresh generation
+    wal_ = std::fopen(wal_path().c_str(), "wb");
+    if (!wal_) return false;
+    wal_generation_ = snapshot_generation + 1;
+    const std::string header = log_header(kWalType, wal_generation_);
+    if (std::fwrite(header.data(), 1, header.size(), wal_) != header.size() ||
+        std::fflush(wal_) != 0)
+      return false;
+    wal_bytes_ = kHeaderSize;
+  }
+  return true;
+}
+
+// ---- index ---------------------------------------------------------------
+
+bool Store::apply(LogRecord&& lr) {
+  const std::string key = key_of(lr.rec.program, lr.rec.machine, lr.rec.kind);
+  Shard& shard = shard_of(key);
+  std::unique_lock<std::shared_mutex> lock(shard.mu);
+  switch (lr.op) {
+    case Op::Append: {
+      shard.map[key].push_back({std::move(lr.rec), next_seq_++});
+      ++live_;
+      return false;
+    }
+    case Op::Upsert: {
+      auto& vec = shard.map[key];
+      if (!vec.empty()) {
+        vec.front().rec = std::move(lr.rec);  // seq (insertion slot) kept
+        ++dead_;
+        return true;
+      }
+      vec.push_back({std::move(lr.rec), next_seq_++});
+      ++live_;
+      return false;
+    }
+    case Op::Erase: {
+      auto it = shard.map.find(key);
+      if (it == shard.map.end()) {
+        ++dead_;  // useless tombstone still occupies the log
+        return false;
+      }
+      dead_ += it->second.size() + 1;
+      live_ -= it->second.size();
+      shard.map.erase(it);
+      return true;
+    }
+  }
+  return false;
+}
+
+bool Store::log_and_apply(LogRecord lr) {
+  std::string payload = encode_record(lr);
+  std::lock_guard<std::mutex> lock(wal_mu_);
+  append_frame(pending_, payload);
+  ++pending_records_;
+  ++appends_;
+  const bool result = apply(std::move(lr));
+  switch (opts_.flush) {
+    case Options::Flush::EveryAppend:
+      flush_locked();
+      break;
+    case Options::Flush::Batched:
+      if (pending_records_ >= opts_.batch_appends) flush_locked();
+      break;
+    case Options::Flush::Manual:
+      break;
+  }
+  maybe_request_compaction_locked();
+  return result;
+}
+
+void Store::append(kb::ExperimentRecord rec) {
+  log_and_apply({Op::Append, std::move(rec)});
+}
+
+bool Store::upsert(kb::ExperimentRecord rec) {
+  return log_and_apply({Op::Upsert, std::move(rec)});
+}
+
+bool Store::erase(const std::string& program, const std::string& machine,
+                  const std::string& kind) {
+  LogRecord lr;
+  lr.op = Op::Erase;
+  lr.rec.program = program;
+  lr.rec.machine = machine;
+  lr.rec.kind = kind;
+  return log_and_apply(std::move(lr));
+}
+
+std::optional<kb::ExperimentRecord> Store::find(const std::string& program,
+                                                const std::string& machine,
+                                                const std::string& kind) const {
+  const std::string key = key_of(program, machine, kind);
+  const Shard& shard = shard_of(key);
+  std::shared_lock<std::shared_mutex> lock(shard.mu);
+  auto it = shard.map.find(key);
+  if (it == shard.map.end() || it->second.empty()) return std::nullopt;
+  return it->second.front().rec;
+}
+
+std::vector<Store::Entry> Store::collect_entries() const {
+  std::vector<Entry> out;
+  for (const Shard& shard : shards_) {
+    std::shared_lock<std::shared_mutex> lock(shard.mu);
+    for (const auto& [key, vec] : shard.map)
+      for (const Entry& e : vec) out.push_back(e);
+  }
+  std::sort(out.begin(), out.end(),
+            [](const Entry& a, const Entry& b) { return a.seq < b.seq; });
+  return out;
+}
+
+std::vector<kb::ExperimentRecord> Store::records() const {
+  std::vector<kb::ExperimentRecord> out;
+  for (Entry& e : collect_entries()) out.push_back(std::move(e.rec));
+  return out;
+}
+
+std::size_t Store::size() const {
+  std::lock_guard<std::mutex> lock(wal_mu_);
+  return live_;
+}
+
+StoreStats Store::stats() const {
+  std::lock_guard<std::mutex> lock(wal_mu_);
+  StoreStats s;
+  s.live = live_;
+  s.dead = dead_;
+  s.appends = appends_;
+  s.flushes = flushes_;
+  s.compactions = compactions_;
+  s.wal_bytes = wal_bytes_;
+  return s;
+}
+
+// ---- durability ----------------------------------------------------------
+
+bool Store::flush_locked() {
+  if (pending_.empty()) return true;
+  if (!wal_) return false;
+  if (std::fwrite(pending_.data(), 1, pending_.size(), wal_) !=
+          pending_.size() ||
+      std::fflush(wal_) != 0)
+    return false;
+  if (opts_.fsync_on_flush && !fsync_file(wal_)) return false;
+  wal_bytes_ += pending_.size();
+  pending_.clear();
+  pending_records_ = 0;
+  ++flushes_;
+  return true;
+}
+
+bool Store::sync() {
+  std::lock_guard<std::mutex> lock(wal_mu_);
+  return flush_locked();
+}
+
+// ---- compaction ----------------------------------------------------------
+
+void Store::maybe_request_compaction_locked() {
+  if (!opts_.background_compaction || !bg_.joinable()) return;
+  if (dead_ < opts_.compact_min_dead) return;
+  if (static_cast<double>(dead_) <=
+      opts_.compact_dead_ratio * static_cast<double>(live_))
+    return;
+  {
+    std::lock_guard<std::mutex> lock(bg_mu_);
+    bg_compact_ = true;
+  }
+  bg_cv_.notify_one();
+}
+
+bool Store::compact() {
+  std::lock_guard<std::mutex> lock(wal_mu_);
+  return compact_locked();
+}
+
+bool Store::compact_locked() {
+  if (!flush_locked()) return false;
+
+  // Publish the live set as a snapshot at the current WAL generation.
+  const std::vector<Entry> live = collect_entries();
+  const std::string tmp = dir_ + "/snapshot.tmp";
+  {
+    std::FILE* f = std::fopen(tmp.c_str(), "wb");
+    if (!f) return false;
+    std::string buf = log_header(kSnapshotType, wal_generation_);
+    for (const Entry& e : live) {
+      append_frame(buf, encode_record({Op::Append, e.rec}));
+      if (buf.size() >= (1u << 20)) {
+        if (std::fwrite(buf.data(), 1, buf.size(), f) != buf.size()) {
+          std::fclose(f);
+          return false;
+        }
+        buf.clear();
+      }
+    }
+    const bool ok =
+        std::fwrite(buf.data(), 1, buf.size(), f) == buf.size() &&
+        std::fflush(f) == 0 && (!opts_.fsync_on_flush || fsync_file(f));
+    std::fclose(f);
+    if (!ok) return false;
+  }
+  std::error_code ec;
+  fs::rename(tmp, snapshot_path(), ec);
+  if (ec) return false;
+
+  // Start a fresh WAL generation. If we crash before this completes, the
+  // old WAL's generation <= the snapshot's and recovery discards it.
+  if (wal_) {
+    std::fclose(wal_);
+    wal_ = nullptr;
+  }
+  wal_ = std::fopen(wal_path().c_str(), "wb");
+  if (!wal_) return false;
+  ++wal_generation_;
+  const std::string header = log_header(kWalType, wal_generation_);
+  if (std::fwrite(header.data(), 1, header.size(), wal_) != header.size() ||
+      std::fflush(wal_) != 0)
+    return false;
+  if (opts_.fsync_on_flush && !fsync_file(wal_)) return false;
+  wal_bytes_ = kHeaderSize;
+  dead_ = 0;
+  ++compactions_;
+  return true;
+}
+
+void Store::background_loop() {
+  std::unique_lock<std::mutex> lock(bg_mu_);
+  while (true) {
+    bg_cv_.wait(lock, [&] { return bg_stop_ || bg_compact_; });
+    if (bg_stop_) return;
+    bg_compact_ = false;
+    lock.unlock();
+    compact();
+    lock.lock();
+  }
+}
+
+// ---- legacy CSV bridge ---------------------------------------------------
+
+bool Store::import_records(const kb::KnowledgeBase& base) {
+  for (const kb::ExperimentRecord& rec : base.records()) append(rec);
+  return sync();
+}
+
+kb::KnowledgeBase Store::export_kb() const {
+  kb::KnowledgeBase out;
+  for (kb::ExperimentRecord& rec : records()) out.add(std::move(rec));
+  return out;
+}
+
+}  // namespace ilc::kbstore

@@ -1,0 +1,202 @@
+// ilc::kbstore — a durable, concurrent, embedded storage engine for
+// knowledge-base ExperimentRecords (the paper's Section III-E repository
+// as a real storage system rather than a whole-file CSV rewrite).
+//
+// On disk a store is a directory:
+//
+//   <dir>/snapshot.ilc   compacted baseline, written atomically (tmp+rename)
+//   <dir>/wal.ilc        append-only write-ahead log of mutations
+//
+// both in the framed format of log_format.hpp. In memory it is a sharded
+// hash index keyed by (program, machine, kind); each shard has its own
+// shared_mutex, so readers proceed concurrently with each other and with
+// writers touching other shards. Writers serialize on the WAL: every
+// mutation is encoded, buffered for group commit, and applied to the
+// index before the call returns.
+//
+// Durability: a record is *acknowledged* once its WAL frame reaches the
+// OS (flush). The flush policy controls when that happens — every append,
+// batched (group commit: one write per `batch_appends` mutations, plus
+// explicit sync()), or manual. Readers may observe un-flushed writes;
+// only flushed writes are guaranteed to survive a crash.
+//
+// Recovery: open() replays the snapshot, then every intact WAL frame of a
+// newer generation, and truncates the WAL at the first torn or
+// checksum-failing frame — a crash mid-append costs at most the
+// un-flushed tail, never the file.
+//
+// Compaction: once superseded records outnumber the configured dead/live
+// ratio, a background thread (or an explicit compact() call) writes the
+// live set as a new snapshot and truncates the WAL to a fresh generation.
+#pragma once
+
+#include <array>
+#include <condition_variable>
+#include <cstdint>
+#include <cstdio>
+#include <memory>
+#include <mutex>
+#include <optional>
+#include <shared_mutex>
+#include <string>
+#include <thread>
+#include <unordered_map>
+#include <vector>
+
+#include "kb/knowledge_base.hpp"
+#include "kbstore/record_codec.hpp"
+
+namespace ilc::kbstore {
+
+struct Options {
+  enum class Flush {
+    EveryAppend,  ///< flush the WAL on every mutation (most durable)
+    Batched,      ///< group commit: flush every `batch_appends` mutations
+    Manual,       ///< flush only on sync()/compact()/close
+  };
+  Flush flush = Flush::Batched;
+  std::size_t batch_appends = 32;
+  /// fsync(2) after each flush. Off by default: flushed data survives a
+  /// process crash either way; fsync additionally covers power loss.
+  bool fsync_on_flush = false;
+
+  /// Compact when dead records exceed both bounds below.
+  std::size_t compact_min_dead = 1024;
+  double compact_dead_ratio = 1.0;  // dead > ratio * live
+  /// Run compaction on a background thread when the trigger fires.
+  /// When false, compaction only happens via explicit compact() calls.
+  bool background_compaction = true;
+};
+
+/// What open() found on disk.
+struct RecoveryInfo {
+  std::size_t snapshot_records = 0;
+  std::size_t wal_records = 0;   ///< intact WAL frames replayed
+  bool torn_tail = false;        ///< WAL ended in a torn/corrupt frame
+  std::uint64_t torn_bytes = 0;  ///< bytes discarded from the WAL tail
+  /// WAL was stale (generation <= snapshot's): a crash hit the window
+  /// between snapshot publish and WAL truncation; it was discarded whole.
+  bool stale_wal = false;
+};
+
+struct StoreStats {
+  std::size_t live = 0;  ///< records in the index
+  std::size_t dead = 0;  ///< superseded/tombstoned log records since compaction
+  std::uint64_t appends = 0;
+  std::uint64_t flushes = 0;
+  std::uint64_t compactions = 0;
+  std::uint64_t wal_bytes = 0;  ///< flushed WAL size on disk
+};
+
+class Store {
+ public:
+  /// Open (creating if needed) the store at directory `dir`, running
+  /// crash recovery. Returns nullptr when the directory cannot be
+  /// created, a snapshot is corrupt, or the WAL has a foreign header.
+  static std::unique_ptr<Store> open(const std::string& dir,
+                                     Options opts = {},
+                                     RecoveryInfo* info = nullptr);
+  ~Store();  // stops compaction, flushes the WAL
+
+  Store(const Store&) = delete;
+  Store& operator=(const Store&) = delete;
+
+  /// Add one more record under its key; duplicates accumulate in
+  /// insertion order (the general KB shape: many search points per key).
+  void append(kb::ExperimentRecord rec);
+
+  /// Replace the first record under (program, machine, kind), or append
+  /// when the key is new. Returns true when a record was replaced.
+  bool upsert(kb::ExperimentRecord rec);
+
+  /// Drop every record under the key. Returns true when any existed.
+  bool erase(const std::string& program, const std::string& machine,
+             const std::string& kind);
+
+  /// First record under the key (KnowledgeBase::find semantics).
+  std::optional<kb::ExperimentRecord> find(const std::string& program,
+                                           const std::string& machine,
+                                           const std::string& kind) const;
+
+  /// Every record in insertion order. A copy; concurrent writers may land
+  /// between shard visits, so use for export/tooling, not invariants.
+  std::vector<kb::ExperimentRecord> records() const;
+
+  std::size_t size() const;
+
+  /// Group-commit barrier: every prior append is durable on return.
+  bool sync();
+
+  /// Write the live set as a new snapshot and truncate the WAL.
+  bool compact();
+
+  StoreStats stats() const;
+
+  // --- legacy CSV bridge -------------------------------------------------
+  /// Append every record of a parsed legacy KB (order preserved) and sync.
+  bool import_records(const kb::KnowledgeBase& base);
+  /// Materialize the store as a KnowledgeBase (for CSV export / queries).
+  kb::KnowledgeBase export_kb() const;
+
+ private:
+  struct Entry {
+    kb::ExperimentRecord rec;
+    std::uint64_t seq;  // global insertion order, survives compaction
+  };
+  struct Shard {
+    mutable std::shared_mutex mu;
+    std::unordered_map<std::string, std::vector<Entry>> map;
+  };
+  static constexpr std::size_t kShards = 16;
+
+  Store(std::string dir, Options opts);
+
+  static std::string key_of(const std::string& program,
+                            const std::string& machine,
+                            const std::string& kind);
+  Shard& shard_of(const std::string& key);
+  const Shard& shard_of(const std::string& key) const;
+
+  std::string wal_path() const { return dir_ + "/wal.ilc"; }
+  std::string snapshot_path() const { return dir_ + "/snapshot.ilc"; }
+
+  bool recover(RecoveryInfo& info);
+  /// Apply a log record to the index. Takes the shard lock; the caller
+  /// must hold wal_mu_ (or be the single-threaded recovery path).
+  bool apply(LogRecord&& lr);
+  bool log_and_apply(LogRecord lr);
+
+  bool flush_locked();
+  bool compact_locked();
+  void maybe_request_compaction_locked();
+  std::vector<Entry> collect_entries() const;  // sorted by seq
+  void background_loop();
+
+  const std::string dir_;
+  const Options opts_;
+
+  std::array<Shard, kShards> shards_;
+
+  /// Serializes writers and guards all fields below. Lock order:
+  /// wal_mu_ -> shard.mu (readers take only shard.mu).
+  mutable std::mutex wal_mu_;
+  std::FILE* wal_ = nullptr;
+  std::uint64_t wal_generation_ = 1;
+  std::string pending_;  // encoded frames awaiting group commit
+  std::size_t pending_records_ = 0;
+  std::uint64_t next_seq_ = 0;
+  std::size_t live_ = 0;
+  std::size_t dead_ = 0;
+  std::uint64_t appends_ = 0;
+  std::uint64_t flushes_ = 0;
+  std::uint64_t compactions_ = 0;
+  std::uint64_t wal_bytes_ = 0;
+
+  std::thread bg_;
+  std::mutex bg_mu_;
+  std::condition_variable bg_cv_;
+  bool bg_stop_ = false;
+  bool bg_compact_ = false;
+};
+
+}  // namespace ilc::kbstore

@@ -1,8 +1,17 @@
-// The persistent result cache of the tuning service: a thin layer over
-// kb::KnowledgeBase that keeps exactly two records per cache key (the
-// tuned best and the -O0 baseline, both honest ExperimentRecords in the
-// standard format), so a service restarted against the same KB file
-// answers previously-tuned requests without a single simulation.
+// The persistent result cache of the tuning service: exactly two records
+// per cache key (the tuned best and the -O0 baseline, both honest
+// ExperimentRecords in the standard format), so a service restarted
+// against the same store answers previously-tuned requests without a
+// single simulation.
+//
+// Two persistence modes:
+//   * durable (the default for a service with a KB path) — backed by a
+//     kbstore::Store: every store() is WAL-appended and group-committed
+//     incrementally; restart runs crash recovery. Legacy CSV KB files are
+//     migrated in place on first open and remain available via save()
+//     export.
+//   * in-memory — a plain kb::KnowledgeBase, for tests and ephemeral
+//     services; save() still writes the legacy CSV format.
 //
 // Keys identify *code*, not names: module fingerprint + objective, with
 // the machine carried in the record's machine column. Two requests whose
@@ -11,10 +20,12 @@
 #pragma once
 
 #include <cstdint>
+#include <memory>
 #include <optional>
 #include <string>
 
 #include "kb/knowledge_base.hpp"
+#include "kbstore/store.hpp"
 #include "search/strategies.hpp"
 
 namespace ilc::svc {
@@ -30,13 +41,24 @@ class ResultCache {
  public:
   ResultCache() = default;
 
-  /// Wrap an existing knowledge base (e.g. loaded from disk). Non-service
-  /// records are preserved and round-trip through save().
+  /// Wrap an existing knowledge base (e.g. loaded from disk) in-memory.
+  /// Non-service records are preserved and round-trip through save().
   explicit ResultCache(kb::KnowledgeBase base) : base_(std::move(base)) {}
 
-  /// Load `path`, tolerating a missing file (fresh cache). Returns
-  /// nullopt only when the file exists but is not a valid KB.
+  /// Load `path` as a legacy CSV KB into an in-memory cache, tolerating a
+  /// missing file (fresh cache). Returns nullopt only when the file
+  /// exists but is not a valid KB.
   static std::optional<ResultCache> open(const std::string& path);
+
+  /// Open a durable store at `path` (a directory; created if missing),
+  /// running crash recovery. A legacy CSV *file* at `path` is migrated in
+  /// place: parsed, imported into a new store directory of the same name.
+  /// Returns nullopt when the path holds neither a store nor a valid KB.
+  static std::optional<ResultCache> open_durable(
+      const std::string& path, kbstore::Options opts = {},
+      kbstore::RecoveryInfo* info = nullptr);
+
+  bool durable() const { return store_ != nullptr; }
 
   /// The canonical cache key for a module fingerprint + objective.
   static std::string key(std::uint64_t fingerprint,
@@ -50,13 +72,19 @@ class ResultCache {
   void store(const std::string& key, const std::string& machine,
              const CachedResult& result);
 
-  bool save(const std::string& path) const { return base_.save(path); }
+  /// Export the cache as a legacy CSV knowledge base at `path`.
+  bool save(const std::string& path) const;
 
-  const kb::KnowledgeBase& kb() const { return base_; }
-  std::size_t size() const { return base_.size(); }
+  /// Durable mode: group-commit barrier (all stores durable on return).
+  /// In-memory mode: no-op, true.
+  bool sync() const;
+
+  kb::KnowledgeBase kb() const;
+  std::size_t size() const;
 
  private:
-  kb::KnowledgeBase base_;
+  kb::KnowledgeBase base_;                  // in-memory mode
+  std::shared_ptr<kbstore::Store> store_;   // durable mode when non-null
 };
 
 }  // namespace ilc::svc

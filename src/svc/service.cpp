@@ -44,7 +44,12 @@ bool TuningService::JobOrder::operator()(
 TuningService::TuningService(Options opts)
     : opts_(std::move(opts)), pool_(opts_.workers) {
   if (!opts_.kb_path.empty()) {
-    auto cache = ResultCache::open(opts_.kb_path);
+    kbstore::Options kopts;
+    // autosave=true means "durable after every search": flush per write.
+    // Otherwise group-commit in batches; save()/shutdown sync the rest.
+    kopts.flush = opts_.autosave ? kbstore::Options::Flush::EveryAppend
+                                 : kbstore::Options::Flush::Batched;
+    auto cache = ResultCache::open_durable(opts_.kb_path, kopts);
     ILC_CHECK_MSG(cache.has_value(),
                   "not a valid knowledge base: " + opts_.kb_path);
     cache_ = std::move(*cache);
@@ -239,8 +244,10 @@ void TuningService::run_one() {
       cache_.store(job->cache_key, job->request.machine.name, cached);
     }
     inflight_.erase(job->flight_key);
-    if (!failed && opts_.autosave && !opts_.kb_path.empty())
-      cache_.save(opts_.kb_path);
+    // In durable mode the store() calls above already WAL-appended the
+    // result incrementally (and flushed, under autosave); nothing rewrites
+    // the whole knowledge base on the hot path anymore.
+    if (!failed && opts_.autosave && !opts_.kb_path.empty()) cache_.sync();
   }
 
   if (failed) {
@@ -253,7 +260,9 @@ void TuningService::run_one() {
 
 bool TuningService::save() const {
   if (opts_.kb_path.empty()) return false;
-  return save_to(opts_.kb_path);
+  std::lock_guard<std::mutex> lock(mu_);
+  if (cache_.durable()) return cache_.sync();
+  return cache_.save(opts_.kb_path);
 }
 
 bool TuningService::save_to(const std::string& path) const {

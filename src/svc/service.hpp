@@ -3,9 +3,10 @@
 // scheduled on a bounded worker pool through a priority queue with FIFO
 // tie-breaking; concurrent duplicates are coalesced into a single search
 // (single-flight, keyed by module fingerprint + machine + objective); and
-// completed results persist through a knowledge-base-backed cache, so a
-// service restarted against the same KB file answers repeat queries with
-// zero simulations.
+// completed results persist incrementally through a kbstore-backed cache
+// (WAL + snapshots + crash recovery), so a service restarted — or crashed
+// and restarted — against the same store answers repeat queries with zero
+// simulations.
 //
 // Request lifecycle:
 //   submit() -> [warm KB hit -> ready future]
@@ -40,9 +41,13 @@ class TuningService {
     /// batches). Distinct from `workers`, which is how many requests run
     /// at once. Search results are deterministic at any value.
     unsigned search_workers = 1;
-    /// Path of the persistent KB; empty keeps the cache in memory only.
+    /// Location of the persistent KB store (a kbstore directory, created
+    /// on first use; a legacy CSV KB file here is migrated in place).
+    /// Empty keeps the cache in memory only.
     std::string kb_path;
-    /// Save the KB after every completed search (cheap at our scale).
+    /// Make each completed search durable immediately (flush the store's
+    /// WAL per write). When false, writes group-commit in batches and are
+    /// flushed on save()/shutdown.
     bool autosave = true;
   };
 
@@ -66,9 +71,10 @@ class TuningService {
   void drain();
 
   Metrics metrics() const { return metrics_.snapshot(); }
-  /// Persist the KB to Options::kb_path (false when none configured).
+  /// Make the KB durable at Options::kb_path: syncs the store's WAL
+  /// (durable mode) or writes the CSV file. False when none configured.
   bool save() const;
-  /// Persist the KB to an explicit path.
+  /// Export the KB to an explicit path in the legacy CSV format.
   bool save_to(const std::string& path) const;
   std::size_t kb_size() const;
   std::size_t workers() const { return pool_.size(); }

@@ -6,6 +6,7 @@
 #include <set>
 
 #include "support/assert.hpp"
+#include "support/crc32.hpp"
 #include "support/csv.hpp"
 #include "support/hash.hpp"
 #include "support/rng.hpp"
@@ -276,6 +277,22 @@ TEST(Strings, TrimAndCase) {
   EXPECT_EQ(to_lower("MiXeD"), "mixed");
   EXPECT_TRUE(starts_with("foobar", "foo"));
   EXPECT_FALSE(starts_with("fo", "foo"));
+}
+
+TEST(Crc32, MatchesKnownVectors) {
+  // The IEEE 802.3 check value for "123456789".
+  EXPECT_EQ(crc32(std::string_view("123456789")), 0xCBF43926u);
+  EXPECT_EQ(crc32(std::string_view("")), 0u);
+  EXPECT_NE(crc32(std::string_view("a")), crc32(std::string_view("b")));
+}
+
+TEST(Crc32, IncrementalChainingEqualsOneShot) {
+  const std::string data = "the knowledge base write-ahead log";
+  const std::uint32_t whole = crc32(data.data(), data.size());
+  for (std::size_t cut = 0; cut <= data.size(); ++cut) {
+    const std::uint32_t head = crc32(data.data(), cut);
+    EXPECT_EQ(crc32(data.data() + cut, data.size() - cut, head), whole);
+  }
 }
 
 TEST(Assert, CheckThrowsWithMessage) {

@@ -4,16 +4,22 @@
 #include <gtest/gtest.h>
 
 #include <cstdio>
+#include <filesystem>
+#include <fstream>
 #include <thread>
 #include <vector>
 
+#include "ir/fingerprint.hpp"
 #include "ir/printer.hpp"
+#include "support/assert.hpp"
 #include "svc/cache.hpp"
 #include "svc/protocol.hpp"
 #include "svc/service.hpp"
 #include "workloads/workloads.hpp"
 
 namespace {
+
+namespace fs = std::filesystem;
 
 using namespace ilc;
 
@@ -84,11 +90,11 @@ TEST(Svc, IdenticalConcurrentRequestsRunOneSearch) {
   EXPECT_LE(m.simulations, 31u);  // one search's budget + baseline
 }
 
-// (b) A second service instance over the same KB file answers a
+// (b) A second service instance over the same KB store answers a
 // previously-tuned request from the warm cache with zero simulations.
 TEST(Svc, WarmCachePersistsAcrossServiceInstances) {
   const char* path = "svc_test_persist.kb";
-  std::remove(path);
+  fs::remove_all(path);
 
   std::uint64_t tuned_best = 0;
   {
@@ -111,7 +117,89 @@ TEST(Svc, WarmCachePersistsAcrossServiceInstances) {
     EXPECT_EQ(m.searches, 0u);
     EXPECT_EQ(m.simulations, 0u);
   }
-  std::remove(path);
+  fs::remove_all(path);
+}
+
+// The acceptance scenario for the durable store: the service dies without
+// a clean shutdown, mid-append — simulated by grafting a torn frame onto
+// the WAL tail — and a warm-restarted service still serves every
+// previously-acknowledged result from the recovered store.
+TEST(Svc, WarmRestartServesFromRecoveredStoreAfterTornWal) {
+  const char* path = "svc_test_crash.kb";
+  fs::remove_all(path);
+
+  std::uint64_t fir_best = 0, rle_best = 0;
+  {
+    svc::TuningService service({.workers = 2, .kb_path = path});
+    const svc::TuningResponse a = service.tune(request("fir", 6));
+    const svc::TuningResponse b = service.tune(request("rle", 6));
+    ASSERT_TRUE(a.ok) << a.error;
+    ASSERT_TRUE(b.ok) << b.error;
+    fir_best = a.best_metric;
+    rle_best = b.best_metric;
+  }
+  // Simulate the crash: a power cut mid-append leaves a torn frame at the
+  // WAL tail (a length prefix promising more bytes than were written).
+  {
+    const std::string wal = std::string(path) + "/wal.ilc";
+    ASSERT_TRUE(fs::is_regular_file(wal));
+    std::ofstream f(wal, std::ios::binary | std::ios::app);
+    const char torn[] = {0x40, 0x00, 0x00, 0x00, 0x13, 0x37};  // len=64, 2 bytes follow
+    f.write(torn, sizeof torn);
+  }
+  {
+    svc::TuningService service({.workers = 2, .kb_path = path});
+    const svc::TuningResponse a = service.tune(request("fir", 6));
+    const svc::TuningResponse b = service.tune(request("rle", 6));
+    ASSERT_TRUE(a.ok) << a.error;
+    ASSERT_TRUE(b.ok) << b.error;
+    EXPECT_EQ(a.source, svc::Source::WarmCache);
+    EXPECT_EQ(b.source, svc::Source::WarmCache);
+    EXPECT_EQ(a.best_metric, fir_best);
+    EXPECT_EQ(b.best_metric, rle_best);
+    EXPECT_EQ(service.metrics().simulations, 0u);
+  }
+  fs::remove_all(path);
+}
+
+// A legacy CSV knowledge base at kb_path is migrated into a store
+// directory on first open, and its cached results keep serving warm.
+TEST(Svc, LegacyCsvKbFileMigratesToDurableStore) {
+  const char* path = "svc_test_migrate.kb";
+  fs::remove_all(path);
+
+  const std::uint64_t fp = ir::fingerprint(wl::make_workload("fir").module);
+  const std::string key = svc::ResultCache::key(fp, search::Objective::Cycles);
+  {
+    svc::ResultCache legacy;
+    legacy.store(key, "amd-like", {"licm,dce", 123, 456});
+    ASSERT_TRUE(legacy.save(path));
+    ASSERT_TRUE(fs::is_regular_file(path));
+  }
+  {
+    svc::TuningService service({.workers = 1, .kb_path = path});
+    const svc::TuningResponse r = service.tune(request("fir", 6));
+    ASSERT_TRUE(r.ok) << r.error;
+    EXPECT_EQ(r.source, svc::Source::WarmCache);
+    EXPECT_EQ(r.best_metric, 123u);
+    EXPECT_EQ(r.baseline_metric, 456u);
+  }
+  EXPECT_TRUE(fs::is_directory(path));  // migrated in place
+  fs::remove_all(path);
+}
+
+// A kb_path holding neither a store nor a valid CSV KB must refuse to
+// start rather than silently run cold.
+TEST(Svc, GarbageKbPathThrowsOnStartup) {
+  const char* path = "svc_test_garbage_start.kb";
+  fs::remove_all(path);
+  {
+    std::ofstream f(path);
+    f << "not a knowledge base\n";
+  }
+  EXPECT_THROW(svc::TuningService({.workers = 1, .kb_path = path}),
+               support::CheckError);
+  fs::remove_all(path);
 }
 
 // (c) Metrics stay consistent after a concurrent burst from many client
