@@ -8,6 +8,8 @@
 #include <string>
 #include <vector>
 
+#include "obs/metrics.hpp"
+
 namespace ilc::bench {
 
 /// Integer knob from the environment (e.g. ILC_FIG2A_BUDGET=20000),
@@ -116,6 +118,15 @@ inline bool write_json(const std::string& path, const std::string& rendered) {
   if (!out) return false;
   out << rendered << "\n";
   return out.good();
+}
+
+/// Write a bench summary, appending the process-wide obs registry under a
+/// "metrics" key — every JSON artifact carries the counters/histograms
+/// the run produced (sim.*, search.*, kbstore.*) alongside its own fields.
+inline bool write_json(const std::string& path, Json doc) {
+  doc.raw("metrics",
+          obs::to_json_object(obs::Registry::instance().snapshot()));
+  return write_json(path, doc.render());
 }
 
 }  // namespace ilc::bench

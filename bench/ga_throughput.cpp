@@ -111,15 +111,14 @@ int main(int argc, char** argv) {
               ok ? "PASS" : "FAIL");
 
   if (!args.json_path.empty()) {
-    const std::string doc = bench::Json()
+    const bench::Json doc = bench::Json()
                                 .string("bench", "ga_throughput")
                                 .string("workload", w.name)
                                 .integer("budget", budget)
                                 .integer("seed", seed)
                                 .integer("host_threads", host_threads)
                                 .boolean("deterministic", ok)
-                                .raw("widths", bench::Json::array(json_rows))
-                                .render();
+                                .raw("widths", bench::Json::array(json_rows));
     if (!bench::write_json(args.json_path, doc)) {
       std::fprintf(stderr, "cannot write %s\n", args.json_path.c_str());
       return 1;

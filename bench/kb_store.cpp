@@ -185,7 +185,7 @@ int main(int argc, char** argv) {
         .number("recover_snapshot_s", recover_snap_s)
         .boolean("torn_tail_recovered", torn_ok)
         .boolean("pass", ok);
-    if (!bench::write_json(args.json_path, json.render())) {
+    if (!bench::write_json(args.json_path, json)) {
       std::fprintf(stderr, "cannot write %s\n", args.json_path.c_str());
       return 1;
     }

@@ -122,13 +122,13 @@ int main(int argc, char** argv) {
               ok ? "PASS" : "FAIL");
 
   if (!args.json_path.empty()) {
-    const std::string doc = bench::Json()
-                                .string("bench", "sim_speed")
-                                .integer("reps", reps)
-                                .number("geomean_speedup", geomean)
-                                .boolean("bit_identical", ok)
-                                .raw("workloads", bench::Json::array(json_rows))
-                                .render();
+    const bench::Json doc =
+        bench::Json()
+            .string("bench", "sim_speed")
+            .integer("reps", reps)
+            .number("geomean_speedup", geomean)
+            .boolean("bit_identical", ok)
+            .raw("workloads", bench::Json::array(json_rows));
     if (!bench::write_json(args.json_path, doc)) {
       std::fprintf(stderr, "cannot write %s\n", args.json_path.c_str());
       return 1;

@@ -27,6 +27,35 @@ using namespace ilc;
 
 namespace {
 
+/// What recovery found plus how the write path behaved: records replayed
+/// (snapshot + WAL), torn-tail bytes truncated, live/dead ratio, and the
+/// flush/compaction counters.
+void print_store_stats(const kbstore::Store& store) {
+  const kbstore::RecoveryInfo info = store.recovery();
+  const kbstore::StoreStats stats = store.stats();
+  std::printf(
+      "  recovery: %zu records replayed (%zu snapshot + %zu wal)",
+      info.snapshot_records + info.wal_records, info.snapshot_records,
+      info.wal_records);
+  if (info.torn_tail)
+    std::printf(", torn tail: %llu bytes truncated",
+                static_cast<unsigned long long>(info.torn_bytes));
+  if (info.stale_wal) std::printf(", stale wal discarded");
+  std::printf("\n");
+  const double ratio =
+      stats.live ? static_cast<double>(stats.dead) /
+                       static_cast<double>(stats.live)
+                 : 0.0;
+  std::printf(
+      "  store: %zu live / %zu dead records (dead/live %.2f), "
+      "%llu appends, %llu flushes, %llu compactions, wal %llu bytes\n",
+      stats.live, stats.dead, ratio,
+      static_cast<unsigned long long>(stats.appends),
+      static_cast<unsigned long long>(stats.flushes),
+      static_cast<unsigned long long>(stats.compactions),
+      static_cast<unsigned long long>(stats.wal_bytes));
+}
+
 /// Load a knowledge base from either format: a kbstore directory (crash
 /// recovery runs as part of open) or a legacy CSV file.
 std::optional<kb::KnowledgeBase> load_any(const char* path) {
@@ -68,13 +97,10 @@ int cmd_build_store(const char* dir, unsigned budget) {
   ctrl::build_store(*store, programs, sim::amd_like(),
                     /*sequence_budget=*/budget, /*flag_budget=*/budget,
                     /*seed=*/2008);
-  const kbstore::StoreStats stats = store->stats();
-  std::printf(
-      "recovered %zu records (%zu snapshot + %zu wal%s), streamed %zu new; "
-      "store now holds %zu records, wal %llu bytes\n",
-      before, info.snapshot_records, info.wal_records,
-      info.torn_tail ? ", torn tail discarded" : "", store->size() - before,
-      store->size(), static_cast<unsigned long long>(stats.wal_bytes));
+  std::printf("recovered %zu records, streamed %zu new; store now holds "
+              "%zu records\n",
+              before, store->size() - before, store->size());
+  print_store_stats(*store);
   return 0;
 }
 
@@ -91,6 +117,7 @@ int cmd_import(const char* csv, const char* dir) {
   }
   std::printf("imported %zu records into %s (%zu total)\n", base->size(), dir,
               store->size());
+  print_store_stats(*store);
   return 0;
 }
 

@@ -20,6 +20,7 @@
 #include <unordered_map>
 #include <vector>
 
+#include "obs/trace.hpp"
 #include "svc/protocol.hpp"
 #include "svc/service.hpp"
 
@@ -40,16 +41,35 @@ void flush_pending(std::vector<PendingTune>& pending) {
 
 int usage(const char* argv0) {
   std::fprintf(stderr,
-               "usage: %s [--workers N] [--kb path] [--script file|-]\n",
+               "usage: %s [--workers N] [--kb path] [--script file|-] "
+               "[--trace out.json]\n",
                argv0);
   return 2;
 }
+
+/// When --trace was given, drain every recorded span to `path` as Chrome
+/// trace_event JSON on exit (constructed before the service so the trace
+/// survives even an early return).
+struct TraceDump {
+  std::string path;
+  ~TraceDump() {
+    if (path.empty()) return;
+    const std::string trace = obs::Tracer::drain_chrome_trace();
+    if (std::FILE* f = std::fopen(path.c_str(), "wb")) {
+      std::fwrite(trace.data(), 1, trace.size(), f);
+      std::fclose(f);
+    } else {
+      std::fprintf(stderr, "cannot write trace to %s\n", path.c_str());
+    }
+  }
+};
 
 }  // namespace
 
 int main(int argc, char** argv) {
   svc::TuningService::Options opts;
   std::string script = "-";
+  TraceDump trace_dump;
   for (int i = 1; i < argc; ++i) {
     if (!std::strcmp(argv[i], "--workers") && i + 1 < argc) {
       opts.workers = static_cast<std::size_t>(std::atoi(argv[++i]));
@@ -57,6 +77,9 @@ int main(int argc, char** argv) {
       opts.kb_path = argv[++i];
     } else if (!std::strcmp(argv[i], "--script") && i + 1 < argc) {
       script = argv[++i];
+    } else if (!std::strcmp(argv[i], "--trace") && i + 1 < argc) {
+      trace_dump.path = argv[++i];
+      obs::Tracer::set_enabled(true);
     } else {
       return usage(argv[0]);
     }

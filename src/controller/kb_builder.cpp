@@ -1,11 +1,24 @@
 #include "controller/kb_builder.hpp"
 
 #include "features/features.hpp"
+#include "obs/metrics.hpp"
+#include "obs/timer.hpp"
+#include "obs/trace.hpp"
 #include "search/evaluator.hpp"
 #include "search/strategies.hpp"
 #include "sim/interpreter.hpp"
 
 namespace ilc::ctrl {
+
+namespace {
+
+obs::Histogram& h_program_build_us() {
+  static obs::Histogram h =
+      obs::Registry::instance().histogram("ctrl.program_build_us");
+  return h;
+}
+
+}  // namespace
 
 kb::ExperimentRecord make_profile_record(const std::string& name,
                                          const ir::Module& mod,
@@ -112,6 +125,9 @@ void stream_training_records(const std::vector<SuiteProgram>& suite,
     sink(std::move(rec));
   };
   for (const SuiteProgram& prog : suite) {
+    obs::Span span("ctrl.train_program");
+    span.annotate("program", prog.name);
+    obs::ScopedTimerUs timer(h_program_build_us());
     support::Rng rng = root.fork(emitted + 1);
     counting(make_profile_record(prog.name, *prog.module, machine));
     if (sequence_budget > 0)

@@ -6,6 +6,8 @@
 #include <sstream>
 
 #include "kbstore/log_format.hpp"
+#include "obs/metrics.hpp"
+#include "obs/timer.hpp"
 #include "support/hash.hpp"
 
 #ifdef __unix__
@@ -17,6 +19,53 @@ namespace ilc::kbstore {
 namespace fs = std::filesystem;
 
 namespace {
+
+// Process-wide storage metrics (aggregated across stores): mutation and
+// durability rates as counters, WAL append/flush and compaction latencies
+// as histograms, crash-recovery findings as monotone counters.
+obs::Counter& c_appends() {
+  static obs::Counter c = obs::Registry::instance().counter("kbstore.appends");
+  return c;
+}
+obs::Counter& c_flushes() {
+  static obs::Counter c = obs::Registry::instance().counter("kbstore.flushes");
+  return c;
+}
+obs::Counter& c_compactions() {
+  static obs::Counter c =
+      obs::Registry::instance().counter("kbstore.compactions");
+  return c;
+}
+obs::Counter& c_recovered_records() {
+  static obs::Counter c =
+      obs::Registry::instance().counter("kbstore.recovery.records");
+  return c;
+}
+obs::Counter& c_torn_bytes() {
+  static obs::Counter c =
+      obs::Registry::instance().counter("kbstore.recovery.torn_bytes");
+  return c;
+}
+obs::Counter& c_stale_wals() {
+  static obs::Counter c =
+      obs::Registry::instance().counter("kbstore.recovery.stale_wals");
+  return c;
+}
+obs::Histogram& h_append_us() {
+  static obs::Histogram h =
+      obs::Registry::instance().histogram("kbstore.wal.append_us");
+  return h;
+}
+obs::Histogram& h_flush_us() {
+  static obs::Histogram h =
+      obs::Registry::instance().histogram("kbstore.wal.flush_us");
+  return h;
+}
+obs::Histogram& h_compaction_us() {
+  static obs::Histogram h =
+      obs::Registry::instance().histogram("kbstore.compaction_us");
+  return h;
+}
 
 bool read_file_bytes(const std::string& path, std::string& out) {
   std::ifstream f(path, std::ios::binary);
@@ -60,6 +109,10 @@ std::unique_ptr<Store> Store::open(const std::string& dir, Options opts,
   std::unique_ptr<Store> store(new Store(dir, opts));
   RecoveryInfo ri;
   if (!store->recover(ri)) return nullptr;
+  store->recovery_ = ri;
+  c_recovered_records().add(ri.snapshot_records + ri.wal_records);
+  c_torn_bytes().add(ri.torn_bytes);
+  if (ri.stale_wal) c_stale_wals().add(1);
   if (info) *info = ri;
   if (store->opts_.background_compaction)
     store->bg_ = std::thread([s = store.get()] { s->background_loop(); });
@@ -193,11 +246,13 @@ bool Store::apply(LogRecord&& lr) {
 }
 
 bool Store::log_and_apply(LogRecord lr) {
+  obs::ScopedTimerUs timer(h_append_us());
   std::string payload = encode_record(lr);
   std::lock_guard<std::mutex> lock(wal_mu_);
   append_frame(pending_, payload);
   ++pending_records_;
   ++appends_;
+  c_appends().add(1);
   const bool result = apply(std::move(lr));
   switch (opts_.flush) {
     case Options::Flush::EveryAppend:
@@ -282,6 +337,7 @@ StoreStats Store::stats() const {
 bool Store::flush_locked() {
   if (pending_.empty()) return true;
   if (!wal_) return false;
+  obs::ScopedTimerUs timer(h_flush_us());
   if (std::fwrite(pending_.data(), 1, pending_.size(), wal_) !=
           pending_.size() ||
       std::fflush(wal_) != 0)
@@ -291,6 +347,7 @@ bool Store::flush_locked() {
   pending_.clear();
   pending_records_ = 0;
   ++flushes_;
+  c_flushes().add(1);
   return true;
 }
 
@@ -320,6 +377,7 @@ bool Store::compact() {
 }
 
 bool Store::compact_locked() {
+  obs::ScopedTimerUs timer(h_compaction_us());
   if (!flush_locked()) return false;
 
   // Publish the live set as a snapshot at the current WAL generation.
@@ -366,6 +424,7 @@ bool Store::compact_locked() {
   wal_bytes_ = kHeaderSize;
   dead_ = 0;
   ++compactions_;
+  c_compactions().add(1);
   return true;
 }
 

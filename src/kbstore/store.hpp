@@ -132,6 +132,10 @@ class Store {
 
   StoreStats stats() const;
 
+  /// What open() found on disk for this store (same data as the open()
+  /// out-parameter, kept for tooling that opens the store elsewhere).
+  RecoveryInfo recovery() const { return recovery_; }
+
   // --- legacy CSV bridge -------------------------------------------------
   /// Append every record of a parsed legacy KB (order preserved) and sync.
   bool import_records(const kb::KnowledgeBase& base);
@@ -174,6 +178,7 @@ class Store {
 
   const std::string dir_;
   const Options opts_;
+  RecoveryInfo recovery_;  // written once by open(), read-only after
 
   std::array<Shard, kShards> shards_;
 

@@ -1,0 +1,56 @@
+// ilc::obs profiling hooks — lightweight phase timers that record elapsed
+// wall time into a registry histogram. Intended for phase-granular sites
+// (a simulator invocation, a WAL flush, a GA generation), never for
+// per-instruction loops.
+//
+// A process-wide runtime switch gates the clock reads: with profiling
+// disabled a ScopedTimerUs costs one relaxed atomic load and a branch,
+// which is what bench/obs_overhead budgets against.
+#pragma once
+
+#include <atomic>
+#include <chrono>
+
+#include "obs/metrics.hpp"
+
+namespace ilc::obs {
+
+inline std::atomic<bool>& profiling_flag() {
+  static std::atomic<bool> flag{true};
+  return flag;
+}
+
+inline bool profiling_enabled() {
+  return profiling_flag().load(std::memory_order_relaxed);
+}
+
+inline void set_profiling_enabled(bool on) {
+  profiling_flag().store(on, std::memory_order_relaxed);
+}
+
+/// Records the scope's duration, in microseconds, into a histogram.
+class ScopedTimerUs {
+ public:
+  explicit ScopedTimerUs(Histogram h) {
+    if (!profiling_enabled() || !h.valid()) return;
+    h_ = h;
+    armed_ = true;
+    start_ = std::chrono::steady_clock::now();
+  }
+  ~ScopedTimerUs() {
+    if (!armed_) return;
+    h_.record(static_cast<std::uint64_t>(
+        std::chrono::duration_cast<std::chrono::microseconds>(
+            std::chrono::steady_clock::now() - start_)
+            .count()));
+  }
+  ScopedTimerUs(const ScopedTimerUs&) = delete;
+  ScopedTimerUs& operator=(const ScopedTimerUs&) = delete;
+
+ private:
+  Histogram h_;
+  std::chrono::steady_clock::time_point start_{};
+  bool armed_ = false;
+};
+
+}  // namespace ilc::obs

@@ -1,0 +1,232 @@
+#include "obs/trace.hpp"
+
+#if ILC_OBS_TRACING_COMPILED
+
+#include <memory>
+#include <mutex>
+#include <sstream>
+
+namespace ilc::obs {
+
+namespace {
+
+constexpr std::size_t kDefaultRingCapacity = 4096;
+
+using Clock = std::chrono::steady_clock;
+
+/// Completed spans of one thread. The mutex is effectively uncontended —
+/// only the owning thread pushes; other threads take it when draining.
+struct ThreadBuffer {
+  std::mutex mu;
+  std::vector<SpanRecord> ring;
+  std::size_t capacity = kDefaultRingCapacity;
+  std::size_t next = 0;  // overwrite cursor once the ring is full
+  std::uint32_t tid = 0;
+};
+
+struct BufferRegistry {
+  std::mutex mu;
+  std::vector<std::shared_ptr<ThreadBuffer>> buffers;
+  std::uint32_t next_tid = 1;
+  std::size_t default_capacity = kDefaultRingCapacity;
+};
+
+BufferRegistry& buffer_registry() {
+  static BufferRegistry* reg = new BufferRegistry();
+  return *reg;
+}
+
+/// Buffers are shared between the owning thread and the global registry,
+/// so spans recorded by threads that have since exited stay drainable.
+ThreadBuffer& thread_buffer() {
+  thread_local std::shared_ptr<ThreadBuffer> buf = [] {
+    auto b = std::make_shared<ThreadBuffer>();
+    BufferRegistry& reg = buffer_registry();
+    std::lock_guard<std::mutex> lock(reg.mu);
+    b->tid = reg.next_tid++;
+    b->capacity = reg.default_capacity;
+    reg.buffers.push_back(b);
+    return b;
+  }();
+  return *buf;
+}
+
+thread_local SpanContext t_current{};
+
+Clock::time_point trace_epoch() {
+  static const Clock::time_point epoch = Clock::now();
+  return epoch;
+}
+
+std::string json_escape(const std::string& s) {
+  std::string out;
+  out.reserve(s.size());
+  for (char c : s) {
+    switch (c) {
+      case '"': out += "\\\""; break;
+      case '\\': out += "\\\\"; break;
+      case '\n': out += "\\n"; break;
+      case '\t': out += "\\t"; break;
+      default: out += c;
+    }
+  }
+  return out;
+}
+
+}  // namespace
+
+std::atomic<bool>& Tracer::enabled_flag() {
+  static std::atomic<bool> flag{false};
+  return flag;
+}
+
+void Tracer::set_enabled(bool on) {
+  trace_epoch();  // pin the epoch no later than the first enablement
+  enabled_flag().store(on, std::memory_order_relaxed);
+}
+
+std::uint64_t Tracer::new_id() {
+  static std::atomic<std::uint64_t> next{1};
+  return next.fetch_add(1, std::memory_order_relaxed);
+}
+
+SpanContext Tracer::current() { return t_current; }
+
+SpanContext Tracer::exchange_current(SpanContext ctx) {
+  const SpanContext prev = t_current;
+  t_current = ctx;
+  return prev;
+}
+
+std::uint64_t Tracer::to_trace_us(Clock::time_point tp) {
+  return static_cast<std::uint64_t>(
+      std::chrono::duration_cast<std::chrono::microseconds>(tp - trace_epoch())
+          .count());
+}
+
+void Tracer::push(SpanRecord&& rec) {
+  ThreadBuffer& buf = thread_buffer();
+  std::lock_guard<std::mutex> lock(buf.mu);
+  rec.tid = buf.tid;
+  if (buf.ring.size() < buf.capacity) {
+    buf.ring.push_back(std::move(rec));
+  } else if (buf.capacity > 0) {
+    buf.ring[buf.next] = std::move(rec);
+    buf.next = (buf.next + 1) % buf.capacity;
+  }
+}
+
+std::vector<SpanRecord> Tracer::records() {
+  std::vector<SpanRecord> out;
+  BufferRegistry& reg = buffer_registry();
+  std::lock_guard<std::mutex> reg_lock(reg.mu);
+  for (const auto& buf : reg.buffers) {
+    std::lock_guard<std::mutex> lock(buf->mu);
+    // Oldest first: the overwrite cursor marks the oldest slot once full.
+    for (std::size_t i = 0; i < buf->ring.size(); ++i)
+      out.push_back(buf->ring[(buf->next + i) % buf->ring.size()]);
+  }
+  return out;
+}
+
+void Tracer::clear() {
+  BufferRegistry& reg = buffer_registry();
+  std::lock_guard<std::mutex> reg_lock(reg.mu);
+  for (const auto& buf : reg.buffers) {
+    std::lock_guard<std::mutex> lock(buf->mu);
+    buf->ring.clear();
+    buf->next = 0;
+  }
+}
+
+void Tracer::set_ring_capacity(std::size_t capacity) {
+  {
+    BufferRegistry& reg = buffer_registry();
+    std::lock_guard<std::mutex> lock(reg.mu);
+    reg.default_capacity = capacity;
+  }
+  ThreadBuffer& buf = thread_buffer();
+  std::lock_guard<std::mutex> lock(buf.mu);
+  buf.capacity = capacity;
+  if (buf.ring.size() > capacity) {
+    // Keep the newest `capacity` records, restored to oldest-first order.
+    std::vector<SpanRecord> keep;
+    keep.reserve(capacity);
+    const std::size_t n = buf.ring.size();
+    for (std::size_t i = n - capacity; i < n; ++i)
+      keep.push_back(std::move(buf.ring[(buf.next + i) % n]));
+    buf.ring = std::move(keep);
+  }
+  buf.next = 0;
+}
+
+void Tracer::record(
+    const char* name, SpanContext parent, Clock::time_point start,
+    Clock::time_point end,
+    std::vector<std::pair<std::string, std::string>> annotations) {
+  if (!enabled()) return;
+  SpanRecord rec;
+  rec.name = name;
+  rec.trace_id = parent.valid() ? parent.trace_id : new_id();
+  rec.span_id = new_id();
+  rec.parent_id = parent.valid() ? parent.span_id : 0;
+  rec.start_us = to_trace_us(start);
+  rec.dur_us = to_trace_us(end) - rec.start_us;
+  rec.annotations = std::move(annotations);
+  push(std::move(rec));
+}
+
+std::string Tracer::to_chrome_trace(const std::vector<SpanRecord>& recs) {
+  std::ostringstream os;
+  os << "{\"traceEvents\":[";
+  for (std::size_t i = 0; i < recs.size(); ++i) {
+    const SpanRecord& r = recs[i];
+    if (i) os << ",";
+    os << "\n{\"name\":\"" << json_escape(r.name)
+       << "\",\"cat\":\"ilc\",\"ph\":\"X\",\"ts\":" << r.start_us
+       << ",\"dur\":" << r.dur_us << ",\"pid\":1,\"tid\":" << r.tid
+       << ",\"args\":{\"trace_id\":\"" << r.trace_id << "\",\"span_id\":\""
+       << r.span_id << "\",\"parent_id\":\"" << r.parent_id << "\"";
+    for (const auto& [key, value] : r.annotations)
+      os << ",\"" << json_escape(key) << "\":\"" << json_escape(value)
+         << "\"";
+    os << "}}";
+  }
+  os << "\n]}";
+  return os.str();
+}
+
+std::string Tracer::drain_chrome_trace() {
+  const std::vector<SpanRecord> recs = records();
+  clear();
+  return to_chrome_trace(recs);
+}
+
+Span::Span(const char* name, SpanContext parent) {
+  if (!Tracer::enabled()) return;
+  active_ = true;
+  name_ = name;
+  parent_id_ = parent.valid() ? parent.span_id : 0;
+  ctx_.trace_id = parent.valid() ? parent.trace_id : Tracer::new_id();
+  ctx_.span_id = Tracer::new_id();
+  prev_current_ = Tracer::exchange_current(ctx_);
+  start_ = Clock::now();
+}
+
+Span::~Span() {
+  if (!active_) return;
+  Tracer::exchange_current(prev_current_);
+  SpanRecord rec;
+  rec.name = name_;
+  rec.trace_id = ctx_.trace_id;
+  rec.span_id = ctx_.span_id;
+  rec.parent_id = parent_id_;
+  rec.start_us = Tracer::to_trace_us(start_);
+  rec.dur_us = Tracer::to_trace_us(Clock::now()) - rec.start_us;
+  rec.annotations = std::move(annotations_);
+  Tracer::push(std::move(rec));
+}
+
+}  // namespace ilc::obs
+
+#endif  // ILC_OBS_TRACING_COMPILED

@@ -1,0 +1,189 @@
+// ilc::obs tracing — structured spans with trace/span IDs, parent links,
+// and key-value annotations, recorded into per-thread ring buffers and
+// drainable as Chrome trace_event JSON (open chrome://tracing or
+// https://ui.perfetto.dev on the output).
+//
+// Two kill switches:
+//   compile-time — build with -DILC_OBS_TRACING_COMPILED=0 and every Span
+//     is an empty inline no-op (zero code at the call sites);
+//   runtime — Tracer::set_enabled (default off). A disabled Span costs
+//     one relaxed atomic load and a branch; nothing is allocated.
+//
+// Parent linking is implicit through a thread-local "current span":
+// constructing a Span inside another's lifetime makes it a child. To
+// continue a trace on another thread (svc request handoff to a worker),
+// carry the SpanContext and adopt it there with a TraceScope.
+#pragma once
+
+#ifndef ILC_OBS_TRACING_COMPILED
+#define ILC_OBS_TRACING_COMPILED 1
+#endif
+
+#include <atomic>
+#include <chrono>
+#include <cstdint>
+#include <string>
+#include <utility>
+#include <vector>
+
+namespace ilc::obs {
+
+/// The portable identity of a span: enough to parent further work onto
+/// it, on any thread. trace_id == 0 means "no active trace".
+struct SpanContext {
+  std::uint64_t trace_id = 0;
+  std::uint64_t span_id = 0;
+  bool valid() const { return trace_id != 0; }
+};
+
+/// One completed span, as stored in the ring buffers.
+struct SpanRecord {
+  std::string name;
+  std::uint64_t trace_id = 0;
+  std::uint64_t span_id = 0;
+  std::uint64_t parent_id = 0;  // 0 = root
+  std::uint32_t tid = 0;        // small per-thread ordinal, not the OS tid
+  std::uint64_t start_us = 0;   // since the process trace epoch
+  std::uint64_t dur_us = 0;
+  std::vector<std::pair<std::string, std::string>> annotations;
+};
+
+#if ILC_OBS_TRACING_COMPILED
+
+class Tracer {
+ public:
+  static bool enabled() {
+    return enabled_flag().load(std::memory_order_relaxed);
+  }
+  static void set_enabled(bool on);
+
+  /// Fresh process-unique ID (shared sequence for trace and span IDs).
+  static std::uint64_t new_id();
+
+  /// The calling thread's innermost active span ({} when none).
+  static SpanContext current();
+
+  /// Copy of every completed span across all thread buffers, oldest
+  /// first per thread. Non-consuming.
+  static std::vector<SpanRecord> records();
+
+  /// Render every completed span as Chrome trace_event JSON and clear
+  /// the buffers.
+  static std::string drain_chrome_trace();
+  static std::string to_chrome_trace(const std::vector<SpanRecord>& recs);
+  static void clear();
+
+  /// Ring capacity of the calling thread's buffer (completed spans kept
+  /// before the oldest are overwritten). Also sets the default for
+  /// threads that have not recorded yet.
+  static void set_ring_capacity(std::size_t capacity);
+
+  /// Record a span for an interval measured manually (e.g. queue wait,
+  /// where no Span object lived across the interval). `parent` supplies
+  /// the trace to attach to; an invalid parent starts a new trace.
+  static void record(const char* name, SpanContext parent,
+                     std::chrono::steady_clock::time_point start,
+                     std::chrono::steady_clock::time_point end,
+                     std::vector<std::pair<std::string, std::string>>
+                         annotations = {});
+
+  /// Microseconds since the process trace epoch.
+  static std::uint64_t to_trace_us(std::chrono::steady_clock::time_point tp);
+
+ private:
+  friend class Span;
+  friend class TraceScope;
+  static std::atomic<bool>& enabled_flag();
+  static void push(SpanRecord&& rec);
+  static SpanContext exchange_current(SpanContext ctx);
+};
+
+/// Adopt a span context as the calling thread's current span for the
+/// scope's lifetime — the cross-thread propagation primitive.
+class TraceScope {
+ public:
+  explicit TraceScope(SpanContext ctx) : prev_(Tracer::exchange_current(ctx)) {}
+  ~TraceScope() { Tracer::exchange_current(prev_); }
+  TraceScope(const TraceScope&) = delete;
+  TraceScope& operator=(const TraceScope&) = delete;
+
+ private:
+  SpanContext prev_;
+};
+
+/// RAII span. `name` must outlive the span (string literals).
+class Span {
+ public:
+  /// Child of the thread's current span; roots a new trace when there is
+  /// no current span.
+  explicit Span(const char* name) : Span(name, Tracer::current()) {}
+  /// Child of an explicit parent (roots a new trace when invalid).
+  Span(const char* name, SpanContext parent);
+  ~Span();
+  Span(const Span&) = delete;
+  Span& operator=(const Span&) = delete;
+
+  void annotate(const char* key, std::string value) {
+    if (active_) annotations_.emplace_back(key, std::move(value));
+  }
+
+  /// Context to hand to other threads / manual records. Invalid when the
+  /// span is inactive (tracing disabled).
+  SpanContext context() const { return ctx_; }
+  bool active() const { return active_; }
+
+ private:
+  const char* name_ = nullptr;
+  SpanContext ctx_{};
+  std::uint64_t parent_id_ = 0;
+  SpanContext prev_current_{};
+  std::chrono::steady_clock::time_point start_{};
+  std::vector<std::pair<std::string, std::string>> annotations_;
+  bool active_ = false;
+};
+
+#else  // ILC_OBS_TRACING_COMPILED == 0: every operation is an inline no-op
+
+class Tracer {
+ public:
+  static bool enabled() { return false; }
+  static void set_enabled(bool) {}
+  static std::uint64_t new_id() { return 0; }
+  static SpanContext current() { return {}; }
+  static std::vector<SpanRecord> records() { return {}; }
+  static std::string drain_chrome_trace() { return "{\"traceEvents\":[]}"; }
+  static std::string to_chrome_trace(const std::vector<SpanRecord>&) {
+    return "{\"traceEvents\":[]}";
+  }
+  static void clear() {}
+  static void set_ring_capacity(std::size_t) {}
+  static void record(const char*, SpanContext,
+                     std::chrono::steady_clock::time_point,
+                     std::chrono::steady_clock::time_point,
+                     std::vector<std::pair<std::string, std::string>> = {}) {}
+  static std::uint64_t to_trace_us(std::chrono::steady_clock::time_point) {
+    return 0;
+  }
+};
+
+class TraceScope {
+ public:
+  explicit TraceScope(SpanContext) {}
+  TraceScope(const TraceScope&) = delete;
+  TraceScope& operator=(const TraceScope&) = delete;
+};
+
+class Span {
+ public:
+  explicit Span(const char*) {}
+  Span(const char*, SpanContext) {}
+  Span(const Span&) = delete;
+  Span& operator=(const Span&) = delete;
+  void annotate(const char*, std::string) {}
+  SpanContext context() const { return {}; }
+  bool active() const { return false; }
+};
+
+#endif  // ILC_OBS_TRACING_COMPILED
+
+}  // namespace ilc::obs

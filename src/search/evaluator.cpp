@@ -1,11 +1,30 @@
 #include "search/evaluator.hpp"
 
 #include "ir/fingerprint.hpp"
+#include "obs/metrics.hpp"
+#include "obs/timer.hpp"
+#include "obs/trace.hpp"
 #include "sim/program_cache.hpp"
 
 namespace ilc::search {
 
 namespace {
+
+obs::Counter& c_simulations() {
+  static obs::Counter c =
+      obs::Registry::instance().counter("search.simulations");
+  return c;
+}
+obs::Counter& c_eval_cache_hits() {
+  static obs::Counter c =
+      obs::Registry::instance().counter("search.eval_cache.hits");
+  return c;
+}
+obs::Histogram& h_simulate_us() {
+  static obs::Histogram h =
+      obs::Registry::instance().histogram("search.simulate_us");
+  return h;
+}
 
 /// Per-thread scratch for candidate materialization: copy-assigning the
 /// base module into a retained buffer reuses the vectors' capacity from
@@ -33,6 +52,8 @@ EvalResult Evaluator::simulate(const ir::Module& optimized_mod,
   // same optimized code (GA elites, svc warm paths) skip re-decoding. The
   // known fingerprint is passed through to avoid a second hash of the
   // module.
+  obs::Span span("search.simulate");
+  obs::ScopedTimerUs timer(h_simulate_us());
   std::shared_ptr<const sim::DecodedProgram> decoded;
   if (cfg_.decoded_execution)
     decoded = sim::ProgramCache::instance().get(optimized_mod, fp);
@@ -44,6 +65,7 @@ EvalResult Evaluator::simulate(const ir::Module& optimized_mod,
   res.instructions = rr.instructions;
   res.counters = rr.counters;
   simulations_.fetch_add(1, std::memory_order_relaxed);
+  c_simulations().add(1);
   return res;
 }
 
@@ -63,6 +85,7 @@ EvalResult Evaluator::measure(const ir::Module& optimized_mod) {
       }
       if (it->second.ready) {
         cache_hits_.fetch_add(1, std::memory_order_relaxed);
+        c_eval_cache_hits().add(1);
         return it->second.result;
       }
       // Follower: a leader is simulating this fingerprint right now.

@@ -13,12 +13,30 @@
 #include <algorithm>
 #include <memory>
 
+#include "obs/metrics.hpp"
+#include "obs/trace.hpp"
 #include "support/assert.hpp"
 #include "support/thread_pool.hpp"
 
 namespace ilc::search {
 
 namespace {
+
+obs::Counter& c_ga_generations() {
+  static obs::Counter c =
+      obs::Registry::instance().counter("search.ga.generations");
+  return c;
+}
+obs::Counter& c_ga_evaluations() {
+  static obs::Counter c =
+      obs::Registry::instance().counter("search.ga.evaluations");
+  return c;
+}
+obs::Gauge& g_ga_last_best() {
+  static obs::Gauge g =
+      obs::Registry::instance().gauge("search.ga.last_best_metric");
+  return g;
+}
 
 struct Individual {
   std::vector<opt::PassId> genes;
@@ -57,8 +75,11 @@ SearchTrace genetic_search(Evaluator& eval, const SequenceSpace& space,
 
   // Score inds[first, first+count) concurrently, then commit the results
   // in index order — the same order the sequential GA records them.
+  // Per-generation observability: one span + three registry updates per
+  // scored batch, nothing per individual.
   auto evaluate_range = [&](std::vector<Individual>& inds, std::size_t first,
                             std::size_t count) {
+    obs::Span span("search.ga.generation");
     support::parallel_for(pool.get(), first, first + count,
                           [&](std::size_t i) {
                             inds[i].metric =
@@ -66,6 +87,11 @@ SearchTrace genetic_search(Evaluator& eval, const SequenceSpace& space,
                           });
     for (std::size_t i = first; i < first + count; ++i)
       trace.record(inds[i].genes, inds[i].metric);
+    c_ga_generations().add(1);
+    c_ga_evaluations().add(count);
+    if (trace.best_metric != ~0ULL)
+      g_ga_last_best().set(static_cast<std::int64_t>(trace.best_metric));
+    span.annotate("evaluations", std::to_string(count));
   };
 
   std::vector<Individual> pop(params.population);

@@ -4,6 +4,8 @@
 #include <sstream>
 
 #include "ir/printer.hpp"
+#include "obs/metrics.hpp"
+#include "obs/timer.hpp"
 #include "sim/program_cache.hpp"
 #include "support/assert.hpp"
 #include "support/hash.hpp"
@@ -15,6 +17,43 @@ using ir::FuncId;
 using ir::Instr;
 using ir::Opcode;
 using ir::Reg;
+
+// Observability hooks, at invocation granularity only: one handle lookup
+// per site (function-local static), a handful of relaxed atomic adds per
+// simulated call, and never anything inside the per-instruction loop.
+namespace {
+
+obs::Counter& c_invocations() {
+  static obs::Counter c = obs::Registry::instance().counter("sim.invocations");
+  return c;
+}
+obs::Counter& c_instructions() {
+  static obs::Counter c =
+      obs::Registry::instance().counter("sim.instructions");
+  return c;
+}
+obs::Counter& c_branch_mispredicts() {
+  static obs::Counter c =
+      obs::Registry::instance().counter("sim.branch.mispredicts");
+  return c;
+}
+obs::Counter& c_l1_misses() {
+  static obs::Counter c =
+      obs::Registry::instance().counter("sim.cache.l1_misses");
+  return c;
+}
+obs::Counter& c_l2_misses() {
+  static obs::Counter c =
+      obs::Registry::instance().counter("sim.cache.l2_misses");
+  return c;
+}
+obs::Histogram& h_execute_us() {
+  static obs::Histogram h =
+      obs::Registry::instance().histogram("sim.execute_us");
+  return h;
+}
+
+}  // namespace
 
 Simulator::Simulator(const ir::Module& mod, const MachineConfig& cfg,
                      std::shared_ptr<const DecodedProgram> decoded)
@@ -116,7 +155,15 @@ RunResult Simulator::run() { return call("main"); }
 
 RunResult Simulator::call(FuncId fn_id,
                           const std::vector<std::int64_t>& args) {
-  return decoded_ ? call_decoded(fn_id, args) : call_legacy(fn_id, args);
+  obs::ScopedTimerUs timer(h_execute_us());
+  const RunResult rr =
+      decoded_ ? call_decoded(fn_id, args) : call_legacy(fn_id, args);
+  c_invocations().add(1);
+  c_instructions().add(rr.instructions);
+  c_branch_mispredicts().add(rr.counters[BR_MSP]);
+  c_l1_misses().add(rr.counters[L1_TCM]);
+  c_l2_misses().add(rr.counters[L2_TCM]);
+  return rr;
 }
 
 RunResult Simulator::call_legacy(FuncId fn_id,

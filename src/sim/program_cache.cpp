@@ -1,8 +1,30 @@
 #include "sim/program_cache.hpp"
 
 #include "ir/fingerprint.hpp"
+#include "obs/metrics.hpp"
+#include "obs/timer.hpp"
 
 namespace ilc::sim {
+
+namespace {
+
+obs::Counter& c_pc_hits() {
+  static obs::Counter c =
+      obs::Registry::instance().counter("sim.program_cache.hits");
+  return c;
+}
+obs::Counter& c_pc_misses() {
+  static obs::Counter c =
+      obs::Registry::instance().counter("sim.program_cache.misses");
+  return c;
+}
+obs::Histogram& h_decode_us() {
+  static obs::Histogram h =
+      obs::Registry::instance().histogram("sim.decode_us");
+  return h;
+}
+
+}  // namespace
 
 ProgramCache& ProgramCache::instance() {
   static ProgramCache cache;
@@ -21,16 +43,22 @@ std::shared_ptr<const DecodedProgram> ProgramCache::get(
     auto it = map_.find(fingerprint);
     if (it != map_.end()) {
       ++hits_;
+      c_pc_hits().add(1);
       lru_.splice(lru_.begin(), lru_, it->second.lru_pos);
       return it->second.program;
     }
     ++misses_;
+    c_pc_misses().add(1);
   }
 
   // Decode outside the lock: concurrent misses on the same fingerprint
   // decode twice and the loser's copy is dropped — decoding is cheap and
   // this keeps slow decodes from serializing unrelated lookups.
-  auto decoded = decode_program(mod);
+  std::shared_ptr<const DecodedProgram> decoded;
+  {
+    obs::ScopedTimerUs timer(h_decode_us());
+    decoded = decode_program(mod);
+  }
 
   std::lock_guard<std::mutex> lock(mu_);
   auto it = map_.find(fingerprint);

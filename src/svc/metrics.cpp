@@ -1,66 +1,74 @@
 #include "svc/metrics.hpp"
 
-#include "support/stats.hpp"
+#include <algorithm>
 
 namespace ilc::svc {
 
-void MetricsCollector::on_request() {
-  std::lock_guard<std::mutex> lock(mu_);
-  ++m_.requests;
-}
+MetricsCollector::MetricsCollector()
+    : requests_(reg_.counter("svc.requests")),
+      warm_hits_(reg_.counter("svc.warm_hits")),
+      coalesced_(reg_.counter("svc.coalesced")),
+      searches_(reg_.counter("svc.searches")),
+      errors_(reg_.counter("svc.errors")),
+      simulations_(reg_.counter("svc.simulations")),
+      queued_(reg_.gauge("svc.queued")),
+      in_flight_(reg_.gauge("svc.in_flight")),
+      latency_us_(reg_.histogram("svc.latency_us")) {}
+
+void MetricsCollector::on_request() { requests_.add(1); }
 
 void MetricsCollector::on_warm_hit(std::uint64_t latency_us) {
-  std::lock_guard<std::mutex> lock(mu_);
-  ++m_.warm_hits;
-  latencies_us_.push_back(static_cast<double>(latency_us));
+  warm_hits_.add(1);
+  latency_us_.record(latency_us);
 }
 
-void MetricsCollector::on_coalesced() {
-  std::lock_guard<std::mutex> lock(mu_);
-  ++m_.coalesced;
-}
+void MetricsCollector::on_coalesced() { coalesced_.add(1); }
 
-void MetricsCollector::on_enqueued() {
-  std::lock_guard<std::mutex> lock(mu_);
-  ++m_.queued;
-}
+void MetricsCollector::on_enqueued() { queued_.add(1); }
 
 void MetricsCollector::on_search_started() {
-  std::lock_guard<std::mutex> lock(mu_);
-  --m_.queued;
-  ++m_.in_flight;
+  queued_.sub(1);
+  in_flight_.add(1);
 }
 
 void MetricsCollector::on_search_finished(std::uint64_t simulations,
                                           std::uint64_t latency_us) {
-  std::lock_guard<std::mutex> lock(mu_);
-  --m_.in_flight;
-  ++m_.searches;
-  m_.simulations += simulations;
-  latencies_us_.push_back(static_cast<double>(latency_us));
+  in_flight_.sub(1);
+  searches_.add(1);
+  simulations_.add(simulations);
+  latency_us_.record(latency_us);
 }
 
 void MetricsCollector::on_search_failed(std::uint64_t latency_us) {
-  std::lock_guard<std::mutex> lock(mu_);
-  --m_.in_flight;
-  ++m_.errors;
-  latencies_us_.push_back(static_cast<double>(latency_us));
+  in_flight_.sub(1);
+  errors_.add(1);
+  latency_us_.record(latency_us);
 }
 
 void MetricsCollector::on_error(std::uint64_t latency_us) {
-  std::lock_guard<std::mutex> lock(mu_);
-  ++m_.errors;
-  latencies_us_.push_back(static_cast<double>(latency_us));
+  errors_.add(1);
+  latency_us_.record(latency_us);
 }
 
 Metrics MetricsCollector::snapshot() const {
-  std::lock_guard<std::mutex> lock(mu_);
-  Metrics out = m_;
-  if (!latencies_us_.empty()) {
-    out.p50_latency_us = static_cast<std::uint64_t>(
-        support::percentile(latencies_us_, 50.0));
-    out.p95_latency_us = static_cast<std::uint64_t>(
-        support::percentile(latencies_us_, 95.0));
+  Metrics out;
+  out.requests = requests_.value();
+  out.warm_hits = warm_hits_.value();
+  out.coalesced = coalesced_.value();
+  out.searches = searches_.value();
+  out.errors = errors_.value();
+  out.simulations = simulations_.value();
+  // The gauges can only be transiently negative if a reader races the
+  // queued-- / in_flight++ pair; clamp so the snapshot stays unsigned.
+  out.queued = static_cast<std::uint64_t>(std::max<std::int64_t>(
+      0, queued_.value()));
+  out.in_flight = static_cast<std::uint64_t>(std::max<std::int64_t>(
+      0, in_flight_.value()));
+  const obs::RegistrySnapshot snap = reg_.snapshot();
+  if (const obs::HistogramSnapshot* h = snap.histogram("svc.latency_us");
+      h != nullptr && h->count > 0) {
+    out.p50_latency_us = static_cast<std::uint64_t>(h->percentile(50.0));
+    out.p95_latency_us = static_cast<std::uint64_t>(h->percentile(95.0));
   }
   return out;
 }

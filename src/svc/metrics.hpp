@@ -1,13 +1,15 @@
-// Live metrics of the tuning service: monotonic counters for request
-// outcomes, gauges for queue depth and in-flight work, and service-latency
-// percentiles. The collector is a single mutex-protected aggregate —
-// snapshots are internally consistent, and every access is lock-ordered so
-// the service stays clean under ThreadSanitizer.
+// Live metrics of the tuning service, backed by an obs::Registry the
+// collector owns: monotonic counters for request outcomes, gauges for
+// queue depth and in-flight work, and a latency histogram whose
+// bucket-interpolated p50/p95 feed the Metrics snapshot. Each service
+// instance gets its own registry, so per-service counts stay exact and
+// independent of the process-wide obs::Registry::instance(); the updates
+// themselves are lock-free relaxed atomics (see obs/metrics.hpp).
 #pragma once
 
 #include <cstdint>
-#include <mutex>
-#include <vector>
+
+#include "obs/metrics.hpp"
 
 namespace ilc::svc {
 
@@ -30,6 +32,8 @@ struct Metrics {
 
 class MetricsCollector {
  public:
+  MetricsCollector();
+
   void on_request();
   void on_warm_hit(std::uint64_t latency_us);
   void on_coalesced();
@@ -45,10 +49,22 @@ class MetricsCollector {
 
   Metrics snapshot() const;
 
+  /// The backing registry, for exporters (Prometheus / JSON) that want
+  /// the full per-service metric set rather than the Metrics digest.
+  obs::Registry& registry() { return reg_; }
+  const obs::Registry& registry() const { return reg_; }
+
  private:
-  mutable std::mutex mu_;
-  Metrics m_;
-  std::vector<double> latencies_us_;
+  obs::Registry reg_;
+  obs::Counter requests_;
+  obs::Counter warm_hits_;
+  obs::Counter coalesced_;
+  obs::Counter searches_;
+  obs::Counter errors_;
+  obs::Counter simulations_;
+  obs::Gauge queued_;
+  obs::Gauge in_flight_;
+  obs::Histogram latency_us_;
 };
 
 }  // namespace ilc::svc

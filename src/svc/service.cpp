@@ -5,6 +5,7 @@
 
 #include "ir/fingerprint.hpp"
 #include "ir/parser.hpp"
+#include "obs/trace.hpp"
 #include "support/assert.hpp"
 #include "support/rng.hpp"
 #include "workloads/workloads.hpp"
@@ -31,6 +32,9 @@ struct TuningService::Job {
   int priority = 0;
   std::uint64_t seq = 0;
   Clock::time_point submitted;
+  /// The request's root span (the submit() span): workers adopt it, so
+  /// scheduling, evaluation, and KB persistence share one trace ID.
+  obs::SpanContext trace;
   std::promise<TuningResponse> promise;
   std::shared_future<TuningResponse> future;
 };
@@ -70,6 +74,10 @@ std::shared_future<TuningResponse> TuningService::ready_response(
 
 std::shared_future<TuningResponse> TuningService::submit(TuningRequest req) {
   const Clock::time_point start = Clock::now();
+  // Every request roots its own trace (explicit invalid parent), so a
+  // server thread handling many requests never chains them together.
+  obs::Span span("svc.submit", obs::SpanContext{});
+  span.annotate("program", req.program);
   metrics_.on_request();
 
   auto module = std::make_shared<ir::Module>();
@@ -95,14 +103,17 @@ std::shared_future<TuningResponse> TuningService::submit(TuningRequest req) {
   std::shared_ptr<Job> job;
   {
     std::lock_guard<std::mutex> lock(mu_);
+    obs::Span lookup("svc.cache_lookup");
 
     auto it = inflight_.find(flight_key);
     if (it != inflight_.end()) {
+      lookup.annotate("outcome", "coalesced");
       metrics_.on_coalesced();
       return it->second->future;
     }
 
     if (auto hit = cache_.lookup(cache_key, req.machine.name)) {
+      lookup.annotate("outcome", "warm_hit");
       TuningResponse r;
       r.ok = true;
       r.program = req.program;
@@ -118,6 +129,7 @@ std::shared_future<TuningResponse> TuningService::submit(TuningRequest req) {
       metrics_.on_warm_hit(r.latency_us);
       return ready_response(std::move(r));
     }
+    lookup.annotate("outcome", "miss");
 
     job = std::make_shared<Job>();
     job->request = std::move(req);
@@ -132,6 +144,7 @@ std::shared_future<TuningResponse> TuningService::submit(TuningRequest req) {
     job->priority = job->request.priority;
     job->seq = next_seq_++;
     job->submitted = start;
+    job->trace = span.context();
     job->future = job->promise.get_future().share();
     inflight_.emplace(flight_key, job);
     queue_.push(job);
@@ -150,6 +163,9 @@ void TuningService::drain() { pool_.wait_idle(); }
 
 TuningResponse TuningService::execute(const Job& job) {
   const TuningRequest& req = job.request;
+  obs::Span span("svc.eval");
+  span.annotate("strategy", std::to_string(static_cast<int>(req.strategy)));
+  span.annotate("budget", std::to_string(req.budget));
 
   std::shared_ptr<search::Evaluator> eval;
   {
@@ -206,6 +222,7 @@ TuningResponse TuningService::execute(const Job& job) {
                             : 0.0;
   r.source = Source::Search;
   r.simulations = eval->simulations() - sims_before;
+  span.annotate("simulations", std::to_string(r.simulations));
   return r;
 }
 
@@ -217,6 +234,13 @@ void TuningService::run_one() {
     job = queue_.top();
     queue_.pop();
   }
+  // Continue the request's trace on this worker thread: the queue wait is
+  // recorded as a span over [submitted, now], and everything below —
+  // evaluation spans included — parents onto the submit span.
+  obs::TraceScope scope(job->trace);
+  obs::Tracer::record("svc.sched.wait", job->trace, job->submitted,
+                      Clock::now());
+  obs::Span run_span("svc.request.run");
   metrics_.on_search_started();
 
   TuningResponse resp;
@@ -235,6 +259,7 @@ void TuningService::run_one() {
   {
     // Publish to the cache and retire the flight atomically: a concurrent
     // submit must observe either "in flight" or "cached", never neither.
+    obs::Span persist("svc.kb_persist");
     std::lock_guard<std::mutex> lock(mu_);
     if (!failed) {
       CachedResult cached;

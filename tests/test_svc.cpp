@@ -11,6 +11,7 @@
 
 #include "ir/fingerprint.hpp"
 #include "ir/printer.hpp"
+#include "obs/trace.hpp"
 #include "support/assert.hpp"
 #include "svc/cache.hpp"
 #include "svc/protocol.hpp"
@@ -363,6 +364,81 @@ TEST(SvcProtocol, SkipsBlanksAndCommentsParsesControlLines) {
   EXPECT_EQ(mod.kind, svc::Command::Kind::Module);
   EXPECT_EQ(mod.module_name, "m");
   EXPECT_EQ(mod.module_lines, 3u);
+}
+
+// A tuning request is traceable end-to-end: scheduling, cache lookup,
+// evaluation, and KB persistence all carry the submit span's trace ID,
+// across the client/worker thread boundary, and the buffers drain as
+// Chrome trace_event JSON.
+TEST(SvcTrace, RequestSpansShareOneTraceId) {
+  const char* path = "svc_test_trace.kb";
+  fs::remove_all(path);
+  obs::Tracer::set_enabled(true);
+  obs::Tracer::clear();
+  {
+    svc::TuningService service({.workers = 2, .kb_path = path});
+    const svc::TuningResponse r = service.tune(request("fir", 6));
+    ASSERT_TRUE(r.ok) << r.error;
+  }
+
+  const std::vector<obs::SpanRecord> recs = obs::Tracer::records();
+  auto find = [&](const std::string& name) -> const obs::SpanRecord* {
+    for (const auto& rec : recs)
+      if (rec.name == name) return &rec;
+    return nullptr;
+  };
+  const obs::SpanRecord* submit = find("svc.submit");
+  const obs::SpanRecord* lookup = find("svc.cache_lookup");
+  const obs::SpanRecord* wait = find("svc.sched.wait");
+  const obs::SpanRecord* eval = find("svc.eval");
+  const obs::SpanRecord* persist = find("svc.kb_persist");
+  ASSERT_NE(submit, nullptr);
+  ASSERT_NE(lookup, nullptr);
+  ASSERT_NE(wait, nullptr);
+  ASSERT_NE(eval, nullptr);
+  ASSERT_NE(persist, nullptr);
+
+  EXPECT_NE(submit->trace_id, 0u);
+  EXPECT_EQ(submit->parent_id, 0u);  // the request's root span
+  for (const obs::SpanRecord* rec : {lookup, wait, eval, persist})
+    EXPECT_EQ(rec->trace_id, submit->trace_id) << rec->name;
+  EXPECT_EQ(wait->parent_id, submit->span_id);
+  // Evaluation and persistence happened on a worker thread, inside the
+  // adopted trace, not on the submitting thread.
+  EXPECT_NE(eval->tid, submit->tid);
+  // The search's own spans join the same trace through the worker scope.
+  const obs::SpanRecord* sim = find("search.simulate");
+  ASSERT_NE(sim, nullptr);
+  EXPECT_EQ(sim->trace_id, submit->trace_id);
+
+  const std::string json = obs::Tracer::drain_chrome_trace();
+  EXPECT_EQ(json.find("{\"traceEvents\":["), 0u);
+  EXPECT_NE(json.find("\"name\":\"svc.submit\""), std::string::npos);
+  EXPECT_NE(json.find("\"ph\":\"X\""), std::string::npos);
+
+  obs::Tracer::set_enabled(false);
+  obs::Tracer::clear();
+  fs::remove_all(path);
+}
+
+// The `metrics` protocol verb is a stability surface: moving the collector
+// onto the obs registry must not change a byte of its output.
+TEST(SvcProtocol, FormatMetricsIsByteCompatible) {
+  svc::Metrics m;
+  m.requests = 12;
+  m.warm_hits = 3;
+  m.coalesced = 2;
+  m.searches = 6;
+  m.errors = 1;
+  m.queued = 4;
+  m.in_flight = 2;
+  m.simulations = 180;
+  m.p50_latency_us = 1500;
+  m.p95_latency_us = 9000;
+  EXPECT_EQ(svc::format_metrics(m),
+            "metrics requests=12 warm_hits=3 coalesced=2 searches=6 "
+            "errors=1 queued=4 in_flight=2 simulations=180 "
+            "p50_latency_us=1500 p95_latency_us=9000");
 }
 
 TEST(SvcProtocol, FormatsResponsesAndMetrics) {
