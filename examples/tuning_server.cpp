@@ -21,6 +21,7 @@
 #include <vector>
 
 #include "obs/trace.hpp"
+#include "support/failpoint.hpp"
 #include "svc/protocol.hpp"
 #include "svc/service.hpp"
 
@@ -41,8 +42,12 @@ void flush_pending(std::vector<PendingTune>& pending) {
 
 int usage(const char* argv0) {
   std::fprintf(stderr,
-               "usage: %s [--workers N] [--kb path] [--script file|-] "
-               "[--trace out.json]\n",
+               "usage: %s [--workers N] [--queue-depth N] [--kb path] "
+               "[--script file|-] [--trace out.json] [--failpoints spec]\n"
+               "  --queue-depth N   bounded admission: max queued jobs "
+               "(0 = unbounded; overload sheds/rejects)\n"
+               "  --failpoints spec fault injection, e.g. "
+               "\"svc.persist=error*3\" (also via ILC_FAILPOINTS)\n",
                argv0);
   return 2;
 }
@@ -73,6 +78,13 @@ int main(int argc, char** argv) {
   for (int i = 1; i < argc; ++i) {
     if (!std::strcmp(argv[i], "--workers") && i + 1 < argc) {
       opts.workers = static_cast<std::size_t>(std::atoi(argv[++i]));
+    } else if (!std::strcmp(argv[i], "--queue-depth") && i + 1 < argc) {
+      opts.max_queue = static_cast<std::size_t>(std::atoi(argv[++i]));
+    } else if (!std::strcmp(argv[i], "--failpoints") && i + 1 < argc) {
+      if (!ilc::support::Failpoints::instance().configure(argv[++i])) {
+        std::fprintf(stderr, "bad --failpoints spec\n");
+        return usage(argv[0]);
+      }
     } else if (!std::strcmp(argv[i], "--kb") && i + 1 < argc) {
       opts.kb_path = argv[++i];
     } else if (!std::strcmp(argv[i], "--script") && i + 1 < argc) {
@@ -94,6 +106,8 @@ int main(int argc, char** argv) {
     }
   }
   std::istream& in = script == "-" ? std::cin : file;
+
+  support::Failpoints::instance().configure_from_env();
 
   std::optional<svc::TuningService> service;
   try {

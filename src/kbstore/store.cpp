@@ -8,6 +8,7 @@
 #include "kbstore/log_format.hpp"
 #include "obs/metrics.hpp"
 #include "obs/timer.hpp"
+#include "support/failpoint.hpp"
 #include "support/hash.hpp"
 
 #ifdef __unix__
@@ -247,6 +248,11 @@ bool Store::apply(LogRecord&& lr) {
 
 bool Store::log_and_apply(LogRecord lr) {
   obs::ScopedTimerUs timer(h_append_us());
+  // Fault injection: "kbstore.wal_append" simulates an append that cannot
+  // reach the log (disk full, I/O error). The error kind throws here too —
+  // append()/upsert() report failure by exception.
+  if (support::failpoint("kbstore.wal_append"))
+    throw support::FailpointError("injected kbstore.wal_append failure");
   std::string payload = encode_record(lr);
   std::lock_guard<std::mutex> lock(wal_mu_);
   append_frame(pending_, payload);
@@ -337,6 +343,10 @@ StoreStats Store::stats() const {
 bool Store::flush_locked() {
   if (pending_.empty()) return true;
   if (!wal_) return false;
+  // Fault injection: "kbstore.wal_flush" (error kind) fails the flush the
+  // way a full disk would — pending bytes stay buffered, sync() returns
+  // false, and a later flush after the fault clears still commits them.
+  if (support::failpoint("kbstore.wal_flush")) return false;
   obs::ScopedTimerUs timer(h_flush_us());
   if (std::fwrite(pending_.data(), 1, pending_.size(), wal_) !=
           pending_.size() ||

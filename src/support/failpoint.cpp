@@ -1,0 +1,175 @@
+#include "support/failpoint.hpp"
+
+#include <chrono>
+#include <cstdlib>
+#include <thread>
+#include <vector>
+
+namespace ilc::support {
+
+namespace {
+
+std::vector<std::string> split_clauses(const std::string& spec) {
+  std::vector<std::string> out;
+  std::size_t start = 0;
+  while (start <= spec.size()) {
+    const std::size_t sep = spec.find(';', start);
+    const std::size_t end = sep == std::string::npos ? spec.size() : sep;
+    if (end > start) out.push_back(spec.substr(start, end - start));
+    if (sep == std::string::npos) break;
+    start = sep + 1;
+  }
+  return out;
+}
+
+bool parse_clause(const std::string& clause, std::string& name,
+                  FailpointAction& action) {
+  const std::size_t eq = clause.find('=');
+  if (eq == std::string::npos || eq == 0) return false;
+  name = clause.substr(0, eq);
+  std::string rest = clause.substr(eq + 1);
+
+  const std::size_t star = rest.rfind('*');
+  if (star != std::string::npos) {
+    const std::string n = rest.substr(star + 1);
+    if (n.empty()) return false;
+    char* end = nullptr;
+    const long parsed = std::strtol(n.c_str(), &end, 10);
+    if (*end != '\0' || parsed <= 0) return false;
+    action.count = static_cast<int>(parsed);
+    rest = rest.substr(0, star);
+  }
+
+  std::string kind = rest, arg;
+  if (const std::size_t colon = rest.find(':'); colon != std::string::npos) {
+    kind = rest.substr(0, colon);
+    arg = rest.substr(colon + 1);
+  }
+
+  if (kind == "off") {
+    action.kind = FailpointAction::Kind::Off;
+  } else if (kind == "throw") {
+    action.kind = FailpointAction::Kind::Throw;
+    action.message = arg.empty() ? "failpoint " + name : arg;
+  } else if (kind == "error") {
+    action.kind = FailpointAction::Kind::Error;
+  } else if (kind == "delay") {
+    action.kind = FailpointAction::Kind::Delay;
+    char* end = nullptr;
+    const long ms = std::strtol(arg.c_str(), &end, 10);
+    if (arg.empty() || *end != '\0' || ms < 0) return false;
+    action.delay_ms = static_cast<std::uint64_t>(ms);
+  } else if (kind == "block") {
+    action.kind = FailpointAction::Kind::Block;
+  } else {
+    return false;
+  }
+  return true;
+}
+
+}  // namespace
+
+Failpoints& Failpoints::instance() {
+  static Failpoints fp;
+  return fp;
+}
+
+void Failpoints::set(const std::string& name, FailpointAction action) {
+  std::lock_guard<std::mutex> lock(mu_);
+  const auto it = actions_.find(name);
+  const bool was_armed =
+      it != actions_.end() && it->second.kind != FailpointAction::Kind::Off;
+  const bool now_armed = action.kind != FailpointAction::Kind::Off;
+  if (now_armed) {
+    actions_[name] = std::move(action);
+  } else if (it != actions_.end()) {
+    actions_.erase(it);
+  }
+  armed_.fetch_add((now_armed ? 1 : 0) - (was_armed ? 1 : 0),
+                   std::memory_order_relaxed);
+  cv_.notify_all();  // release any thread parked on this name
+}
+
+void Failpoints::unset_all() {
+  std::lock_guard<std::mutex> lock(mu_);
+  armed_.fetch_sub(static_cast<int>(actions_.size()),
+                   std::memory_order_relaxed);
+  actions_.clear();
+  cv_.notify_all();
+}
+
+bool Failpoints::configure(const std::string& spec) {
+  for (const std::string& clause : split_clauses(spec)) {
+    std::string name;
+    FailpointAction action;
+    if (!parse_clause(clause, name, action)) return false;
+    set(name, std::move(action));
+  }
+  return true;
+}
+
+std::size_t Failpoints::configure_from_env(const char* var) {
+  const char* v = std::getenv(var);
+  if (v == nullptr || *v == '\0') return 0;
+  const std::vector<std::string> clauses = split_clauses(v);
+  return configure(v) ? clauses.size() : 0;
+}
+
+std::uint64_t Failpoints::hits(const std::string& name) const {
+  std::lock_guard<std::mutex> lock(mu_);
+  const auto it = hits_.find(name);
+  return it == hits_.end() ? 0 : it->second;
+}
+
+bool Failpoints::evaluate(const char* name) {
+  std::unique_lock<std::mutex> lock(mu_);
+  const auto it = actions_.find(name);
+  if (it == actions_.end()) return false;
+  FailpointAction& action = it->second;
+  ++hits_[name];
+
+  // Self-disarm when the fire budget runs out (block ignores counts: it
+  // stays armed until explicitly released).
+  if (action.kind != FailpointAction::Kind::Block && action.count > 0 &&
+      --action.count == 0) {
+    const FailpointAction fired = action;
+    actions_.erase(it);
+    armed_.fetch_sub(1, std::memory_order_relaxed);
+    lock.unlock();
+    if (fired.kind == FailpointAction::Kind::Throw)
+      throw FailpointError(fired.message);
+    if (fired.kind == FailpointAction::Kind::Delay)
+      std::this_thread::sleep_for(std::chrono::milliseconds(fired.delay_ms));
+    return fired.kind == FailpointAction::Kind::Error;
+  }
+
+  switch (action.kind) {
+    case FailpointAction::Kind::Off:
+      return false;
+    case FailpointAction::Kind::Error:
+      return true;
+    case FailpointAction::Kind::Throw: {
+      const std::string msg = action.message;
+      lock.unlock();
+      throw FailpointError(msg);
+    }
+    case FailpointAction::Kind::Delay: {
+      const std::uint64_t ms = action.delay_ms;
+      lock.unlock();
+      std::this_thread::sleep_for(std::chrono::milliseconds(ms));
+      return false;
+    }
+    case FailpointAction::Kind::Block: {
+      const std::string key(name);
+      cv_.wait(lock, [&] {
+        const auto a = actions_.find(key);
+        return a == actions_.end() ||
+               a->second.kind != FailpointAction::Kind::Block;
+      });
+      return false;
+    }
+  }
+  return false;
+}
+
+}  // namespace ilc::support

@@ -1,0 +1,100 @@
+// support::failpoint — a process-wide registry of named fault-injection
+// points, so the request-lifecycle guarantees of the serving stack
+// ("every future resolves, in bounded time, on every path") are testable
+// rather than aspirational. A failpoint site is one line:
+//
+//   if (support::failpoint("svc.persist"))
+//     throw std::runtime_error("injected persist failure");
+//
+// and costs a single relaxed atomic load when nothing is armed, so sites
+// stay compiled into release builds (benches inject faults too).
+//
+// Arming, from code or the environment (ILC_FAILPOINTS):
+//
+//   Failpoints::instance().configure("svc.persist=throw");
+//   ILC_FAILPOINTS="kbstore.wal_flush=error*2;svc.eval=delay:50" ./bench
+//
+// Spec grammar: `name=kind[:arg][*count]`, `;`-separated.
+//   throw[:msg]   evaluate() throws FailpointError(msg)
+//   error         evaluate() returns true — the site takes its own
+//                 error-return path (whatever that means locally)
+//   delay:ms      evaluate() sleeps `ms` milliseconds, then returns false
+//   block         evaluate() parks the calling thread until the failpoint
+//                 is unset or re-armed differently (deterministic tests:
+//                 hold a worker mid-request, observe queue behavior, then
+//                 release). `hits()` counts arrivals before parking.
+//   off           disarm
+//   *count        fire at most `count` times, then self-disarm
+//                 (ignored by `block`)
+#pragma once
+
+#include <atomic>
+#include <condition_variable>
+#include <cstdint>
+#include <mutex>
+#include <stdexcept>
+#include <string>
+#include <unordered_map>
+
+namespace ilc::support {
+
+/// Thrown by an armed `throw` failpoint.
+struct FailpointError : std::runtime_error {
+  using std::runtime_error::runtime_error;
+};
+
+struct FailpointAction {
+  enum class Kind { Off, Throw, Error, Delay, Block };
+  Kind kind = Kind::Off;
+  std::string message;        // Throw: exception text
+  std::uint64_t delay_ms = 0; // Delay: sleep duration
+  /// Fire at most this many times, then self-disarm; -1 = unlimited.
+  int count = -1;
+};
+
+class Failpoints {
+ public:
+  static Failpoints& instance();
+
+  /// Arm `name` with `action` (Kind::Off disarms).
+  void set(const std::string& name, FailpointAction action);
+  void unset(const std::string& name) { set(name, FailpointAction{}); }
+  void unset_all();
+
+  /// Parse and apply one `name=kind[:arg][*count]` spec (or several,
+  /// `;`-separated). Returns false on a malformed spec (nothing applied
+  /// from the bad clause; earlier clauses stay applied).
+  bool configure(const std::string& spec);
+  /// Apply the spec in environment variable `var` when set. Returns the
+  /// number of clauses applied.
+  std::size_t configure_from_env(const char* var = "ILC_FAILPOINTS");
+
+  /// Times `name` was evaluated while armed (any kind, block included).
+  std::uint64_t hits(const std::string& name) const;
+
+  /// True when any failpoint is armed (one relaxed load; the fast path).
+  bool armed() const { return armed_.load(std::memory_order_relaxed) > 0; }
+
+  /// The slow path behind support::failpoint(): apply `name`'s action.
+  bool evaluate(const char* name);
+
+ private:
+  Failpoints() = default;
+
+  mutable std::mutex mu_;
+  std::condition_variable cv_;  // wakes Block-parked threads on set/unset
+  std::unordered_map<std::string, FailpointAction> actions_;
+  std::unordered_map<std::string, std::uint64_t> hits_;
+  std::atomic<int> armed_{0};  // number of armed names
+};
+
+/// The site hook. Returns true when the site should take its local
+/// error-return path; may throw (`throw`), sleep (`delay`), or park
+/// (`block`) instead. Near-zero cost while nothing is armed.
+inline bool failpoint(const char* name) {
+  Failpoints& fp = Failpoints::instance();
+  if (!fp.armed()) return false;
+  return fp.evaluate(name);
+}
+
+}  // namespace ilc::support

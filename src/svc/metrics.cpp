@@ -10,6 +10,10 @@ MetricsCollector::MetricsCollector()
       coalesced_(reg_.counter("svc.coalesced")),
       searches_(reg_.counter("svc.searches")),
       errors_(reg_.counter("svc.errors")),
+      rejected_(reg_.counter("svc.rejected")),
+      timed_out_(reg_.counter("svc.timed_out")),
+      shed_(reg_.counter("svc.shed")),
+      persist_errors_(reg_.counter("svc.persist_errors")),
       simulations_(reg_.counter("svc.simulations")),
       queued_(reg_.gauge("svc.queued")),
       in_flight_(reg_.gauge("svc.in_flight")),
@@ -50,6 +54,24 @@ void MetricsCollector::on_error(std::uint64_t latency_us) {
   latency_us_.record(latency_us);
 }
 
+void MetricsCollector::on_rejected(std::uint64_t latency_us) {
+  rejected_.add(1);
+  latency_us_.record(latency_us);
+}
+
+void MetricsCollector::on_timed_out(std::uint64_t latency_us) {
+  queued_.sub(1);
+  timed_out_.add(1);
+  latency_us_.record(latency_us);
+}
+
+void MetricsCollector::on_shed(std::uint64_t latency_us) {
+  shed_.add(1);
+  latency_us_.record(latency_us);
+}
+
+void MetricsCollector::on_persist_error() { persist_errors_.add(1); }
+
 Metrics MetricsCollector::snapshot() const {
   Metrics out;
   out.requests = requests_.value();
@@ -57,6 +79,10 @@ Metrics MetricsCollector::snapshot() const {
   out.coalesced = coalesced_.value();
   out.searches = searches_.value();
   out.errors = errors_.value();
+  out.rejected = rejected_.value();
+  out.timed_out = timed_out_.value();
+  out.shed = shed_.value();
+  out.persist_errors = persist_errors_.value();
   out.simulations = simulations_.value();
   // The gauges can only be transiently negative if a reader races the
   // queued-- / in_flight++ pair; clamp so the snapshot stays unsigned.

@@ -20,6 +20,10 @@ struct Metrics {
   std::uint64_t coalesced = 0;   // joined an in-flight duplicate
   std::uint64_t searches = 0;    // searches actually run
   std::uint64_t errors = 0;      // malformed requests / failed searches
+  std::uint64_t rejected = 0;       // load shed with nothing to serve
+  std::uint64_t timed_out = 0;      // deadline expired in the queue
+  std::uint64_t shed = 0;           // overload served from stale results
+  std::uint64_t persist_errors = 0; // KB publish failed (subset of errors)
 
   std::uint64_t queued = 0;      // gauge: waiting for a worker
   std::uint64_t in_flight = 0;   // gauge: search running right now
@@ -46,6 +50,16 @@ class MetricsCollector {
   void on_search_failed(std::uint64_t latency_us);
   /// Request rejected before it was ever enqueued.
   void on_error(std::uint64_t latency_us);
+  /// Admission refused under overload, nothing cached: rejected++.
+  void on_rejected(std::uint64_t latency_us);
+  /// Queued job's deadline expired before a worker took it: queued--,
+  /// timed_out++.
+  void on_timed_out(std::uint64_t latency_us);
+  /// Overload answered from the stale in-memory result map: shed++.
+  void on_shed(std::uint64_t latency_us);
+  /// KB publish of a finished search failed: persist_errors++ (the
+  /// request itself is accounted via on_search_failed).
+  void on_persist_error();
 
   Metrics snapshot() const;
 
@@ -61,6 +75,10 @@ class MetricsCollector {
   obs::Counter coalesced_;
   obs::Counter searches_;
   obs::Counter errors_;
+  obs::Counter rejected_;
+  obs::Counter timed_out_;
+  obs::Counter shed_;
+  obs::Counter persist_errors_;
   obs::Counter simulations_;
   obs::Gauge queued_;
   obs::Gauge in_flight_;

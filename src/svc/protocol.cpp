@@ -22,6 +22,9 @@ const char* source_name(Source s) {
     case Source::WarmCache: return "warm";
     case Source::Search: return "search";
     case Source::Coalesced: return "coalesced";
+    case Source::TimedOut: return "timeout";
+    case Source::Rejected: return "rejected";
+    case Source::StaleCache: return "stale";
   }
   return "?";
 }
@@ -47,9 +50,22 @@ bool parse_int_field(const std::string& s, int& out) {
   return ec == std::errc() && ptr == last && !s.empty();
 }
 
+/// True when `s` holds an embedded control character (anything below
+/// 0x20, or DEL). The line protocol is text: control bytes smuggled into
+/// option values would corrupt response lines and KB exports.
+bool has_control_chars(const std::string& s) {
+  for (const char c : s) {
+    const unsigned char u = static_cast<unsigned char>(c);
+    if (u < 0x20 || u == 0x7f) return true;
+  }
+  return false;
+}
+
 /// Apply one key=value option to a request; empty return = accepted.
 std::string apply_option(TuningRequest& req, const std::string& key,
                          const std::string& value) {
+  if (has_control_chars(value))
+    return "control character in value of '" + key + "'";
   if (key == "machine") {
     if (value == "amd") req.machine = sim::amd_like();
     else if (value == "c6713") req.machine = sim::c6713_like();
@@ -72,6 +88,9 @@ std::string apply_option(TuningRequest& req, const std::string& key,
       return "bad priority '" + value + "'";
   } else if (key == "seed") {
     if (!parse_u64_field(value, req.seed)) return "bad seed '" + value + "'";
+  } else if (key == "timeout_ms") {
+    if (!parse_u64_field(value, req.timeout_ms))
+      return "bad timeout_ms '" + value + "'";
   } else {
     return "unknown option '" + key + "'";
   }
@@ -127,15 +146,50 @@ Command parse_command(const std::string& line) {
   return invalid("unknown command '" + words[0] + "'");
 }
 
+namespace {
+
+/// Escape a string for emission inside the protocol's double quotes:
+/// backslashes and quotes get a backslash, control characters become
+/// spaces (response lines must stay single lines).
+std::string escape_quoted(const std::string& s) {
+  std::string out;
+  out.reserve(s.size());
+  for (const char c : s) {
+    const unsigned char u = static_cast<unsigned char>(c);
+    if (c == '"' || c == '\\') {
+      out += '\\';
+      out += c;
+    } else if (u < 0x20 || u == 0x7f) {
+      out += ' ';
+    } else {
+      out += c;
+    }
+  }
+  return out;
+}
+
+/// Error text travels unquoted: just keep it on one line.
+std::string sanitize_line(const std::string& s) {
+  std::string out = s;
+  for (char& c : out) {
+    const unsigned char u = static_cast<unsigned char>(c);
+    if (u < 0x20 || u == 0x7f) c = ' ';
+  }
+  return out;
+}
+
+}  // namespace
+
 std::string format_response(const TuningResponse& r) {
   std::ostringstream os;
   if (!r.ok) {
-    os << "err " << (r.error.empty() ? "request failed" : r.error);
+    os << "err "
+       << (r.error.empty() ? "request failed" : sanitize_line(r.error));
     return os.str();
   }
   os << "ok program=" << r.program << " source=" << source_name(r.source)
-     << " config=\"" << r.config << "\" base=" << r.baseline_metric
-     << " best=" << r.best_metric;
+     << " config=\"" << escape_quoted(r.config)
+     << "\" base=" << r.baseline_metric << " best=" << r.best_metric;
   os.precision(3);
   os << " speedup=" << std::fixed << r.speedup << " sims=" << r.simulations
      << " latency_us=" << r.latency_us;
@@ -146,7 +200,9 @@ std::string format_metrics(const Metrics& m) {
   std::ostringstream os;
   os << "metrics requests=" << m.requests << " warm_hits=" << m.warm_hits
      << " coalesced=" << m.coalesced << " searches=" << m.searches
-     << " errors=" << m.errors << " queued=" << m.queued
+     << " errors=" << m.errors << " rejected=" << m.rejected
+     << " timed_out=" << m.timed_out << " shed=" << m.shed
+     << " persist_errors=" << m.persist_errors << " queued=" << m.queued
      << " in_flight=" << m.in_flight << " simulations=" << m.simulations
      << " p50_latency_us=" << m.p50_latency_us
      << " p95_latency_us=" << m.p95_latency_us;

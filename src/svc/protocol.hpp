@@ -5,6 +5,7 @@
 // Request lines (`#` starts a comment; blank lines are ignored):
 //   tune <program> [machine=amd|c6713] [budget=N] [objective=cycles|size]
 //                  [strategy=random|greedy|genetic] [priority=N] [seed=N]
+//                  [timeout_ms=N]
 //   module <name> <n-lines>   — the next n-lines of input are inline IR
 //                               text registered under <name>; a later
 //                               "tune <name>" submits it
@@ -13,10 +14,15 @@
 //   quit
 //
 // Response lines:
-//   ok program=<p> source=<warm|search|coalesced> config="<seq>"
+//   ok program=<p> source=<warm|search|coalesced|stale> config="<seq>"
 //      base=<n> best=<n> speedup=<x> sims=<n> latency_us=<n>
-//   err <message>
-//   metrics requests=<n> warm_hits=<n> coalesced=<n> searches=<n> ...
+//   err <message>          (also: timeout / rejection / persist failures)
+//   metrics requests=<n> warm_hits=<n> coalesced=<n> searches=<n>
+//      errors=<n> rejected=<n> timed_out=<n> shed=<n> persist_errors=<n> ...
+//
+// Values inside config="..." escape embedded quotes and backslashes with
+// a backslash; option values with embedded control characters are
+// rejected at parse time.
 #pragma once
 
 #include <string>

@@ -35,16 +35,24 @@ struct TuningRequest {
   int priority = 0;
   /// Search RNG seed — responses are deterministic in (request, KB state).
   std::uint64_t seed = 2008;
+  /// Deadline for the whole request, measured from submit(). 0 = none.
+  /// A job whose deadline passes while it waits in the queue resolves as
+  /// Source::TimedOut without running a search.
+  std::uint64_t timeout_ms = 0;
 
   TuningRequest() : machine(sim::amd_like()) {}
 };
 
 /// How a response was produced.
 enum class Source {
-  Error,      // request malformed or search failed
+  Error,      // request malformed, search failed, or result not persisted
   WarmCache,  // answered from the knowledge base, zero simulations
   Search,     // this request ran the search
   Coalesced,  // joined an identical in-flight request's search
+  TimedOut,   // deadline expired before a worker could run the search
+  Rejected,   // load shed: admission queue full, nothing cached to serve
+  StaleCache, // overload fallback: last known in-memory result, possibly
+              // not durable (e.g. computed but its KB persist failed)
 };
 
 const char* source_name(Source s);

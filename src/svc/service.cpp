@@ -7,6 +7,7 @@
 #include "ir/parser.hpp"
 #include "obs/trace.hpp"
 #include "support/assert.hpp"
+#include "support/failpoint.hpp"
 #include "support/rng.hpp"
 #include "workloads/workloads.hpp"
 
@@ -32,6 +33,9 @@ struct TuningService::Job {
   int priority = 0;
   std::uint64_t seq = 0;
   Clock::time_point submitted;
+  /// Deadline derived from TuningRequest::timeout_ms at submit time.
+  bool has_deadline = false;
+  Clock::time_point deadline;
   /// The request's root span (the submit() span): workers adopt it, so
   /// scheduling, evaluation, and KB persistence share one trace ID.
   obs::SpanContext trace;
@@ -44,6 +48,62 @@ bool TuningService::JobOrder::operator()(
   if (a->priority != b->priority) return a->priority < b->priority;
   return a->seq > b->seq;  // earlier submissions first among equals
 }
+
+/// RAII owner of a dequeued job's retirement: resolve() (or, on any path
+/// that skips it — an exception thrown past every catch, a logic error)
+/// the destructor erases the in-flight entry and sets the promise, so a
+/// client future can never be left dangling and a later identical submit
+/// can never coalesce onto a dead flight.
+class TuningService::Completion {
+ public:
+  Completion(TuningService& svc, std::shared_ptr<Job> job)
+      : svc_(svc), job_(std::move(job)) {}
+
+  Completion(const Completion&) = delete;
+  Completion& operator=(const Completion&) = delete;
+
+  /// The search phase started: the abandonment fallback must balance the
+  /// in_flight gauge rather than the queued gauge.
+  void set_started() { started_ = true; }
+
+  void resolve(TuningResponse resp) {
+    if (done_) return;
+    done_ = true;
+    {
+      std::lock_guard<std::mutex> lock(svc_.mu_);
+      svc_.inflight_.erase(job_->flight_key);
+    }
+    // Outside the lock: waiters run continuations inline on .get().
+    job_->promise.set_value(std::move(resp));
+  }
+
+  ~Completion() {
+    if (done_) return;
+    TuningResponse r;
+    r.ok = false;
+    r.program = job_->request.program;
+    r.error = "internal error: request abandoned by worker";
+    r.source = Source::Error;
+    r.latency_us = elapsed_us(job_->submitted);
+    if (started_) {
+      svc_.metrics_.on_search_failed(r.latency_us);
+    } else {
+      svc_.metrics_.on_timed_out(r.latency_us);  // balances queued--
+    }
+    try {
+      resolve(std::move(r));
+    } catch (...) {
+      // A promise that cannot be satisfied (impossible: resolve() runs at
+      // most once) must not escape a destructor.
+    }
+  }
+
+ private:
+  TuningService& svc_;
+  std::shared_ptr<Job> job_;
+  bool started_ = false;
+  bool done_ = false;
+};
 
 TuningService::TuningService(Options opts)
     : opts_(std::move(opts)), pool_(opts_.workers) {
@@ -129,6 +189,38 @@ std::shared_future<TuningResponse> TuningService::submit(TuningRequest req) {
       metrics_.on_warm_hit(r.latency_us);
       return ready_response(std::move(r));
     }
+    // Bounded admission: a full queue sheds load instead of growing an
+    // unbounded backlog of futures. Degrade gracefully when we can — the
+    // stale map remembers the last computed result per flight (even one
+    // whose KB persist failed), which beats an outright rejection.
+    if (opts_.max_queue != 0 && queue_.size() >= opts_.max_queue) {
+      TuningResponse r;
+      r.program = req.program;
+      if (const auto st = stale_.find(flight_key); st != stale_.end()) {
+        lookup.annotate("outcome", "stale");
+        const CachedResult& c = st->second.result;
+        r.ok = true;
+        r.config = c.config;
+        r.baseline_metric = c.baseline_metric;
+        r.best_metric = c.best_metric;
+        r.speedup = c.best_metric
+                        ? static_cast<double>(c.baseline_metric) /
+                              static_cast<double>(c.best_metric)
+                        : 0.0;
+        r.source = Source::StaleCache;
+        r.latency_us = elapsed_us(start);
+        metrics_.on_shed(r.latency_us);
+      } else {
+        lookup.annotate("outcome", "rejected");
+        r.ok = false;
+        r.error = "overloaded: admission queue full (max_queue=" +
+                  std::to_string(opts_.max_queue) + ")";
+        r.source = Source::Rejected;
+        r.latency_us = elapsed_us(start);
+        metrics_.on_rejected(r.latency_us);
+      }
+      return ready_response(std::move(r));
+    }
     lookup.annotate("outcome", "miss");
 
     job = std::make_shared<Job>();
@@ -144,6 +236,11 @@ std::shared_future<TuningResponse> TuningService::submit(TuningRequest req) {
     job->priority = job->request.priority;
     job->seq = next_seq_++;
     job->submitted = start;
+    if (job->request.timeout_ms > 0) {
+      job->has_deadline = true;
+      job->deadline =
+          start + std::chrono::milliseconds(job->request.timeout_ms);
+    }
     job->trace = span.context();
     job->future = job->promise.get_future().share();
     inflight_.emplace(flight_key, job);
@@ -167,14 +264,16 @@ TuningResponse TuningService::execute(const Job& job) {
   span.annotate("strategy", std::to_string(static_cast<int>(req.strategy)));
   span.annotate("budget", std::to_string(req.budget));
 
-  std::shared_ptr<search::Evaluator> eval;
-  {
-    std::lock_guard<std::mutex> lock(mu_);
-    auto& slot = evaluators_[job.eval_key];
-    if (!slot)
-      slot = std::make_shared<search::Evaluator>(*job.module, req.machine);
-    eval = slot;
-  }
+  // Test hooks: `svc.eval` can delay, park, or fail a search here —
+  // deterministic worker-occupancy and failure-path tests hang off it.
+  // `svc.eval_nonstd` throws a non-std exception, exercising the
+  // catch (...) path that keeps such a throw from terminating the worker.
+  if (support::failpoint("svc.eval"))
+    throw support::FailpointError("injected svc.eval failure");
+  struct InjectedNonStdError {};
+  if (support::failpoint("svc.eval_nonstd")) throw InjectedNonStdError{};
+
+  const std::shared_ptr<search::Evaluator> eval = evaluator_for(job);
 
   // Simulations attributed to this request. When two non-duplicate jobs
   // share an evaluator the split is approximate, but the metrics total is
@@ -226,6 +325,50 @@ TuningResponse TuningService::execute(const Job& job) {
   return r;
 }
 
+std::shared_ptr<search::Evaluator> TuningService::evaluator_for(
+    const Job& job) {
+  std::lock_guard<std::mutex> lock(mu_);
+  if (const auto it = evaluators_.find(job.eval_key);
+      it != evaluators_.end()) {
+    eval_lru_.splice(eval_lru_.begin(), eval_lru_, it->second.lru_it);
+    return it->second.eval;
+  }
+  auto eval =
+      std::make_shared<search::Evaluator>(*job.module, job.request.machine);
+  eval_lru_.push_front(job.eval_key);
+  evaluators_.emplace(job.eval_key, EvalSlot{eval, eval_lru_.begin()});
+  if (opts_.evaluator_cache != 0 &&
+      evaluators_.size() > opts_.evaluator_cache) {
+    evaluators_.erase(eval_lru_.back());
+    eval_lru_.pop_back();
+  }
+  return eval;
+}
+
+std::size_t TuningService::evaluator_count() const {
+  std::lock_guard<std::mutex> lock(mu_);
+  return evaluators_.size();
+}
+
+void TuningService::remember_stale_locked(const std::string& flight_key,
+                                          const TuningResponse& resp) {
+  CachedResult result;
+  result.config = resp.config;
+  result.best_metric = resp.best_metric;
+  result.baseline_metric = resp.baseline_metric;
+  if (const auto it = stale_.find(flight_key); it != stale_.end()) {
+    it->second.result = std::move(result);
+    stale_lru_.splice(stale_lru_.begin(), stale_lru_, it->second.lru_it);
+    return;
+  }
+  stale_lru_.push_front(flight_key);
+  stale_.emplace(flight_key, StaleSlot{std::move(result), stale_lru_.begin()});
+  if (opts_.evaluator_cache != 0 && stale_.size() > opts_.evaluator_cache) {
+    stale_.erase(stale_lru_.back());
+    stale_lru_.pop_back();
+  }
+}
+
 void TuningService::run_one() {
   std::shared_ptr<Job> job;
   {
@@ -234,6 +377,12 @@ void TuningService::run_one() {
     job = queue_.top();
     queue_.pop();
   }
+  // From here the guard owns retirement: whatever happens below — search
+  // failure, persist failure, a non-std exception, even a path that
+  // forgets to resolve — the promise is set exactly once and the
+  // in-flight entry erased, so no client can hang on this job.
+  Completion done(*this, job);
+
   // Continue the request's trace on this worker thread: the queue wait is
   // recorded as a span over [submitted, now], and everything below —
   // evaluation spans included — parents onto the submit span.
@@ -241,7 +390,25 @@ void TuningService::run_one() {
   obs::Tracer::record("svc.sched.wait", job->trace, job->submitted,
                       Clock::now());
   obs::Span run_span("svc.request.run");
+
+  // Cooperative cancellation: a job whose deadline passed while queued
+  // resolves TimedOut without spending a single simulation on it.
+  if (job->has_deadline && Clock::now() >= job->deadline) {
+    run_span.annotate("outcome", "timeout");
+    TuningResponse resp;
+    resp.ok = false;
+    resp.program = job->request.program;
+    resp.error = "deadline exceeded (timeout_ms=" +
+                 std::to_string(job->request.timeout_ms) + ")";
+    resp.source = Source::TimedOut;
+    resp.latency_us = elapsed_us(job->submitted);
+    metrics_.on_timed_out(resp.latency_us);
+    done.resolve(std::move(resp));
+    return;
+  }
+
   metrics_.on_search_started();
+  done.set_started();
 
   TuningResponse resp;
   bool failed = false;
@@ -249,38 +416,66 @@ void TuningService::run_one() {
     resp = execute(*job);
   } catch (const std::exception& e) {
     failed = true;
+    resp.error = e.what();
+  } catch (...) {
+    // A non-std exception escaping into the pool worker would terminate
+    // the process with every outstanding promise unresolved.
+    failed = true;
+    resp.error = "search failed: non-standard exception";
+  }
+  if (failed) {
     resp.ok = false;
     resp.program = job->request.program;
-    resp.error = e.what();
     resp.source = Source::Error;
+    run_span.annotate("outcome", "search_error");
   }
-  resp.latency_us = elapsed_us(job->submitted);
 
-  {
-    // Publish to the cache and retire the flight atomically: a concurrent
-    // submit must observe either "in flight" or "cached", never neither.
+  if (!failed) {
+    // Publish to the cache under full exception protection: a throwing
+    // store (disk-full WAL append, injected "svc.persist" fault) fails
+    // this request — it must never strand it. The store and the
+    // in-flight erase (inside Completion::resolve, which runs strictly
+    // after this block) keep the submit-side invariant: a concurrent
+    // duplicate observes "in flight" or "cached", never neither.
     obs::Span persist("svc.kb_persist");
-    std::lock_guard<std::mutex> lock(mu_);
-    if (!failed) {
+    try {
+      std::lock_guard<std::mutex> lock(mu_);
+      // Remember the result in memory first: even when the durable
+      // publish below fails, overload can still serve it as stale.
+      remember_stale_locked(job->flight_key, resp);
+      if (support::failpoint("svc.persist"))
+        throw support::FailpointError("injected svc.persist failure");
       CachedResult cached;
       cached.config = resp.config;
       cached.best_metric = resp.best_metric;
       cached.baseline_metric = resp.baseline_metric;
       cache_.store(job->cache_key, job->request.machine.name, cached);
+      // In durable mode store() WAL-appends incrementally; autosave makes
+      // the result durable before the client sees its response.
+      if (opts_.autosave && !opts_.kb_path.empty() && !cache_.sync())
+        throw std::runtime_error("knowledge-base sync failed");
+    } catch (const std::exception& e) {
+      failed = true;
+      resp.error = std::string("persist failed: ") + e.what();
+    } catch (...) {
+      failed = true;
+      resp.error = "persist failed: non-standard exception";
     }
-    inflight_.erase(job->flight_key);
-    // In durable mode the store() calls above already WAL-appended the
-    // result incrementally (and flushed, under autosave); nothing rewrites
-    // the whole knowledge base on the hot path anymore.
-    if (!failed && opts_.autosave && !opts_.kb_path.empty()) cache_.sync();
+    if (failed) {
+      resp.ok = false;
+      resp.source = Source::Error;
+      persist.annotate("outcome", "error");
+      metrics_.on_persist_error();
+    }
   }
+  resp.latency_us = elapsed_us(job->submitted);
 
   if (failed) {
     metrics_.on_search_failed(resp.latency_us);
   } else {
     metrics_.on_search_finished(resp.simulations, resp.latency_us);
   }
-  job->promise.set_value(std::move(resp));
+  done.resolve(std::move(resp));
 }
 
 bool TuningService::save() const {

@@ -8,16 +8,26 @@
 // and restarted — against the same store answers repeat queries with zero
 // simulations.
 //
-// Request lifecycle:
+// Request lifecycle — the service's guarantee is that **every submitted
+// request resolves exactly once, in bounded time, on every path**:
 //   submit() -> [warm KB hit -> ready future]
 //            -> [duplicate in flight -> share that future (coalesced)]
-//            -> [enqueue -> worker pops highest-priority job -> search
-//                -> write best back to KB (+autosave) -> resolve future]
+//            -> [queue full -> stale in-memory result (shed) or rejected]
+//            -> [enqueue -> worker pops highest-priority job
+//                -> deadline already passed? resolve TimedOut, no search
+//                -> search -> write best back to KB (+autosave)
+//                -> resolve future]
+// A worker retires the job through an RAII completion guard: success,
+// search failure, persist failure (fault-injectable via the
+// "svc.persist" failpoint), non-std exceptions, and shutdown all erase
+// the in-flight entry and set the promise — a client can hang only by
+// never being scheduled, which bounded admission and deadlines prevent.
 #pragma once
 
 #include <chrono>
 #include <cstdint>
 #include <future>
+#include <list>
 #include <memory>
 #include <mutex>
 #include <queue>
@@ -49,6 +59,15 @@ class TuningService {
     /// WAL per write). When false, writes group-commit in batches and are
     /// flushed on save()/shutdown.
     bool autosave = true;
+    /// Bounded admission: maximum queued (not yet running) jobs. A submit
+    /// that finds the queue full is answered from the stale result map
+    /// when possible (Source::StaleCache) and load-shed otherwise
+    /// (Source::Rejected). 0 = unbounded.
+    std::size_t max_queue = 256;
+    /// Cap on cached evaluators (shared per fingerprint+machine); least
+    /// recently used are evicted beyond it, so a long-running service
+    /// tuning many distinct modules holds bounded memory. 0 = unbounded.
+    std::size_t evaluator_cache = 64;
   };
 
   /// Loads Options::kb_path when present; an unparsable file throws
@@ -71,6 +90,8 @@ class TuningService {
   void drain();
 
   Metrics metrics() const { return metrics_.snapshot(); }
+  /// Evaluators currently cached (bounded by Options::evaluator_cache).
+  std::size_t evaluator_count() const;
   /// Make the KB durable at Options::kb_path: syncs the store's WAL
   /// (durable mode) or writes the CSV file. False when none configured.
   bool save() const;
@@ -81,6 +102,7 @@ class TuningService {
 
  private:
   struct Job;
+  class Completion;
   /// Max-heap order: higher priority first, then FIFO by sequence number.
   struct JobOrder {
     bool operator()(const std::shared_ptr<Job>& a,
@@ -91,6 +113,12 @@ class TuningService {
   std::shared_future<TuningResponse> ready_response(TuningResponse r);
   void run_one();
   TuningResponse execute(const Job& job);
+  /// Fetch-or-create the job's evaluator, bumping it in the LRU order and
+  /// evicting beyond Options::evaluator_cache. Takes mu_.
+  std::shared_ptr<search::Evaluator> evaluator_for(const Job& job);
+  /// Remember a computed result for overload serving. Caller holds mu_.
+  void remember_stale_locked(const std::string& flight_key,
+                             const TuningResponse& resp);
 
   Options opts_;
 
@@ -101,9 +129,25 @@ class TuningService {
                       JobOrder> queue_;
   std::unordered_map<std::string, std::shared_ptr<Job>> inflight_;
   /// Evaluators are shared across requests keyed by module fingerprint +
-  /// machine, so repeat searches reuse memoized simulations.
-  std::unordered_map<std::string, std::shared_ptr<search::Evaluator>>
-      evaluators_;
+  /// machine, so repeat searches reuse memoized simulations. LRU-bounded
+  /// by Options::evaluator_cache; a running search keeps its (possibly
+  /// evicted) evaluator alive through its shared_ptr.
+  struct EvalSlot {
+    std::shared_ptr<search::Evaluator> eval;
+    std::list<std::string>::iterator lru_it;
+  };
+  std::unordered_map<std::string, EvalSlot> evaluators_;
+  std::list<std::string> eval_lru_;  // front = most recently used
+  /// Last computed result per flight key, kept in memory even when the
+  /// KB persist failed — the overload path serves these as
+  /// Source::StaleCache instead of shedding. Bounded alongside the
+  /// evaluator cache (same cap, same LRU discipline).
+  struct StaleSlot {
+    CachedResult result;
+    std::list<std::string>::iterator lru_it;
+  };
+  std::unordered_map<std::string, StaleSlot> stale_;
+  std::list<std::string> stale_lru_;
 
   MetricsCollector metrics_;
 

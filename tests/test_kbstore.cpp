@@ -16,6 +16,7 @@
 #include "kbstore/log_format.hpp"
 #include "kbstore/record_codec.hpp"
 #include "kbstore/store.hpp"
+#include "support/failpoint.hpp"
 
 namespace {
 
@@ -365,6 +366,36 @@ TEST(KbStore, BatchedFlushCommitsAtBatchBoundary) {
   auto replica = Store::open(crash.path, every_append());
   ASSERT_NE(replica, nullptr);
   EXPECT_EQ(replica->size(), 4u);  // one full batch flushed, tail pending
+}
+
+// Injected WAL faults behave like real I/O errors: a failing flush leaves
+// the pending batch buffered (sync() reports it honestly), a failing
+// append surfaces as an exception, and clearing the fault lets the same
+// bytes commit — no data is lost to a transient fault.
+TEST(KbStore, InjectedWalFaultsFailCleanlyAndClear) {
+  TempStoreDir dir("kbstore_test_failpoint");
+  kbstore::Options opts;
+  opts.flush = kbstore::Options::Flush::Manual;
+  opts.background_compaction = false;
+
+  auto store = Store::open(dir.path, opts);
+  ASSERT_NE(store, nullptr);
+  store->append(sample("a", 100));
+
+  auto& fp = support::Failpoints::instance();
+  ASSERT_TRUE(fp.configure("kbstore.wal_flush=error"));
+  EXPECT_FALSE(store->sync());
+  EXPECT_EQ(store->size(), 1u);  // index still serves the un-flushed write
+
+  ASSERT_TRUE(fp.configure("kbstore.wal_append=throw"));
+  EXPECT_THROW(store->append(sample("b", 200)), support::FailpointError);
+  EXPECT_EQ(store->size(), 1u);  // failed append never reached the index
+
+  fp.unset_all();
+  EXPECT_TRUE(store->sync());  // the buffered batch commits after all
+  store->append(sample("b", 200));
+  ASSERT_TRUE(store->sync());
+  EXPECT_EQ(store->size(), 2u);
 }
 
 // --- compaction ----------------------------------------------------------

@@ -4,10 +4,12 @@
 
 #include <atomic>
 #include <set>
+#include <thread>
 
 #include "support/assert.hpp"
 #include "support/crc32.hpp"
 #include "support/csv.hpp"
+#include "support/failpoint.hpp"
 #include "support/hash.hpp"
 #include "support/rng.hpp"
 #include "support/stats.hpp"
@@ -302,6 +304,77 @@ TEST(Assert, CheckThrowsWithMessage) {
   } catch (const CheckError& e) {
     EXPECT_NE(std::string(e.what()).find("custom 42"), std::string::npos);
   }
+}
+
+// Failpoints are disarmed between tests so suites can't leak faults.
+class FailpointTest : public ::testing::Test {
+ protected:
+  void TearDown() override { Failpoints::instance().unset_all(); }
+};
+
+TEST_F(FailpointTest, DisarmedSitesAreInert) {
+  EXPECT_FALSE(Failpoints::instance().armed());
+  EXPECT_FALSE(failpoint("never.armed"));
+  EXPECT_EQ(Failpoints::instance().hits("never.armed"), 0u);
+}
+
+TEST_F(FailpointTest, ErrorKindReturnsTrueAndCountsHits) {
+  ASSERT_TRUE(Failpoints::instance().configure("site.a=error"));
+  EXPECT_TRUE(Failpoints::instance().armed());
+  EXPECT_TRUE(failpoint("site.a"));
+  EXPECT_TRUE(failpoint("site.a"));
+  EXPECT_FALSE(failpoint("site.b"));  // other names unaffected
+  EXPECT_EQ(Failpoints::instance().hits("site.a"), 2u);
+  Failpoints::instance().unset("site.a");
+  EXPECT_FALSE(failpoint("site.a"));
+}
+
+TEST_F(FailpointTest, ThrowKindThrowsFailpointError) {
+  ASSERT_TRUE(Failpoints::instance().configure("site.t=throw:boom"));
+  try {
+    failpoint("site.t");
+    FAIL() << "should have thrown";
+  } catch (const FailpointError& e) {
+    EXPECT_STREQ(e.what(), "boom");
+  }
+}
+
+TEST_F(FailpointTest, CountLimitSelfDisarms) {
+  ASSERT_TRUE(Failpoints::instance().configure("site.c=error*2"));
+  EXPECT_TRUE(failpoint("site.c"));
+  EXPECT_TRUE(failpoint("site.c"));
+  EXPECT_FALSE(failpoint("site.c"));  // budget spent: disarmed
+  EXPECT_FALSE(Failpoints::instance().armed());
+  EXPECT_EQ(Failpoints::instance().hits("site.c"), 2u);
+}
+
+TEST_F(FailpointTest, ConfigureParsesMultipleClausesAndRejectsGarbage) {
+  ASSERT_TRUE(
+      Failpoints::instance().configure("a=error;b=delay:1;c=throw*3"));
+  EXPECT_TRUE(failpoint("a"));
+  EXPECT_FALSE(failpoint("b"));  // delay returns false after sleeping
+  EXPECT_THROW(failpoint("c"), FailpointError);
+
+  EXPECT_FALSE(Failpoints::instance().configure("no-equals"));
+  EXPECT_FALSE(Failpoints::instance().configure("x=badkind"));
+  EXPECT_FALSE(Failpoints::instance().configure("x=delay:notanumber"));
+  EXPECT_FALSE(Failpoints::instance().configure("x=error*0"));
+}
+
+TEST_F(FailpointTest, BlockParksUntilReleased) {
+  ASSERT_TRUE(Failpoints::instance().configure("site.block=block"));
+  std::atomic<bool> passed{false};
+  std::thread t([&] {
+    failpoint("site.block");
+    passed.store(true);
+  });
+  // The worker must arrive at the failpoint and park there.
+  while (Failpoints::instance().hits("site.block") == 0)
+    std::this_thread::yield();
+  EXPECT_FALSE(passed.load());
+  Failpoints::instance().unset("site.block");
+  t.join();
+  EXPECT_TRUE(passed.load());
 }
 
 }  // namespace

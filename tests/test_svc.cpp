@@ -1,11 +1,15 @@
 // Tuning-service tests: single-flight coalescing, persistent warm cache
 // across service instances, metrics consistency under a concurrent burst,
-// scheduling order, the result cache, and the line protocol.
+// scheduling order, the result cache, the line protocol, and the request
+// lifecycle guarantee — every submitted future resolves exactly once, in
+// bounded time, under injected persist faults, overload, and deadlines.
 #include <gtest/gtest.h>
 
+#include <chrono>
 #include <cstdio>
 #include <filesystem>
 #include <fstream>
+#include <future>
 #include <thread>
 #include <vector>
 
@@ -13,6 +17,7 @@
 #include "ir/printer.hpp"
 #include "obs/trace.hpp"
 #include "support/assert.hpp"
+#include "support/failpoint.hpp"
 #include "svc/cache.hpp"
 #include "svc/protocol.hpp"
 #include "svc/service.hpp"
@@ -227,7 +232,11 @@ TEST(Svc, MetricsConsistentAfterConcurrentBurst) {
 
   const svc::Metrics m = service.metrics();
   EXPECT_EQ(m.requests, kThreads * kPerThread);
-  EXPECT_EQ(m.warm_hits + m.coalesced + m.searches + m.errors, m.requests);
+  // Every request is accounted under exactly one outcome.
+  EXPECT_EQ(m.warm_hits + m.coalesced + m.searches + m.errors + m.rejected +
+                m.timed_out + m.shed,
+            m.requests);
+  EXPECT_EQ(m.rejected + m.timed_out + m.shed, 0u);  // never overloaded
   EXPECT_EQ(m.searches, programs.size());  // one real search per program
   EXPECT_EQ(m.queued, 0u);
   EXPECT_EQ(m.in_flight, 0u);
@@ -269,6 +278,223 @@ TEST(Svc, InlineIrRequestsAreCachedByFingerprint) {
   EXPECT_EQ(second.source, svc::Source::WarmCache);
   EXPECT_EQ(second.simulations, 0u);
   EXPECT_EQ(second.best_metric, first.best_metric);
+}
+
+// --- the request-lifecycle guarantee under faults and overload -----------
+//
+// Every submitted future resolves exactly once, in bounded time, on every
+// path: persist failure, non-std exceptions, queue-full load shedding,
+// deadline expiry, and shutdown. Failpoints make each path deterministic.
+
+class SvcLifecycle : public ::testing::Test {
+ protected:
+  void TearDown() override { support::Failpoints::instance().unset_all(); }
+
+  static void arm(const std::string& spec) {
+    ASSERT_TRUE(support::Failpoints::instance().configure(spec));
+  }
+  static std::uint64_t hits(const char* name) {
+    return support::Failpoints::instance().hits(name);
+  }
+  /// Spin until `name` has been evaluated more than `min` times — i.e. a
+  /// worker has arrived at (and, for `block`, parked inside) the site.
+  static void wait_for_hits(const char* name, std::uint64_t min) {
+    while (support::Failpoints::instance().hits(name) <= min)
+      std::this_thread::yield();
+  }
+};
+
+// The original bug class: a throwing KB publish after a successful search
+// left the in-flight entry stuck and the promise unset — the client hung
+// forever and every later duplicate coalesced onto the dead flight. Now
+// the future resolves with ok=false, and a later identical submit runs a
+// fresh search instead of joining a corpse.
+TEST_F(SvcLifecycle, PersistFaultResolvesClientAndDoesNotPoisonFlights) {
+  const char* path = "svc_test_persist_fault.kb";
+  fs::remove_all(path);
+  {
+    svc::TuningService service({.workers = 2, .kb_path = path});
+
+    arm("svc.persist=error");
+    const svc::TuningResponse r = service.tune(request("fir", 5));
+    EXPECT_FALSE(r.ok);
+    EXPECT_NE(r.error.find("persist failed"), std::string::npos) << r.error;
+    EXPECT_EQ(r.source, svc::Source::Error);
+
+    svc::Metrics m = service.metrics();
+    EXPECT_EQ(m.persist_errors, 1u);
+    EXPECT_EQ(m.errors, 1u);
+    EXPECT_EQ(m.in_flight, 0u);
+
+    // The flight was retired: with the fault cleared, the same request is
+    // a fresh search (not coalesced, not a hang, not a warm hit — the
+    // failed persist never reached the KB).
+    support::Failpoints::instance().unset_all();
+    const svc::TuningResponse again = service.tune(request("fir", 5));
+    ASSERT_TRUE(again.ok) << again.error;
+    EXPECT_EQ(again.source, svc::Source::Search);
+
+    m = service.metrics();
+    EXPECT_EQ(m.searches, 1u);  // only the second one succeeded
+    EXPECT_EQ(m.coalesced, 0u);
+  }
+  fs::remove_all(path);
+}
+
+// A non-std exception thrown mid-search must not escape into the pool
+// worker (process terminate, every outstanding promise unresolved): the
+// catch (...) path resolves the future like any other failure.
+TEST_F(SvcLifecycle, NonStdExceptionResolvesInsteadOfTerminating) {
+  svc::TuningService service({.workers = 1});
+  arm("svc.eval_nonstd=error*1");
+  const svc::TuningResponse r = service.tune(request("fir", 5));
+  EXPECT_FALSE(r.ok);
+  EXPECT_NE(r.error.find("non-standard"), std::string::npos) << r.error;
+
+  // The worker survived: it can still serve the next request.
+  const svc::TuningResponse ok = service.tune(request("fir", 5));
+  EXPECT_TRUE(ok.ok) << ok.error;
+}
+
+// Queue-full rejection is deterministic: with the single worker parked
+// inside a search and the one queue slot taken, the next distinct submit
+// resolves Rejected immediately.
+TEST_F(SvcLifecycle, QueueFullRejectionIsDeterministic) {
+  svc::TuningService service({.workers = 1, .max_queue = 1});
+  const std::uint64_t base = hits("svc.eval");
+  arm("svc.eval=block");
+
+  auto a = service.submit(request("fir", 5));
+  wait_for_hits("svc.eval", base);  // worker is parked inside a's search
+  auto b = service.submit(request("crc32", 5));  // takes the queue slot
+
+  const svc::TuningResponse r = service.submit(request("rle", 5)).get();
+  EXPECT_FALSE(r.ok);
+  EXPECT_EQ(r.source, svc::Source::Rejected);
+  EXPECT_NE(r.error.find("queue full"), std::string::npos) << r.error;
+  EXPECT_EQ(service.metrics().rejected, 1u);
+
+  support::Failpoints::instance().unset_all();  // release the worker
+  EXPECT_TRUE(a.get().ok) << a.get().error;
+  EXPECT_TRUE(b.get().ok) << b.get().error;
+}
+
+// Overload degrades gracefully: when the queue is full but the service
+// has *ever* computed a result for this flight — even one whose KB
+// persist failed — it serves that stale copy instead of rejecting.
+TEST_F(SvcLifecycle, OverloadServesStaleResultWhenAvailable) {
+  svc::TuningService service({.workers = 1, .max_queue = 1});
+
+  // Compute "fir" once with the persist path broken: the result lands in
+  // the stale map but never in the KB cache.
+  arm("svc.persist=error*1");
+  const svc::TuningResponse first = service.tune(request("fir", 5));
+  EXPECT_FALSE(first.ok);
+  EXPECT_GT(first.best_metric, 0u);
+
+  // Park the worker and fill the queue with distinct work.
+  const std::uint64_t base = hits("svc.eval");
+  arm("svc.eval=block");
+  auto blocked = service.submit(request("crc32", 5));
+  wait_for_hits("svc.eval", base);
+  auto queued = service.submit(request("rle", 5));
+
+  // Overloaded "fir" submit: served stale, not rejected, not hung.
+  const svc::TuningResponse stale = service.submit(request("fir", 5)).get();
+  EXPECT_TRUE(stale.ok);
+  EXPECT_EQ(stale.source, svc::Source::StaleCache);
+  EXPECT_EQ(stale.best_metric, first.best_metric);
+  EXPECT_EQ(stale.baseline_metric, first.baseline_metric);
+  EXPECT_EQ(service.metrics().shed, 1u);
+  EXPECT_EQ(service.metrics().rejected, 0u);
+
+  support::Failpoints::instance().unset_all();
+  EXPECT_TRUE(blocked.get().ok);
+  EXPECT_TRUE(queued.get().ok);
+}
+
+// A job whose deadline passes while it waits in the queue resolves as
+// TimedOut without running a search (and without a simulation spent).
+TEST_F(SvcLifecycle, ExpiredDeadlineResolvesTimedOutWithoutSearch) {
+  svc::TuningService service({.workers = 1});
+  const std::uint64_t base = hits("svc.eval");
+  arm("svc.eval=block");
+
+  auto a = service.submit(request("fir", 5));
+  wait_for_hits("svc.eval", base);  // worker busy: the next job must wait
+
+  svc::TuningRequest req = request("crc32", 5);
+  req.timeout_ms = 1;
+  auto b = service.submit(req);
+  std::this_thread::sleep_for(std::chrono::milliseconds(50));
+
+  support::Failpoints::instance().unset_all();  // release the worker
+  const svc::TuningResponse r = b.get();
+  EXPECT_FALSE(r.ok);
+  EXPECT_EQ(r.source, svc::Source::TimedOut);
+  EXPECT_NE(r.error.find("deadline exceeded"), std::string::npos) << r.error;
+  EXPECT_EQ(r.simulations, 0u);
+  EXPECT_TRUE(a.get().ok);
+
+  const svc::Metrics m = service.metrics();
+  EXPECT_EQ(m.timed_out, 1u);
+  EXPECT_EQ(m.searches, 1u);  // only "fir" ever ran
+  EXPECT_EQ(m.queued, 0u);
+  EXPECT_EQ(m.in_flight, 0u);
+}
+
+// Destruction drains the queue and resolves every outstanding future even
+// while every persist attempt fails — shutdown can never strand a client.
+TEST_F(SvcLifecycle, DestructorResolvesAllFuturesUnderPersistFaults) {
+  const char* path = "svc_test_drain_fault.kb";
+  fs::remove_all(path);
+  arm("svc.persist=error");
+
+  std::vector<std::shared_future<svc::TuningResponse>> futures;
+  {
+    svc::TuningService service({.workers = 2, .kb_path = path});
+    for (const char* p : {"fir", "crc32", "rle", "dotprod", "bitcount"})
+      futures.push_back(service.submit(request(p, 4)));
+  }
+  for (auto& f : futures) {
+    ASSERT_EQ(f.wait_for(std::chrono::seconds(0)), std::future_status::ready);
+    const svc::TuningResponse r = f.get();
+    EXPECT_FALSE(r.ok);
+    EXPECT_NE(r.error.find("persist failed"), std::string::npos) << r.error;
+  }
+  fs::remove_all(path);
+}
+
+// The evaluator cache is bounded (LRU): a service capped at one evaluator
+// evicts and re-creates them across requests, and the recreated evaluator
+// gives results identical to a service that kept everything cached.
+TEST_F(SvcLifecycle, EvaluatorEvictionPreservesResults) {
+  auto run_sequence = [](svc::TuningService& s) {
+    std::vector<svc::TuningResponse> out;
+    out.push_back(s.tune(request("fir", 6)));
+    out.push_back(s.tune(request("crc32", 6)));
+    svc::TuningRequest size_req = request("fir", 6);
+    size_req.objective = search::Objective::CodeSize;  // new cache key,
+    out.push_back(s.tune(size_req));                   // same eval key
+    return out;
+  };
+
+  svc::TuningService unbounded({.workers = 1, .evaluator_cache = 64});
+  svc::TuningService tight({.workers = 1, .evaluator_cache = 1});
+  const auto full = run_sequence(unbounded);
+  const auto evicted = run_sequence(tight);
+
+  EXPECT_EQ(unbounded.evaluator_count(), 2u);  // fir + crc32
+  EXPECT_EQ(tight.evaluator_count(), 1u);      // only the latest survives
+
+  ASSERT_EQ(full.size(), evicted.size());
+  for (std::size_t i = 0; i < full.size(); ++i) {
+    ASSERT_TRUE(full[i].ok) << full[i].error;
+    ASSERT_TRUE(evicted[i].ok) << evicted[i].error;
+    EXPECT_EQ(full[i].config, evicted[i].config) << i;
+    EXPECT_EQ(full[i].best_metric, evicted[i].best_metric) << i;
+    EXPECT_EQ(full[i].baseline_metric, evicted[i].baseline_metric) << i;
+  }
 }
 
 TEST(SvcCache, StoreLookupAndBetterResultWins) {
@@ -338,6 +564,41 @@ TEST(SvcProtocol, ParsesTuneWithOptions) {
   EXPECT_EQ(c.request.strategy, svc::Strategy::Genetic);
   EXPECT_EQ(c.request.priority, 3);
   EXPECT_EQ(c.request.seed, 99u);
+}
+
+TEST(SvcProtocol, ParsesTimeoutMs) {
+  const svc::Command c = svc::parse_command("tune fir timeout_ms=250");
+  ASSERT_EQ(c.kind, svc::Command::Kind::Tune);
+  EXPECT_EQ(c.request.timeout_ms, 250u);
+  EXPECT_EQ(svc::parse_command("tune fir timeout_ms=soon").kind,
+            svc::Command::Kind::Invalid);
+}
+
+TEST(SvcProtocol, EscapesConfigQuotesAndBackslashes) {
+  svc::TuningResponse r;
+  r.ok = true;
+  r.program = "p";
+  r.config = "a\"b\\c";
+  const std::string line = svc::format_response(r);
+  EXPECT_NE(line.find("config=\"a\\\"b\\\\c\""), std::string::npos) << line;
+
+  r.config = "tab\there";
+  EXPECT_NE(svc::format_response(r).find("config=\"tab here\""),
+            std::string::npos);  // control chars become spaces
+}
+
+TEST(SvcProtocol, ErrorTextStaysOnOneLine) {
+  svc::TuningResponse r;
+  r.ok = false;
+  r.error = "line one\nline two";
+  EXPECT_EQ(svc::format_response(r), "err line one line two");
+}
+
+TEST(SvcProtocol, RejectsControlCharsInOptionValues) {
+  EXPECT_EQ(svc::parse_command("tune fir seed=1\x01").kind,
+            svc::Command::Kind::Invalid);
+  EXPECT_EQ(svc::parse_command(std::string("tune fir machine=amd\x7f")).kind,
+            svc::Command::Kind::Invalid);
 }
 
 TEST(SvcProtocol, RejectsMalformedLines) {
@@ -430,6 +691,10 @@ TEST(SvcProtocol, FormatMetricsIsByteCompatible) {
   m.coalesced = 2;
   m.searches = 6;
   m.errors = 1;
+  m.rejected = 4;
+  m.timed_out = 2;
+  m.shed = 3;
+  m.persist_errors = 1;
   m.queued = 4;
   m.in_flight = 2;
   m.simulations = 180;
@@ -437,7 +702,8 @@ TEST(SvcProtocol, FormatMetricsIsByteCompatible) {
   m.p95_latency_us = 9000;
   EXPECT_EQ(svc::format_metrics(m),
             "metrics requests=12 warm_hits=3 coalesced=2 searches=6 "
-            "errors=1 queued=4 in_flight=2 simulations=180 "
+            "errors=1 rejected=4 timed_out=2 shed=3 persist_errors=1 "
+            "queued=4 in_flight=2 simulations=180 "
             "p50_latency_us=1500 p95_latency_us=9000");
 }
 
