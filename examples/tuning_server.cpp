@@ -1,25 +1,29 @@
 // tuning_server — drive svc::TuningService over the line protocol from
-// stdin or a scripted request file. The persistent serving mode of the
-// intelligent compiler: results accumulate in the knowledge base across
-// invocations, so re-running a script answers instantly from the KB.
+// stdin, a scripted request file, or a TCP socket. The persistent serving
+// mode of the intelligent compiler: results accumulate in the knowledge
+// base across invocations, so re-running a script answers instantly from
+// the KB.
 //
 //   $ ./tuning_server --kb my.kb --script requests.txt
 //   $ echo "tune fir budget=10" | ./tuning_server --kb my.kb
+//   $ ./tuning_server --kb my.kb --listen 7070   # epoll TCP front-end
 //
 // Tune commands are submitted asynchronously as they are read; responses
-// are printed in submission order at the next synchronization point
-// (metrics / save / quit / EOF), so a script full of tunes exercises the
-// scheduler's full concurrency.
+// are printed in submission order (the net::Session slot FIFO), so a
+// script full of tunes exercises the scheduler's full concurrency. Both
+// stdin and TCP modes run the same net::Session request-handling loop —
+// only the byte transport differs. In TCP mode SIGINT/SIGTERM trigger a
+// graceful shutdown: stop accepting, drain in-flight requests, flush.
+#include <csignal>
 #include <cstdio>
 #include <cstring>
 #include <fstream>
 #include <iostream>
 #include <optional>
-#include <sstream>
 #include <string>
-#include <unordered_map>
-#include <vector>
 
+#include "net/server.hpp"
+#include "net/session.hpp"
 #include "obs/trace.hpp"
 #include "support/failpoint.hpp"
 #include "svc/protocol.hpp"
@@ -29,25 +33,18 @@ using namespace ilc;
 
 namespace {
 
-struct PendingTune {
-  std::shared_future<svc::TuningResponse> future;
-};
-
-void flush_pending(std::vector<PendingTune>& pending) {
-  for (auto& p : pending)
-    std::printf("%s\n", svc::format_response(p.future.get()).c_str());
-  pending.clear();
-  std::fflush(stdout);
-}
-
 int usage(const char* argv0) {
   std::fprintf(stderr,
                "usage: %s [--workers N] [--queue-depth N] [--kb path] "
                "[--script file|-] [--trace out.json] [--failpoints spec]\n"
+               "          [--listen port] [--loops N] [--max-conns N] "
+               "[--idle-timeout-ms N]\n"
                "  --queue-depth N   bounded admission: max queued jobs "
                "(0 = unbounded; overload sheds/rejects)\n"
                "  --failpoints spec fault injection, e.g. "
-               "\"svc.persist=error*3\" (also via ILC_FAILPOINTS)\n",
+               "\"svc.persist=error*3\" (also via ILC_FAILPOINTS)\n"
+               "  --listen port     serve the protocol over TCP on "
+               "127.0.0.1:port (0 = ephemeral) instead of stdin\n",
                argv0);
   return 2;
 }
@@ -69,10 +66,70 @@ struct TraceDump {
   }
 };
 
+void print_drained(net::Session& session) {
+  std::string out;
+  if (session.drain_ready(out) > 0) {
+    std::fwrite(out.data(), 1, out.size(), stdout);
+    std::fflush(stdout);
+  }
+}
+
+/// The stdin/script transport: feed lines, print responses in submission
+/// order as they become ready, wait out in-flight work at EOF/quit.
+int run_stdio(svc::TuningService& service, std::istream& in) {
+  const std::shared_ptr<net::Session> session =
+      net::Session::create(service, {});
+  std::string line;
+  while (std::getline(in, line)) {
+    session->feed_line(line);
+    if (session->quit_requested()) break;
+    // A metrics/save barrier is a synchronization point in stdin mode:
+    // don't read past it until everything before it has resolved.
+    if (session->barrier_pending()) session->wait_all();
+    print_drained(*session);
+  }
+  session->finish_input();
+  session->wait_all();
+  print_drained(*session);
+  return 0;
+}
+
+/// The TCP transport: start the epoll front-end, then park until a
+/// SIGINT/SIGTERM arrives and shut down gracefully.
+int run_tcp(svc::TuningService& service, net::ServerOptions net_opts,
+            sigset_t* signals) {
+  std::optional<net::Server> server;
+  try {
+    server.emplace(service, net_opts);
+  } catch (const std::exception& e) {
+    std::fprintf(stderr, "cannot listen: %s\n", e.what());
+    return 1;
+  }
+  std::fprintf(stderr, "listening on 127.0.0.1:%u\n",
+               static_cast<unsigned>(server->port()));
+  int sig = 0;
+  sigwait(signals, &sig);
+  std::fprintf(stderr, "signal %d: draining connections...\n", sig);
+  server->shutdown();
+  const net::Server::Stats s = server->stats();
+  std::fprintf(stderr,
+               "served %llu responses over %llu connections "
+               "(%llu evicted), %llu bytes in / %llu bytes out\n",
+               static_cast<unsigned long long>(s.responses),
+               static_cast<unsigned long long>(s.accepted),
+               static_cast<unsigned long long>(s.evicted_idle +
+                                               s.evicted_slow),
+               static_cast<unsigned long long>(s.bytes_in),
+               static_cast<unsigned long long>(s.bytes_out));
+  return 0;
+}
+
 }  // namespace
 
 int main(int argc, char** argv) {
   svc::TuningService::Options opts;
+  net::ServerOptions net_opts;
+  bool listen_mode = false;
   std::string script = "-";
   TraceDump trace_dump;
   for (int i = 1; i < argc; ++i) {
@@ -92,6 +149,16 @@ int main(int argc, char** argv) {
     } else if (!std::strcmp(argv[i], "--trace") && i + 1 < argc) {
       trace_dump.path = argv[++i];
       obs::Tracer::set_enabled(true);
+    } else if (!std::strcmp(argv[i], "--listen") && i + 1 < argc) {
+      listen_mode = true;
+      net_opts.port = static_cast<std::uint16_t>(std::atoi(argv[++i]));
+    } else if (!std::strcmp(argv[i], "--loops") && i + 1 < argc) {
+      net_opts.loops = static_cast<std::size_t>(std::atoi(argv[++i]));
+    } else if (!std::strcmp(argv[i], "--max-conns") && i + 1 < argc) {
+      net_opts.max_conns = static_cast<std::size_t>(std::atoi(argv[++i]));
+    } else if (!std::strcmp(argv[i], "--idle-timeout-ms") && i + 1 < argc) {
+      net_opts.idle_timeout_ms =
+          static_cast<std::uint64_t>(std::atoll(argv[++i]));
     } else {
       return usage(argv[0]);
     }
@@ -109,6 +176,17 @@ int main(int argc, char** argv) {
 
   support::Failpoints::instance().configure_from_env();
 
+  // In TCP mode the shutdown signals must be blocked before any thread
+  // spawns (service workers and event loops inherit the mask), so the
+  // only thread that sees them is the one parked in sigwait.
+  sigset_t signals;
+  sigemptyset(&signals);
+  if (listen_mode) {
+    sigaddset(&signals, SIGINT);
+    sigaddset(&signals, SIGTERM);
+    pthread_sigmask(SIG_BLOCK, &signals, nullptr);
+  }
+
   std::optional<svc::TuningService> service;
   try {
     service.emplace(opts);
@@ -116,52 +194,7 @@ int main(int argc, char** argv) {
     std::fprintf(stderr, "cannot start service: %s\n", e.what());
     return 1;
   }
-  std::vector<PendingTune> pending;
-  // Inline modules registered by `module` commands, usable by `tune`.
-  std::unordered_map<std::string, std::string> modules;
 
-  std::string line;
-  while (std::getline(in, line)) {
-    svc::Command cmd = svc::parse_command(line);
-    switch (cmd.kind) {
-      case svc::Command::Kind::Empty:
-        break;
-      case svc::Command::Kind::Invalid:
-        flush_pending(pending);
-        std::printf("err %s\n", cmd.error.c_str());
-        break;
-      case svc::Command::Kind::Module: {
-        std::ostringstream ir;
-        std::string ir_line;
-        for (std::size_t i = 0; i < cmd.module_lines; ++i) {
-          if (!std::getline(in, ir_line)) break;
-          ir << ir_line << '\n';
-        }
-        modules[cmd.module_name] = ir.str();
-        break;
-      }
-      case svc::Command::Kind::Tune: {
-        auto it = modules.find(cmd.request.program);
-        if (it != modules.end()) cmd.request.ir_text = it->second;
-        pending.push_back({service->submit(std::move(cmd.request))});
-        break;
-      }
-      case svc::Command::Kind::Metrics:
-        flush_pending(pending);
-        std::printf("%s\n", svc::format_metrics(service->metrics()).c_str());
-        break;
-      case svc::Command::Kind::Save: {
-        flush_pending(pending);
-        const bool ok = cmd.path.empty() ? service->save()
-                                         : service->save_to(cmd.path);
-        std::printf("%s\n", ok ? "ok saved" : "err save failed");
-        break;
-      }
-      case svc::Command::Kind::Quit:
-        flush_pending(pending);
-        return 0;
-    }
-  }
-  flush_pending(pending);
-  return 0;
+  return listen_mode ? run_tcp(*service, net_opts, &signals)
+                     : run_stdio(*service, in);
 }

@@ -176,6 +176,22 @@ void Tracer::record(
   push(std::move(rec));
 }
 
+void Tracer::record_span(
+    const char* name, SpanContext self, std::uint64_t parent_id,
+    Clock::time_point start, Clock::time_point end,
+    std::vector<std::pair<std::string, std::string>> annotations) {
+  if (!enabled() || !self.valid()) return;
+  SpanRecord rec;
+  rec.name = name;
+  rec.trace_id = self.trace_id;
+  rec.span_id = self.span_id;
+  rec.parent_id = parent_id;
+  rec.start_us = to_trace_us(start);
+  rec.dur_us = to_trace_us(end) - rec.start_us;
+  rec.annotations = std::move(annotations);
+  push(std::move(rec));
+}
+
 std::string Tracer::to_chrome_trace(const std::vector<SpanRecord>& recs) {
   std::ostringstream os;
   os << "{\"traceEvents\":[";

@@ -87,6 +87,18 @@ class Tracer {
                      std::vector<std::pair<std::string, std::string>>
                          annotations = {});
 
+  /// Record a span whose identity the caller fixed up front (both IDs from
+  /// new_id()), parented on `parent_id` (0 = a trace root). This is how a
+  /// transport emits a request span *after* child spans — created while
+  /// the request was in flight under a TraceScope on `self` — have already
+  /// parented onto it. No-op when `self` is invalid.
+  static void record_span(const char* name, SpanContext self,
+                          std::uint64_t parent_id,
+                          std::chrono::steady_clock::time_point start,
+                          std::chrono::steady_clock::time_point end,
+                          std::vector<std::pair<std::string, std::string>>
+                              annotations = {});
+
   /// Microseconds since the process trace epoch.
   static std::uint64_t to_trace_us(std::chrono::steady_clock::time_point tp);
 
@@ -161,6 +173,11 @@ class Tracer {
                      std::chrono::steady_clock::time_point,
                      std::chrono::steady_clock::time_point,
                      std::vector<std::pair<std::string, std::string>> = {}) {}
+  static void record_span(const char*, SpanContext, std::uint64_t,
+                          std::chrono::steady_clock::time_point,
+                          std::chrono::steady_clock::time_point,
+                          std::vector<std::pair<std::string, std::string>> =
+                              {}) {}
   static std::uint64_t to_trace_us(std::chrono::steady_clock::time_point) {
     return 0;
   }

@@ -100,6 +100,9 @@ std::string apply_option(TuningRequest& req, const std::string& key,
 }  // namespace
 
 Command parse_command(const std::string& line) {
+  if (line.size() > kMaxRequestLine)
+    return invalid("request line too long (" + std::to_string(line.size()) +
+                   " bytes, max " + std::to_string(kMaxRequestLine) + ")");
   const std::string text = support::trim(line);
   if (text.empty() || text[0] == '#') return Command{};
 

@@ -25,12 +25,22 @@
 // rejected at parse time.
 #pragma once
 
+#include <cstddef>
 #include <string>
 
 #include "svc/metrics.hpp"
 #include "svc/request.hpp"
 
 namespace ilc::svc {
+
+/// Longest request line the protocol accepts, in bytes (terminator
+/// excluded). parse_command rejects longer lines as Invalid, and the
+/// socket transport additionally closes the connection after answering —
+/// a client that streams an unterminated line cannot grow a server-side
+/// buffer without bound. Generous for real commands: the largest
+/// legitimate line is `tune` with every option spelled out, well under
+/// 256 bytes.
+inline constexpr std::size_t kMaxRequestLine = 4096;
 
 struct Command {
   enum class Kind {

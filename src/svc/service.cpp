@@ -41,6 +41,10 @@ struct TuningService::Job {
   obs::SpanContext trace;
   std::promise<TuningResponse> promise;
   std::shared_future<TuningResponse> future;
+  /// Completion hooks registered by the submitter and by any coalesced
+  /// duplicates (guarded by TuningService::mu_; moved out, exactly once,
+  /// when the flight resolves).
+  std::vector<ResponseCallback> callbacks;
 };
 
 bool TuningService::JobOrder::operator()(
@@ -69,11 +73,24 @@ class TuningService::Completion {
   void resolve(TuningResponse resp) {
     if (done_) return;
     done_ = true;
+    std::vector<ResponseCallback> callbacks;
     {
       std::lock_guard<std::mutex> lock(svc_.mu_);
       svc_.inflight_.erase(job_->flight_key);
+      // Claimed in the same critical section as the in-flight erase: a
+      // concurrent duplicate either registered its callback before (it
+      // fires below) or finds the flight gone and takes the cache path.
+      callbacks = std::move(job_->callbacks);
     }
-    // Outside the lock: waiters run continuations inline on .get().
+    // Outside the lock: waiters run continuations inline on .get(), and
+    // completion hooks (the socket transport) may take their own locks.
+    for (const ResponseCallback& cb : callbacks) {
+      try {
+        cb(resp);
+      } catch (...) {
+        // A throwing hook must not strand the promise below.
+      }
+    }
     job_->promise.set_value(std::move(resp));
   }
 
@@ -132,13 +149,28 @@ std::shared_future<TuningResponse> TuningService::ready_response(
   return p.get_future().share();
 }
 
-std::shared_future<TuningResponse> TuningService::submit(TuningRequest req) {
+std::shared_future<TuningResponse> TuningService::submit(
+    TuningRequest req, ResponseCallback on_done) {
   const Clock::time_point start = Clock::now();
-  // Every request roots its own trace (explicit invalid parent), so a
-  // server thread handling many requests never chains them together.
-  obs::Span span("svc.submit", obs::SpanContext{});
+  // Parent onto the submitting thread's current span when it has one (the
+  // socket front-end scopes a per-request span around submit); with no
+  // enclosing span each request roots its own trace, so a plain client
+  // thread submitting many requests never chains them together.
+  obs::Span span("svc.submit");
   span.annotate("program", req.program);
   metrics_.on_request();
+
+  // Requests answered without ever being scheduled still owe the
+  // completion hook its exactly-once invocation — inline, on this thread.
+  const auto resolved = [&on_done, this](TuningResponse r) {
+    if (on_done) {
+      try {
+        on_done(r);
+      } catch (...) {
+      }
+    }
+    return ready_response(std::move(r));
+  };
 
   auto module = std::make_shared<ir::Module>();
   try {
@@ -153,7 +185,7 @@ std::shared_future<TuningResponse> TuningService::submit(TuningRequest req) {
     r.error = e.what();
     r.latency_us = elapsed_us(start);
     metrics_.on_error(r.latency_us);
-    return ready_response(std::move(r));
+    return resolved(std::move(r));
   }
 
   const std::uint64_t fp = ir::fingerprint(*module);
@@ -169,6 +201,7 @@ std::shared_future<TuningResponse> TuningService::submit(TuningRequest req) {
     if (it != inflight_.end()) {
       lookup.annotate("outcome", "coalesced");
       metrics_.on_coalesced();
+      if (on_done) it->second->callbacks.push_back(std::move(on_done));
       return it->second->future;
     }
 
@@ -187,7 +220,7 @@ std::shared_future<TuningResponse> TuningService::submit(TuningRequest req) {
       r.source = Source::WarmCache;
       r.latency_us = elapsed_us(start);
       metrics_.on_warm_hit(r.latency_us);
-      return ready_response(std::move(r));
+      return resolved(std::move(r));
     }
     // Bounded admission: a full queue sheds load instead of growing an
     // unbounded backlog of futures. Degrade gracefully when we can — the
@@ -219,7 +252,7 @@ std::shared_future<TuningResponse> TuningService::submit(TuningRequest req) {
         r.latency_us = elapsed_us(start);
         metrics_.on_rejected(r.latency_us);
       }
-      return ready_response(std::move(r));
+      return resolved(std::move(r));
     }
     lookup.annotate("outcome", "miss");
 
@@ -243,6 +276,7 @@ std::shared_future<TuningResponse> TuningService::submit(TuningRequest req) {
     }
     job->trace = span.context();
     job->future = job->promise.get_future().share();
+    if (on_done) job->callbacks.push_back(std::move(on_done));
     inflight_.emplace(flight_key, job);
     queue_.push(job);
     metrics_.on_enqueued();

@@ -26,6 +26,7 @@
 
 #include <chrono>
 #include <cstdint>
+#include <functional>
 #include <future>
 #include <list>
 #include <memory>
@@ -78,10 +79,23 @@ class TuningService {
   TuningService(const TuningService&) = delete;
   TuningService& operator=(const TuningService&) = delete;
 
+  /// Completion hook for transports that cannot block on a future (the
+  /// epoll front-end): invoked exactly once per submit that registered
+  /// one, with the same response the future resolves to. Runs on the
+  /// worker thread that retires the request — or inline on the submitting
+  /// thread for requests answered without scheduling (warm hit, stale,
+  /// rejection, malformed input). Must not block; exceptions are swallowed
+  /// so a throwing callback can never strand the request lifecycle.
+  using ResponseCallback = std::function<void(const TuningResponse&)>;
+
   /// Schedule a request. The future is shared: duplicates of an in-flight
   /// request receive the same one. Never throws on bad input — malformed
-  /// requests resolve to a response with ok=false.
-  std::shared_future<TuningResponse> submit(TuningRequest req);
+  /// requests resolve to a response with ok=false. `on_done`, when
+  /// non-null, fires exactly once (see ResponseCallback); a callback
+  /// attached to a request that coalesces onto an in-flight duplicate
+  /// fires when that flight resolves.
+  std::shared_future<TuningResponse> submit(TuningRequest req,
+                                            ResponseCallback on_done = nullptr);
 
   /// submit() + wait. Convenience for sequential clients.
   TuningResponse tune(TuningRequest req);

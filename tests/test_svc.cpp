@@ -613,6 +613,23 @@ TEST(SvcProtocol, RejectsMalformedLines) {
             svc::Command::Kind::Invalid);
 }
 
+TEST(SvcProtocol, RejectsOverlongRequestLines) {
+  // A line at the limit parses (content errors aside); one past it is
+  // rejected outright, before any tokenization.
+  const std::string pad(svc::kMaxRequestLine - 18, 'p');
+  EXPECT_EQ(svc::parse_command("tune fir comment=x" + pad).kind,
+            svc::Command::Kind::Invalid);  // unknown option, but parsed
+  const svc::Command over =
+      svc::parse_command(std::string(svc::kMaxRequestLine + 1, 'x'));
+  EXPECT_EQ(over.kind, svc::Command::Kind::Invalid);
+  EXPECT_NE(over.error.find("too long"), std::string::npos) << over.error;
+  // The guard is total: even a would-be-valid command is refused.
+  const svc::Command big_tune = svc::parse_command(
+      "tune fir budget=2 # " + std::string(svc::kMaxRequestLine, 'z'));
+  EXPECT_EQ(big_tune.kind, svc::Command::Kind::Invalid);
+  EXPECT_NE(big_tune.error.find("too long"), std::string::npos);
+}
+
 TEST(SvcProtocol, SkipsBlanksAndCommentsParsesControlLines) {
   EXPECT_EQ(svc::parse_command("").kind, svc::Command::Kind::Empty);
   EXPECT_EQ(svc::parse_command("  # comment").kind, svc::Command::Kind::Empty);
