@@ -23,10 +23,13 @@ inline unsigned env_unsigned(const char* name, unsigned fallback) {
 
 /// Common bench command line. The human-readable table on stdout is
 /// always produced; `--json <path>` additionally writes a machine-readable
-/// summary (CI artifacts, BENCH_*.json records), and `--smoke` shrinks the
-/// run to a seconds-scale correctness pass for CI.
+/// summary (CI artifacts, BENCH_*.json records), `--smoke` shrinks the
+/// run to a seconds-scale correctness pass for CI, and `--baseline <json>`
+/// (benches that support it) compares against a prior JSON record and
+/// fails on regression.
 struct Args {
-  std::string json_path;  // empty = no JSON output
+  std::string json_path;      // empty = no JSON output
+  std::string baseline_path;  // empty = no baseline comparison
   bool smoke = false;
 };
 
@@ -36,6 +39,8 @@ inline Args parse_args(int argc, char** argv) {
     const std::string a = argv[i];
     if (a == "--json" && i + 1 < argc) {
       args.json_path = argv[++i];
+    } else if (a == "--baseline" && i + 1 < argc) {
+      args.baseline_path = argv[++i];
     } else if (a == "--smoke") {
       args.smoke = true;
     }

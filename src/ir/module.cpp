@@ -93,7 +93,7 @@ std::uint64_t Module::global_bytes(GlobalId id) const {
 
 namespace {
 
-void store_le(std::vector<std::uint8_t>& mem, std::uint64_t addr,
+void store_le(ZeroedBuffer& mem, std::uint64_t addr,
               std::uint64_t value, unsigned bytes) {
   ILC_CHECK(addr + bytes <= mem.size());
   for (unsigned i = 0; i < bytes; ++i)
@@ -118,7 +118,7 @@ MemoryImage Module::build_image(std::uint64_t stack_size) const {
   img.stack_base = addr;
   img.stack_size = stack_size;
   addr += stack_size;
-  img.bytes.assign(addr, 0);
+  img.bytes.reset(addr);
 
   auto resolve_ptr = [&](GlobalId target, std::int64_t index) -> std::uint64_t {
     if (index < 0) return 0;  // null

@@ -8,8 +8,18 @@
 #pragma once
 
 #include <cstdint>
+#include <cstdlib>
+#include <cstring>
+#include <new>
 #include <string>
 #include <vector>
+
+#if defined(__unix__) || defined(__APPLE__)
+#include <sys/mman.h>
+#define ILC_ZEROBUF_HAS_MMAP 1
+#else
+#define ILC_ZEROBUF_HAS_MMAP 0
+#endif
 
 #include "ir/function.hpp"
 #include "ir/types.hpp"
@@ -42,12 +52,102 @@ struct Global {
   std::vector<FieldInit> field_init;  // one per record field (or empty)
 };
 
+/// A byte buffer that starts life all-zero. Large buffers are backed by
+/// anonymous mmap so the kernel hands back lazily mapped zero pages:
+/// creating a fresh ~1MB image (mostly untouched stack) costs a syscall
+/// instead of a full memset, and pages the simulated program never touches
+/// are never faulted in. This fixed cost is paid once per Simulator and
+/// dominates short workloads. calloc alone is not enough — glibc's sliding
+/// mmap threshold moves such allocations onto the heap after the first
+/// free, where calloc must memset the whole extent. Small buffers stay on
+/// calloc (a syscall per tiny image would be the slower choice).
+class ZeroedBuffer {
+ public:
+  ZeroedBuffer() = default;
+  ~ZeroedBuffer() { release(); }
+  ZeroedBuffer(const ZeroedBuffer& o) { *this = o; }
+  ZeroedBuffer& operator=(const ZeroedBuffer& o) {
+    if (this != &o) {
+      reset(o.size_);
+      if (size_ != 0) std::memcpy(data_, o.data_, size_);
+    }
+    return *this;
+  }
+  ZeroedBuffer(ZeroedBuffer&& o) noexcept
+      : data_(o.data_), size_(o.size_), mapped_(o.mapped_) {
+    o.data_ = nullptr;
+    o.size_ = 0;
+    o.mapped_ = false;
+  }
+  ZeroedBuffer& operator=(ZeroedBuffer&& o) noexcept {
+    if (this != &o) {
+      release();
+      data_ = o.data_;
+      size_ = o.size_;
+      mapped_ = o.mapped_;
+      o.data_ = nullptr;
+      o.size_ = 0;
+      o.mapped_ = false;
+    }
+    return *this;
+  }
+
+  /// Discard contents and become `n` zero bytes.
+  void reset(std::uint64_t n) {
+    release();
+    if (n == 0) return;
+#if ILC_ZEROBUF_HAS_MMAP
+    if (n >= kMmapThreshold) {
+      void* p = ::mmap(nullptr, n, PROT_READ | PROT_WRITE,
+                       MAP_PRIVATE | MAP_ANONYMOUS, -1, 0);
+      if (p != MAP_FAILED) {
+        data_ = static_cast<std::uint8_t*>(p);
+        size_ = n;
+        mapped_ = true;
+        return;
+      }
+    }
+#endif
+    data_ = static_cast<std::uint8_t*>(std::calloc(n, 1));
+    if (data_ == nullptr) throw std::bad_alloc();
+    size_ = n;
+  }
+
+  std::uint8_t* data() { return data_; }
+  const std::uint8_t* data() const { return data_; }
+  std::uint64_t size() const { return size_; }
+  std::uint8_t& operator[](std::uint64_t i) { return data_[i]; }
+  const std::uint8_t& operator[](std::uint64_t i) const { return data_[i]; }
+
+ private:
+  /// Below this, a syscall per buffer would cost more than the memset.
+  static constexpr std::uint64_t kMmapThreshold = 256 * 1024;
+
+  void release() noexcept {
+#if ILC_ZEROBUF_HAS_MMAP
+    if (mapped_) {
+      ::munmap(data_, size_);
+    } else
+#endif
+    {
+      std::free(data_);
+    }
+    data_ = nullptr;
+    size_ = 0;
+    mapped_ = false;
+  }
+
+  std::uint8_t* data_ = nullptr;
+  std::uint64_t size_ = 0;
+  bool mapped_ = false;
+};
+
 /// The executable image: initial memory contents plus resolved addresses.
 /// Address 0..kNullGuard-1 is never mapped (null-dereference detection).
 struct MemoryImage {
   static constexpr std::uint64_t kNullGuard = 64;
 
-  std::vector<std::uint8_t> bytes;          // full address space contents
+  ZeroedBuffer bytes;                       // full address space contents
   std::vector<std::uint64_t> global_base;   // base address per global
   std::uint64_t stack_base = 0;             // frames grow upward from here
   std::uint64_t stack_size = 0;

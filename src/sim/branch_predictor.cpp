@@ -12,24 +12,6 @@ BranchPredictor::BranchPredictor(std::uint32_t entries) {
   }
 }
 
-std::size_t BranchPredictor::index(std::uint64_t branch_id) const {
-  const std::uint64_t mixed = branch_id ^ (history_ * 0x9e3779b97f4a7c15ULL);
-  return static_cast<std::size_t>(mixed) & (table_.size() - 1);
-}
-
-bool BranchPredictor::predict(std::uint64_t branch_id, bool backward) const {
-  if (table_.empty()) return backward;  // static: loops taken, exits not
-  return table_[index(branch_id)] >= 2;
-}
-
-void BranchPredictor::update(std::uint64_t branch_id, bool taken) {
-  if (table_.empty()) return;
-  std::uint8_t& ctr = table_[index(branch_id)];
-  if (taken && ctr < 3) ++ctr;
-  if (!taken && ctr > 0) --ctr;
-  history_ = (history_ << 1) | (taken ? 1 : 0);
-}
-
 void BranchPredictor::clear() {
   for (auto& c : table_) c = 2;
   history_ = 0;

@@ -1,5 +1,7 @@
 #include "sim/cache.hpp"
 
+#include <algorithm>
+
 #include "support/assert.hpp"
 
 namespace ilc::sim {
@@ -23,37 +25,14 @@ Cache::Cache(const CacheConfig& cfg) : cfg_(cfg) {
   sets_ = lines_total / cfg.ways;
   ILC_CHECK_MSG((sets_ & (sets_ - 1)) == 0, "set count must be a power of two");
   line_shift_ = log2_exact(cfg.line_bytes);
-  lines_.assign(static_cast<std::size_t>(sets_) * cfg.ways, Line{});
-}
-
-bool Cache::access(std::uint64_t addr) {
-  ++tick_;
-  const std::uint64_t line_addr = addr >> line_shift_;
-  const std::uint32_t set = static_cast<std::uint32_t>(line_addr) & (sets_ - 1);
-  const std::uint64_t tag = line_addr >> 0;  // full line address as tag
-  Line* base = &lines_[static_cast<std::size_t>(set) * cfg_.ways];
-
-  Line* victim = base;
-  for (std::uint32_t w = 0; w < cfg_.ways; ++w) {
-    Line& line = base[w];
-    if (line.valid && line.tag == tag) {
-      line.lru = tick_;
-      return true;
-    }
-    if (!line.valid) {
-      victim = &line;
-    } else if (victim->valid && line.lru < victim->lru) {
-      victim = &line;
-    }
-  }
-  victim->valid = true;
-  victim->tag = tag;
-  victim->lru = tick_;
-  return false;
+  const std::size_t n = static_cast<std::size_t>(sets_) * cfg.ways;
+  tags_.assign(n, kInvalidTag);
+  lru_.assign(n, 0);
 }
 
 void Cache::clear() {
-  for (Line& line : lines_) line = Line{};
+  std::fill(tags_.begin(), tags_.end(), kInvalidTag);
+  std::fill(lru_.begin(), lru_.end(), 0);
   tick_ = 0;
 }
 

@@ -19,7 +19,24 @@ class Cache {
   explicit Cache(const CacheConfig& cfg);
 
   /// Look up the line containing addr; fills it on miss. Returns hit.
-  bool access(std::uint64_t addr);
+  /// Defined inline: this is the hottest leaf of the decoded execution
+  /// engine (every Load/Store hits it once per level), and keeping the
+  /// body visible lets the engine TU inline the common L1-hit path.
+  bool access(std::uint64_t addr) {
+    ++tick_;
+    const std::uint64_t tag = addr >> line_shift_;  // full line address
+    const std::uint32_t set = static_cast<std::uint32_t>(tag) & (sets_ - 1);
+    // Dispatch on associativity so the scans below fully unroll with the
+    // way count a compile-time constant. The branch on ways is perfectly
+    // predicted (it never changes for a given cache).
+    switch (cfg_.ways) {
+      case 1: return access_set<1>(tag, set);
+      case 2: return access_set<2>(tag, set);
+      case 4: return access_set<4>(tag, set);
+      case 8: return access_set<8>(tag, set);
+      default: return access_set<0>(tag, set);
+    }
+  }
 
   /// Reset contents (cold cache) without changing configuration.
   void clear();
@@ -28,16 +45,55 @@ class Cache {
   std::uint32_t num_sets() const { return sets_; }
 
  private:
-  struct Line {
-    std::uint64_t tag = ~0ULL;
-    std::uint64_t lru = 0;  // last-use stamp
-    bool valid = false;
-  };
+  /// Sentinel tag for an invalid (never-filled) way. Unreachable by real
+  /// accesses: tags are addresses shifted right by line_shift_.
+  static constexpr std::uint64_t kInvalidTag = ~0ULL;
+
+  /// Probe one set. kWays = 0 is the generic runtime-associativity form.
+  /// The hit scan selects the matching way with conditional moves rather
+  /// than an early-exit branch per way: which way hits is data-dependent
+  /// and would cost the *host* a mispredict per probe. Tags are unique
+  /// within a set, so any-match selection is well-defined.
+  template <std::uint32_t kWays>
+  bool access_set(std::uint64_t tag, std::uint32_t set) {
+    const std::uint32_t ways = kWays != 0 ? kWays : cfg_.ways;
+    std::uint64_t* const tb = &tags_[static_cast<std::size_t>(set) * ways];
+    std::uint64_t* const lb = &lru_[static_cast<std::size_t>(set) * ways];
+
+    std::uint32_t hit_way = ways;
+    for (std::uint32_t w = 0; w < ways; ++w)
+      hit_way = tb[w] == tag ? w : hit_way;
+    if (hit_way != ways) {
+      lb[hit_way] = tick_;
+      return true;
+    }
+    // Same victim choice as the historical fused scan: the last invalid
+    // way, else the least-recently-used one (first way wins ties).
+    // Invalid ways hold kInvalidTag and never match the hit scan: a real
+    // tag is an address right-shifted by line_shift_ >= 3, so its top
+    // bits are zero.
+    std::uint32_t victim = 0;
+    bool victim_invalid = tb[0] == kInvalidTag;
+    for (std::uint32_t w = 1; w < ways; ++w) {
+      if (tb[w] == kInvalidTag) {
+        victim = w;
+        victim_invalid = true;
+      } else if (!victim_invalid && lb[w] < lb[victim]) {
+        victim = w;
+      }
+    }
+    tb[victim] = tag;
+    lb[victim] = tick_;
+    return false;
+  }
 
   CacheConfig cfg_;
   std::uint32_t sets_;
   std::uint32_t line_shift_;
-  std::vector<Line> lines_;  // sets_ * ways, row-major by set
+  // Structure-of-arrays, sets_ * ways each, row-major by set: the hit
+  // scan touches only the tag row.
+  std::vector<std::uint64_t> tags_;
+  std::vector<std::uint64_t> lru_;  // last-use stamps
   std::uint64_t tick_ = 0;
 };
 

@@ -1,5 +1,7 @@
 #include "sim/decoded_program.hpp"
 
+#include <algorithm>
+
 #include "ir/fingerprint.hpp"
 #include "support/assert.hpp"
 #include "support/hash.hpp"
@@ -8,25 +10,15 @@ namespace ilc::sim {
 
 namespace {
 
-LatClass lat_class(ir::Opcode op) {
-  switch (op) {
-    case ir::Opcode::Mul:
-      return LatClass::Mul;
-    case ir::Opcode::Div:
-    case ir::Opcode::Rem:
-      return LatClass::Div;
-    default:
-      return LatClass::Alu;
-  }
-}
-
-DecodedFunction decode_function(const ir::Function& fn, ir::FuncId fn_id,
-                                std::size_t num_funcs) {
+DecodedFunction decode_function(const ir::Module& mod, const ir::Function& fn,
+                                ir::FuncId fn_id, std::size_t num_funcs) {
   DecodedFunction out;
   out.name = fn.name;
   out.num_args = fn.num_args;
   out.num_regs = fn.num_regs;
   out.frame_bytes = (fn.frame_size + 15) / 16 * 16;
+  ILC_CHECK_MSG(fn.num_args <= fn.num_regs,
+                "decode: more arguments than registers in " << fn.name);
 
   out.block_entry.reserve(fn.blocks.size());
   std::size_t total = 0;
@@ -35,55 +27,107 @@ DecodedFunction decode_function(const ir::Function& fn, ir::FuncId fn_id,
     total += bb.insts.size();
   }
   out.code.reserve(total);
+  out.blocks.reserve(fn.blocks.size());
+
+  // Scratch for the per-block register-pressure count.
+  std::vector<std::uint8_t> touched(fn.num_regs, 0);
 
   for (ir::BlockId block = 0; block < fn.blocks.size(); ++block) {
     const ir::BasicBlock& bb = fn.blocks[block];
     ILC_CHECK_MSG(!bb.insts.empty() && ir::is_terminator(bb.insts.back()),
                   "decode: block without terminator in " << fn.name);
+
+    Superblock sb;
+    sb.entry = out.block_entry[block];
+    sb.len = static_cast<std::uint32_t>(bb.insts.size());
+    std::fill(touched.begin(), touched.end(), 0);
+    auto touch = [&](ir::Reg r) {
+      if (r < fn.num_regs && !touched[r]) {
+        touched[r] = 1;
+        ++sb.reg_pressure;
+      }
+    };
+
     for (std::size_t ip = 0; ip < bb.insts.size(); ++ip) {
       const ir::Instr& inst = bb.insts[ip];
       DecodedInstr d;
       d.op = inst.op;
-      d.lat = lat_class(inst.op);
       d.width_bytes = static_cast<std::uint8_t>(ir::width_bytes(inst.width));
-      d.is_ptr = inst.is_ptr;
-      d.has_dst = ir::has_dst(inst);
+      if (inst.is_ptr) d.flags |= DecodedInstr::kIsPtr;
+      if (ir::has_dst(inst)) d.flags |= DecodedInstr::kHasDst;
       d.dst = inst.dst;
       d.a = inst.a;
       d.b = inst.b;
       d.imm = inst.imm;
-      d.callee = inst.callee;
-      d.gid = inst.gid;
-      d.nargs = inst.nargs;
-      d.args = inst.args;
 
+      // Validate registers exactly as the legacy walk would touch them,
+      // so the execution loop needs no per-instruction asserts.
+      std::array<ir::Reg, 2 + ir::kMaxCallArgs> uses;
       unsigned nu = 0;
-      ir::append_uses(inst, d.uses, nu);
-      d.nu = static_cast<std::uint8_t>(nu);
-      for (unsigned u = 0; u < nu; ++u)
-        ILC_CHECK_MSG(d.uses[u] < fn.num_regs,
+      ir::append_uses(inst, uses, nu);
+      sb.use_count += nu;
+      for (unsigned u = 0; u < nu; ++u) {
+        ILC_CHECK_MSG(uses[u] < fn.num_regs,
                       "decode: register out of range in " << fn.name);
-      ILC_CHECK_MSG(!d.has_dst || d.dst < fn.num_regs,
-                    "decode: dst register out of range in " << fn.name);
-
-      if (inst.op == ir::Opcode::Call)
-        ILC_CHECK_MSG(inst.callee < num_funcs,
-                      "decode: bad callee in " << fn.name);
-      if (inst.op == ir::Opcode::Jump || inst.op == ir::Opcode::Br) {
-        ILC_CHECK_MSG(inst.t1 < fn.blocks.size(),
-                      "decode: bad branch target in " << fn.name);
-        d.t1 = out.block_entry[inst.t1];
+        touch(uses[u]);
       }
-      if (inst.op == ir::Opcode::Br) {
-        ILC_CHECK_MSG(inst.t2 < fn.blocks.size(),
-                      "decode: bad branch target in " << fn.name);
-        d.t2 = out.block_entry[inst.t2];
-        d.backward = inst.t1 <= block;
-        d.branch_id = support::hash_combine(
-            support::hash_combine(fn_id, block), ip);
+      ILC_CHECK_MSG(!d.has_dst() || d.dst < fn.num_regs,
+                    "decode: dst register out of range in " << fn.name);
+      if (d.has_dst()) touch(d.dst);
+
+      switch (inst.op) {
+        case ir::Opcode::Load:
+        case ir::Opcode::Store:
+          ++sb.mem_ops;
+          break;
+        case ir::Opcode::GlobalAddr:
+          // The handler resolves the base against the Simulator's image;
+          // keep the id in the hot immediate slot.
+          d.imm = static_cast<std::int64_t>(inst.gid);
+          break;
+        case ir::Opcode::Call: {
+          ILC_CHECK_MSG(inst.callee < num_funcs,
+                        "decode: bad callee in " << fn.name);
+          const ir::Function& callee = mod.function(inst.callee);
+          ILC_CHECK_MSG(callee.num_args <= ir::kMaxCallArgs,
+                        "decode: callee arity exceeds kMaxCallArgs in "
+                            << fn.name);
+          ++sb.calls;
+          d.t1 = inst.callee;
+          d.t2 = static_cast<std::uint32_t>(out.callsites.size());
+          CallSite cs;
+          cs.nargs = inst.nargs;
+          cs.args = inst.args;
+          out.callsites.push_back(cs);
+          break;
+        }
+        case ir::Opcode::Jump:
+        case ir::Opcode::Br: {
+          ILC_CHECK_MSG(inst.t1 < fn.blocks.size(),
+                        "decode: bad branch target in " << fn.name);
+          d.t1 = out.block_entry[inst.t1];
+          if (inst.op == ir::Opcode::Br) {
+            ILC_CHECK_MSG(inst.t2 < fn.blocks.size(),
+                          "decode: bad branch target in " << fn.name);
+            d.t2 = out.block_entry[inst.t2];
+            if (inst.t1 <= block) d.flags |= DecodedInstr::kBackward;
+            // Same recipe as the legacy walk, so predictor state and
+            // misprediction counts are bit-identical.
+            d.imm = static_cast<std::int64_t>(support::hash_combine(
+                support::hash_combine(fn_id, block), ip));
+          }
+          break;
+        }
+        default:
+          break;
       }
       out.code.push_back(d);
     }
+
+    const DecodedInstr& term = out.code.back();
+    sb.terminator = term.op;
+    sb.ends_backward = term.op == ir::Opcode::Br && term.backward();
+    out.blocks.push_back(sb);
   }
   return out;
 }
@@ -95,8 +139,8 @@ std::shared_ptr<const DecodedProgram> decode_program(const ir::Module& mod) {
   prog->fingerprint = ir::fingerprint(mod);
   prog->funcs.reserve(mod.functions().size());
   for (ir::FuncId id = 0; id < mod.functions().size(); ++id) {
-    prog->funcs.push_back(
-        decode_function(mod.function(id), id, mod.functions().size()));
+    prog->funcs.push_back(decode_function(mod, mod.function(id), id,
+                                          mod.functions().size()));
     prog->instruction_count += prog->funcs.back().code.size();
   }
   return prog;

@@ -7,8 +7,28 @@
 // fn.blocks[block].insts[ip].
 //
 // DecodedProgram flattens a module once into contiguous per-function
-// instruction arrays with all of that precomputed. Branch/jump targets are
-// resolved to flat offsets, so the inner loop is a single indexed fetch.
+// instruction arrays with all of that precomputed, and fuses each basic
+// block into a *superblock*: a straight-line superinstruction run whose
+// aggregate facts (length, register pressure, use counts, terminator and
+// branch metadata) are decoded once per block. The execution engine
+// exploits the fusion by accounting instruction retirement and the budget
+// guard per run instead of per instruction — everything between two
+// control transfers is known straight-line code at decode time.
+//
+// Layout is split hot/cold for locality. The per-instruction DecodedInstr
+// is packed to 32 bytes (two per cache line; the previous layout was 112
+// bytes and measurably regressed pointer-chasing workloads by blowing L1):
+// opcode, flags, access width, three registers, a 64-bit immediate, and
+// two 32-bit targets. Everything an opcode handler does not touch on the
+// hot path lives elsewhere: call argument lists in a per-function CallSite
+// side table (reached through the instruction's t2 slot), per-block
+// metadata in the Superblock array, names and frame sizes in
+// DecodedFunction. Field roles are overloaded per opcode so nothing hot
+// leaves the 32 bytes:
+//   Br         imm = precomputed branch identity, t1/t2 = flat targets
+//   GlobalAddr imm = global id
+//   Call       t1 = callee function id, t2 = CallSite index
+//
 // Decoding depends only on the module's *code* (not its memory image or a
 // machine config), which is what lets a process-wide ProgramCache share
 // decoded programs across Simulators, machines, and repeat evaluations of
@@ -17,7 +37,7 @@
 // Invariant: executing the decoded form is bit-identical to the legacy
 // walk — same results, same cycle counts, same counters, same branch ids
 // fed to the predictor (tests/test_sim_decoded.cpp enforces this
-// differentially).
+// differentially, in both dispatch modes, with counters on and off).
 #pragma once
 
 #include <array>
@@ -30,43 +50,69 @@
 
 namespace ilc::sim {
 
-/// Latency class of an instruction, resolved against a MachineConfig at
-/// execution time (so decoded programs stay machine-independent).
-enum class LatClass : std::uint8_t { Alu = 0, Mul = 1, Div = 2 };
-
-/// One pre-decoded instruction. Larger than ir::Instr, but every field the
-/// inner loop touches is computed and the array is contiguous in execution
-/// order.
+/// One pre-decoded instruction, packed to 32 bytes. Field roles are
+/// overloaded per opcode (see the file comment); cold per-site data lives
+/// in DecodedFunction side tables.
 struct DecodedInstr {
+  /// Flag bits. `kIsPtr` marks pointer loads (no sign extension);
+  /// `kBackward` marks a Br whose taken target is not later in layout
+  /// order (loop-shaped, drives the static predictor).
+  static constexpr std::uint8_t kIsPtr = 1u << 0;
+  static constexpr std::uint8_t kBackward = 1u << 1;
+  static constexpr std::uint8_t kHasDst = 1u << 2;
+
   ir::Opcode op = ir::Opcode::Nop;
-  LatClass lat = LatClass::Alu;
+  std::uint8_t flags = 0;
   std::uint8_t width_bytes = 8;  // Load/Store access width, resolved
-  bool is_ptr = false;
-  bool has_dst = false;
-  bool backward = false;  // Br: taken target not later in layout order
-  std::uint8_t nu = 0;    // register uses (sources incl. call args)
-  std::uint8_t nargs = 0;
+  std::uint8_t unused = 0;
 
   ir::Reg dst = ir::kNoReg;
   ir::Reg a = ir::kNoReg;
   ir::Reg b = ir::kNoReg;
+
+  /// LoadImm value, Load/Store/Prefetch/FrameAddr offset; for Br the
+  /// precomputed branch identity (identical to the legacy
+  /// hash_combine(hash_combine(fn_id, block), ip), so predictor state and
+  /// misprediction counts match the legacy path exactly); for GlobalAddr
+  /// the global id.
   std::int64_t imm = 0;
 
-  std::uint32_t t1 = 0;  // Jump/Br taken target as a *flat* code offset
-  std::uint32_t t2 = 0;  // Br fall-through target as a flat code offset
-  ir::FuncId callee = ir::kNoFunc;
-  ir::GlobalId gid = ir::kNoGlobal;
+  std::uint32_t t1 = 0;  // Jump/Br taken target (flat offset); Call: callee
+  std::uint32_t t2 = 0;  // Br fall-through (flat offset); Call: CallSite idx
 
-  /// Precomputed branch identity for Br, identical to the legacy
-  /// hash_combine(hash_combine(fn_id, block), ip) so predictor state and
-  /// misprediction counts match the legacy path exactly.
-  std::uint64_t branch_id = 0;
+  bool is_ptr() const { return flags & kIsPtr; }
+  bool backward() const { return flags & kBackward; }
+  bool has_dst() const { return flags & kHasDst; }
+};
+static_assert(sizeof(DecodedInstr) == 32,
+              "DecodedInstr must stay two-per-cache-line; widening it "
+              "regresses pointer-chasing workloads (see bench/sim_speed)");
 
-  std::array<ir::Reg, 2 + ir::kMaxCallArgs> uses{};
+/// Cold per-call-site data: the argument registers. Reached via the Call
+/// instruction's t2 index; calls already pay frame setup, so the extra
+/// indirection is invisible.
+struct CallSite {
+  std::uint8_t nargs = 0;
   std::array<ir::Reg, ir::kMaxCallArgs> args{};
 };
 
-/// One function, flattened: blocks concatenated in layout order.
+/// One fused straight-line run == one source basic block, with its
+/// aggregate facts decoded once. The execution engine uses `len` for
+/// run-granular retirement/budget accounting; the rest (pressure, use
+/// counts, terminator shape) is scheduler/analysis-facing metadata.
+struct Superblock {
+  std::uint32_t entry = 0;  // flat offset of the first instruction
+  std::uint32_t len = 0;    // instructions including the terminator
+  std::uint32_t use_count = 0;     // register sources read (incl. call args)
+  std::uint32_t reg_pressure = 0;  // distinct registers referenced
+  std::uint32_t mem_ops = 0;       // loads + stores
+  std::uint32_t calls = 0;
+  ir::Opcode terminator = ir::Opcode::Ret;
+  bool ends_backward = false;  // terminator is a loop-shaped Br
+};
+
+/// One function, flattened: blocks concatenated in layout order, plus the
+/// cold side tables.
 struct DecodedFunction {
   std::string name;  // owned copy; traps must not dangle into the module
   unsigned num_args = 0;
@@ -75,6 +121,8 @@ struct DecodedFunction {
 
   std::vector<DecodedInstr> code;
   std::vector<std::uint32_t> block_entry;  // flat offset of each block
+  std::vector<Superblock> blocks;          // one per source basic block
+  std::vector<CallSite> callsites;         // indexed by Call.t2
 };
 
 /// A whole module's code, decoded. Owns all its data — safe to outlive the
@@ -85,8 +133,9 @@ struct DecodedProgram {
   std::size_t instruction_count = 0;  // static instructions decoded
 };
 
-/// Decode a module. Validates terminator targets and register references
-/// (ILC_CHECK), so the execution loop can skip per-instruction asserts.
+/// Decode a module. Validates terminator targets, register references, and
+/// call arities (ILC_CHECK), so the execution loop can skip
+/// per-instruction asserts.
 std::shared_ptr<const DecodedProgram> decode_program(const ir::Module& mod);
 
 }  // namespace ilc::sim

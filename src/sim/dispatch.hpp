@@ -1,0 +1,36 @@
+// Dispatch-mode selection for the decoded execution engine.
+//
+// The engine's inner loop is compiled in two forms:
+//   threaded — computed-goto dispatch (one indirect jump per handler, so
+//     the host branch predictor learns per-opcode successor patterns
+//     instead of serializing on one central switch branch). Requires the
+//     GNU labels-as-values extension (GCC/Clang).
+//   switch — a portable for(;;)+switch fallback, always compiled.
+//
+// ILC_SIM_HAS_THREADED_DISPATCH says whether the threaded form exists in
+// this build. Define ILC_SIM_SWITCH_DISPATCH_ONLY (CMake option
+// ILC_SIM_SWITCH_DISPATCH_ONLY=ON) to force the portable fallback even on
+// GCC/Clang — CI builds and tests that configuration so both paths stay
+// green. At runtime, MachineConfig::dispatch picks between the compiled
+// forms (DispatchMode::Auto prefers threaded when available).
+#pragma once
+
+#if !defined(ILC_SIM_SWITCH_DISPATCH_ONLY) && \
+    (defined(__GNUC__) || defined(__clang__))
+#define ILC_SIM_HAS_THREADED_DISPATCH 1
+#else
+#define ILC_SIM_HAS_THREADED_DISPATCH 0
+#endif
+
+namespace ilc::sim {
+
+/// Runtime dispatch selection for decoded execution. Threaded falls back
+/// to Switch when the build has no computed-goto support.
+enum class DispatchMode : unsigned char { Auto, Threaded, Switch };
+
+/// True when this build can honor DispatchMode::Threaded.
+inline constexpr bool threaded_dispatch_available() {
+  return ILC_SIM_HAS_THREADED_DISPATCH != 0;
+}
+
+}  // namespace ilc::sim

@@ -1,6 +1,7 @@
 #include "sim/interpreter.hpp"
 
 #include <algorithm>
+#include <cstring>
 #include <sstream>
 
 #include "ir/printer.hpp"
@@ -52,6 +53,59 @@ obs::Histogram& h_execute_us() {
       obs::Registry::instance().histogram("sim.execute_us");
   return h;
 }
+
+// Simulated memory is little-endian by definition (the byte-assembly
+// loops in load_value/store_value). On little-endian hosts the same
+// result is a single fixed-width access; big-endian hosts keep the loop.
+#if defined(__BYTE_ORDER__) && __BYTE_ORDER__ == __ORDER_LITTLE_ENDIAN__
+inline std::uint64_t load_le(const std::uint8_t* p, unsigned bytes) {
+  switch (bytes) {
+    case 1: return p[0];
+    case 2: {
+      std::uint16_t v;
+      std::memcpy(&v, p, 2);
+      return v;
+    }
+    case 4: {
+      std::uint32_t v;
+      std::memcpy(&v, p, 4);
+      return v;
+    }
+    default: {
+      std::uint64_t v;
+      std::memcpy(&v, p, 8);
+      return v;
+    }
+  }
+}
+inline void store_le(std::uint8_t* p, std::uint64_t v, unsigned bytes) {
+  switch (bytes) {
+    case 1: *p = static_cast<std::uint8_t>(v); break;
+    case 2: {
+      const std::uint16_t t = static_cast<std::uint16_t>(v);
+      std::memcpy(p, &t, 2);
+      break;
+    }
+    case 4: {
+      const std::uint32_t t = static_cast<std::uint32_t>(v);
+      std::memcpy(p, &t, 4);
+      break;
+    }
+    default: std::memcpy(p, &v, 8); break;
+  }
+}
+#else
+inline std::uint64_t load_le(const std::uint8_t* p, unsigned bytes) {
+  std::uint64_t v = 0;
+  for (unsigned i = 0; i < bytes; ++i)
+    v |= static_cast<std::uint64_t>(p[i]) << (8 * i);
+  return v;
+}
+inline void store_le(std::uint8_t* p, std::uint64_t v, unsigned bytes) {
+  for (unsigned i = 0; i < bytes; ++i)
+    p[i] = static_cast<std::uint8_t>(v >> (8 * i));
+}
+#endif
 
 }  // namespace
 
@@ -395,262 +449,70 @@ RunResult Simulator::call_legacy(FuncId fn_id,
   return rr;
 }
 
-// The hot path. Semantically a transliteration of call_legacy over the
-// flat pre-decoded arrays: no per-instruction use-list derivation, no
-// branch-id hashing, no block indirection, and the arithmetic switch is
-// inlined instead of routed through ir::fold_constant. Any divergence in
-// results, cycles, or counters is a bug (differential-tested).
+// --- the decoded hot path --------------------------------------------------
+//
+// The engine body lives in sim/exec_loop.inc and is included twice below:
+// once as the computed-goto threaded form, once as the portable switch
+// form. The X-macro pins the handler/label order to the ir::Opcode
+// enumerator order — the threaded label table indexes by opcode value, so
+// the static_asserts below make any enum reordering a compile error here
+// rather than a misdispatch at runtime.
+
+#define ILC_SIM_OPCODE_LIST(X)                                \
+  X(Nop) X(Mov) X(LoadImm)                                    \
+  X(Add) X(Sub) X(Mul) X(Div) X(Rem)                          \
+  X(And) X(Or) X(Xor) X(Shl) X(Shr) X(Min) X(Max)             \
+  X(Neg) X(Not)                                               \
+  X(CmpEq) X(CmpNe) X(CmpLt) X(CmpLe) X(CmpGt) X(CmpGe)       \
+  X(GlobalAddr) X(FrameAddr) X(Load) X(Store) X(Prefetch)     \
+  X(Jump) X(Br) X(Ret) X(Call)
+
+namespace {
+enum : unsigned {
+#define ILC_ORD(name) ilc_ord_##name,
+  ILC_SIM_OPCODE_LIST(ILC_ORD)
+#undef ILC_ORD
+      ilc_ord_count
+};
+#define ILC_CHECK_ORD(name)                                         \
+  static_assert(ilc_ord_##name == static_cast<unsigned>(Opcode::name), \
+                "ILC_SIM_OPCODE_LIST out of sync with ir::Opcode");
+ILC_SIM_OPCODE_LIST(ILC_CHECK_ORD)
+#undef ILC_CHECK_ORD
+static_assert(ilc_ord_count == static_cast<unsigned>(Opcode::Call) + 1,
+              "ILC_SIM_OPCODE_LIST is missing opcodes");
+}  // namespace
+
+#if ILC_SIM_HAS_THREADED_DISPATCH
+#define ILC_EXEC_NAME exec_decoded_threaded
+#define ILC_EXEC_THREADED 1
+#include "sim/exec_loop.inc"
+#undef ILC_EXEC_NAME
+#undef ILC_EXEC_THREADED
+#endif
+
+#define ILC_EXEC_NAME exec_decoded_switch
+#define ILC_EXEC_THREADED 0
+#include "sim/exec_loop.inc"
+#undef ILC_EXEC_NAME
+#undef ILC_EXEC_THREADED
+
+#undef ILC_SIM_OPCODE_LIST
+
 RunResult Simulator::call_decoded(FuncId fn_id,
                                   const std::vector<std::int64_t>& args) {
-  const DecodedProgram& prog = *decoded_;
-  ILC_CHECK_MSG(fn_id < prog.funcs.size(), "no function with id " << fn_id);
-
-  const Counters before = total_;
-  const std::uint64_t cycles_before = cycle_;
-  const std::uint64_t executed_before = executed_;
-  const std::uint64_t budget_end = executed_ + cfg_.max_instructions;
-  const std::uint32_t lat_of[3] = {cfg_.lat_alu, cfg_.lat_mul, cfg_.lat_div};
-
-  std::vector<DecodedFrame> stack;
-  std::uint64_t frame_cursor = image_.stack_base;
-
-  auto push_frame = [&](FuncId id, Reg ret_dst) -> DecodedFrame& {
-    const DecodedFunction& fn = prog.funcs[id];
-    if (stack.size() >= kMaxCallDepth)
-      throw TrapError("call depth exceeded in " + fn.name);
-    DecodedFrame fr;
-    fr.fn = &fn;
-    fr.regs.assign(fn.num_regs, 0);
-    fr.ready.assign(fn.num_regs, 0);
-    fr.frame_base = frame_cursor;
-    frame_cursor += fn.frame_bytes;
-    if (frame_cursor > image_.stack_base + image_.stack_size)
-      throw TrapError("stack overflow in " + fn.name);
-    fr.ret_dst = ret_dst;
-    stack.push_back(std::move(fr));
-    return stack.back();
-  };
-
-  {
-    const DecodedFunction& fn = prog.funcs[fn_id];
-    ILC_CHECK_MSG(args.size() == fn.num_args,
-                  "arity mismatch calling " << fn.name);
-    DecodedFrame& fr = push_frame(fn_id, ir::kNoReg);
-    for (std::size_t i = 0; i < args.size(); ++i) fr.regs[i] = args[i];
+#if ILC_SIM_HAS_THREADED_DISPATCH
+  const bool threaded = cfg_.dispatch != DispatchMode::Switch;
+  if (cfg_.collect_counters) {
+    return threaded ? exec_decoded_threaded<true>(fn_id, args)
+                    : exec_decoded_switch<true>(fn_id, args);
   }
-
-  std::int64_t final_ret = 0;
-
-  while (!stack.empty()) {
-    DecodedFrame& fr = stack.back();
-    const DecodedInstr& inst = fr.fn->code[fr.ip];
-    std::int64_t* const regs = fr.regs.data();
-    std::uint64_t* const ready = fr.ready.data();
-
-    if (++executed_ > budget_end)
-      throw TrapError("instruction budget exhausted (runaway loop?)");
-    total_[TOT_INS] += 1;
-
-    // --- timing: stall until register sources are ready, then claim an
-    // issue slot (issue_width instructions share a cycle).
-    std::uint64_t earliest = 0;
-    for (unsigned u = 0; u < inst.nu; ++u)
-      earliest = std::max(earliest, ready[inst.uses[u]]);
-    if (earliest > cycle_) {
-      cycle_ = earliest;
-      slots_used_ = 0;
-    } else if (slots_used_ >= cfg_.issue_width) {
-      cycle_ += 1;
-      slots_used_ = 0;
-    }
-    ++slots_used_;
-
-    std::uint32_t result_latency = lat_of[static_cast<unsigned>(inst.lat)];
-    bool advance = true;  // move ip forward unless control transfer happened
-
-    switch (inst.op) {
-      case Opcode::Nop:
-        break;
-      case Opcode::LoadImm:
-        regs[inst.dst] = inst.imm;
-        break;
-      case Opcode::Mov:
-        regs[inst.dst] = regs[inst.a];
-        break;
-      case Opcode::GlobalAddr:
-        regs[inst.dst] =
-            static_cast<std::int64_t>(image_.global_base[inst.gid]);
-        break;
-      case Opcode::FrameAddr:
-        regs[inst.dst] =
-            static_cast<std::int64_t>(fr.frame_base + inst.imm);
-        break;
-      // Arithmetic is inlined (same semantics as ir::fold_constant:
-      // wrapping 64-bit, defined division edge cases, masked shifts).
-      case Opcode::Neg:
-        regs[inst.dst] = static_cast<std::int64_t>(
-            0 - static_cast<std::uint64_t>(regs[inst.a]));
-        break;
-      case Opcode::Not:
-        regs[inst.dst] = ~regs[inst.a];
-        break;
-      case Opcode::Add:
-        regs[inst.dst] = static_cast<std::int64_t>(
-            static_cast<std::uint64_t>(regs[inst.a]) +
-            static_cast<std::uint64_t>(regs[inst.b]));
-        break;
-      case Opcode::Sub:
-        regs[inst.dst] = static_cast<std::int64_t>(
-            static_cast<std::uint64_t>(regs[inst.a]) -
-            static_cast<std::uint64_t>(regs[inst.b]));
-        break;
-      case Opcode::Mul:
-        regs[inst.dst] = static_cast<std::int64_t>(
-            static_cast<std::uint64_t>(regs[inst.a]) *
-            static_cast<std::uint64_t>(regs[inst.b]));
-        break;
-      case Opcode::Div: {
-        const std::int64_t a = regs[inst.a], b = regs[inst.b];
-        regs[inst.dst] =
-            b == 0 ? 0 : (a == INT64_MIN && b == -1 ? INT64_MIN : a / b);
-        break;
-      }
-      case Opcode::Rem: {
-        const std::int64_t a = regs[inst.a], b = regs[inst.b];
-        regs[inst.dst] = b == 0 ? a : (a == INT64_MIN && b == -1 ? 0 : a % b);
-        break;
-      }
-      case Opcode::And:
-        regs[inst.dst] = regs[inst.a] & regs[inst.b];
-        break;
-      case Opcode::Or:
-        regs[inst.dst] = regs[inst.a] | regs[inst.b];
-        break;
-      case Opcode::Xor:
-        regs[inst.dst] = regs[inst.a] ^ regs[inst.b];
-        break;
-      case Opcode::Shl:
-        regs[inst.dst] = static_cast<std::int64_t>(
-            static_cast<std::uint64_t>(regs[inst.a])
-            << (static_cast<std::uint64_t>(regs[inst.b]) & 63));
-        break;
-      case Opcode::Shr:  // arithmetic
-        regs[inst.dst] =
-            regs[inst.a] >> (static_cast<std::uint64_t>(regs[inst.b]) & 63);
-        break;
-      case Opcode::Min:
-        regs[inst.dst] = std::min(regs[inst.a], regs[inst.b]);
-        break;
-      case Opcode::Max:
-        regs[inst.dst] = std::max(regs[inst.a], regs[inst.b]);
-        break;
-      case Opcode::CmpEq:
-        regs[inst.dst] = regs[inst.a] == regs[inst.b];
-        break;
-      case Opcode::CmpNe:
-        regs[inst.dst] = regs[inst.a] != regs[inst.b];
-        break;
-      case Opcode::CmpLt:
-        regs[inst.dst] = regs[inst.a] < regs[inst.b];
-        break;
-      case Opcode::CmpLe:
-        regs[inst.dst] = regs[inst.a] <= regs[inst.b];
-        break;
-      case Opcode::CmpGt:
-        regs[inst.dst] = regs[inst.a] > regs[inst.b];
-        break;
-      case Opcode::CmpGe:
-        regs[inst.dst] = regs[inst.a] >= regs[inst.b];
-        break;
-      case Opcode::Load: {
-        const auto addr = static_cast<std::uint64_t>(regs[inst.a] + inst.imm);
-        bounds_check(addr, inst.width_bytes);
-        total_[LD_INS] += 1;
-        result_latency = mem_access(addr, /*is_write=*/false);
-        regs[inst.dst] = load_value(addr, inst.width_bytes, inst.is_ptr);
-        break;
-      }
-      case Opcode::Store: {
-        const auto addr = static_cast<std::uint64_t>(regs[inst.a] + inst.imm);
-        bounds_check(addr, inst.width_bytes);
-        total_[SR_INS] += 1;
-        // Stores retire through a store buffer: the cache access is
-        // counted but does not stall the pipeline.
-        mem_access(addr, /*is_write=*/true);
-        store_value(addr, regs[inst.b], inst.width_bytes);
-        break;
-      }
-      case Opcode::Prefetch: {
-        const auto addr = static_cast<std::uint64_t>(regs[inst.a] + inst.imm);
-        // Non-binding: out-of-range prefetches are dropped, in-range ones
-        // warm the hierarchy without stalling.
-        if (addr >= ir::MemoryImage::kNullGuard &&
-            addr + 8 <= image_.bytes.size()) {
-          mem_access(addr, /*is_write=*/false, /*counted=*/false);
-        }
-        break;
-      }
-      case Opcode::Jump:
-        fr.ip = inst.t1;
-        advance = false;
-        break;
-      case Opcode::Br: {
-        total_[BR_INS] += 1;
-        const bool taken = regs[inst.a] != 0;
-        const bool predicted = bpred_.predict(inst.branch_id, inst.backward);
-        bpred_.update(inst.branch_id, taken);
-        if (predicted != taken) {
-          total_[BR_MSP] += 1;
-          cycle_ += cfg_.mispredict_penalty;
-          slots_used_ = 0;  // pipeline redirect
-        }
-        fr.ip = taken ? inst.t1 : inst.t2;
-        advance = false;
-        break;
-      }
-      case Opcode::Call: {
-        cycle_ += cfg_.call_overhead;
-        slots_used_ = 0;
-        std::array<std::int64_t, ir::kMaxCallArgs> vals{};
-        for (unsigned i = 0; i < inst.nargs; ++i) vals[i] = regs[inst.args[i]];
-        fr.ip += 1;  // resume after the call on return
-        DecodedFrame& cf = push_frame(inst.callee, inst.dst);  // invalidates fr
-        for (unsigned i = 0; i < cf.fn->num_args; ++i) cf.regs[i] = vals[i];
-        advance = false;
-        break;
-      }
-      case Opcode::Ret: {
-        const std::int64_t value =
-            inst.a == ir::kNoReg ? 0 : regs[inst.a];
-        const Reg ret_dst = fr.ret_dst;
-        frame_cursor = fr.frame_base;
-        stack.pop_back();
-        if (stack.empty()) {
-          final_ret = value;
-        } else if (ret_dst != ir::kNoReg) {
-          DecodedFrame& caller = stack.back();
-          caller.regs[ret_dst] = value;
-          caller.ready[ret_dst] = cycle_ + 1;
-        }
-        advance = false;
-        break;
-      }
-    }
-
-    if (advance) {
-      if (inst.has_dst) ready[inst.dst] = cycle_ + result_latency;
-      fr.ip += 1;
-    }
-  }
-
-  total_[TOT_CYC] += cycle_ - cycles_before;
-
-  RunResult rr;
-  rr.ret = final_ret;
-  rr.cycles = cycle_ - cycles_before;
-  rr.instructions = executed_ - executed_before;
-  rr.counters = total_ - before;
-  return rr;
+  return threaded ? exec_decoded_threaded<false>(fn_id, args)
+                  : exec_decoded_switch<false>(fn_id, args);
+#else
+  return cfg_.collect_counters ? exec_decoded_switch<true>(fn_id, args)
+                               : exec_decoded_switch<false>(fn_id, args);
+#endif
 }
 
 }  // namespace ilc::sim

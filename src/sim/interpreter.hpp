@@ -9,8 +9,11 @@
 //
 // Two execution paths produce bit-identical results:
 //   decoded (default) — executes a sim::DecodedProgram (flat pre-decoded
-//     instruction arrays shared through the process-wide ProgramCache);
-//     this is the evaluation hot path.
+//     superblock arrays shared through the process-wide ProgramCache);
+//     this is the evaluation hot path. Four specializations of one engine
+//     body (sim/exec_loop.inc) cover {threaded, switch} dispatch ×
+//     {instrumented, fast} counter modes — selected by
+//     MachineConfig::dispatch and MachineConfig::collect_counters.
 //   legacy — walks ir::Instr trees directly, re-deriving use lists,
 //     branch ids, and widths per instruction. Kept as the differential
 //     reference (tests) and the baseline of bench/sim_speed.
@@ -100,18 +103,32 @@ class Simulator {
     ir::Reg ret_dst = ir::kNoReg;  // caller register receiving the result
   };
 
-  /// Decoded-path activation record: ip indexes the flat code array.
-  struct DecodedFrame {
+  /// Decoded-path activation record, POD: registers and scoreboard live in
+  /// the contiguous per-call stacks below (reg_base indexes both), so a
+  /// simulated call allocates nothing after warmup.
+  struct ExecFrame {
     const DecodedFunction* fn = nullptr;
-    std::vector<std::int64_t> regs;
-    std::vector<std::uint64_t> ready;
     std::uint64_t frame_base = 0;
-    std::uint32_t ip = 0;
+    std::uint32_t reg_base = 0;
+    std::uint32_t resume_ip = 0;  // flat offset to resume at after a call
     ir::Reg ret_dst = ir::kNoReg;
   };
 
   RunResult call_legacy(ir::FuncId fn, const std::vector<std::int64_t>& args);
   RunResult call_decoded(ir::FuncId fn, const std::vector<std::int64_t>& args);
+
+  /// The decoded engine body (sim/exec_loop.inc), instantiated for both
+  /// dispatch forms × both counter modes. kCounters=false compiles every
+  /// counter update out of the per-instruction path (the "fast" table);
+  /// the cache/branch models still run, so timing is bit-identical.
+  template <bool kCounters>
+  RunResult exec_decoded_switch(ir::FuncId fn,
+                                const std::vector<std::int64_t>& args);
+#if ILC_SIM_HAS_THREADED_DISPATCH
+  template <bool kCounters>
+  RunResult exec_decoded_threaded(ir::FuncId fn,
+                                  const std::vector<std::int64_t>& args);
+#endif
 
   /// Data-cache access; returns total load-to-use latency and updates
   /// counters. is_write distinguishes load/store miss counters. Software
@@ -135,6 +152,12 @@ class Simulator {
   std::uint64_t cycle_ = 0;        // monotone machine clock across calls
   std::uint32_t slots_used_ = 0;   // instructions issued in cycle_
   std::uint64_t executed_ = 0;
+
+  // Decoded-path scratch, reused across invocations (no allocation on the
+  // simulated call path after warmup).
+  std::vector<ExecFrame> frames_;
+  std::vector<std::int64_t> regstack_;
+  std::vector<std::uint64_t> readystack_;
 
   static constexpr unsigned kMaxCallDepth = 256;
 };

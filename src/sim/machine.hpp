@@ -12,6 +12,7 @@
 #include <string>
 
 #include "sim/cache.hpp"
+#include "sim/dispatch.hpp"
 
 namespace ilc::sim {
 
@@ -39,6 +40,19 @@ struct MachineConfig {
   /// of bench/sim_speed. Both paths are bit-identical in results, cycles,
   /// and counters.
   bool decoded_execution = true;
+
+  /// Collect PAPI-style hardware counters. Off selects the fast decoded
+  /// dispatch table with all counter bookkeeping compiled out of the
+  /// per-instruction path: RunResult::counters comes back all-zero while
+  /// ret/cycles/instructions stay bit-identical (the cache and branch
+  /// models still run — they drive the timing). The legacy path ignores
+  /// this and always collects.
+  bool collect_counters = true;
+
+  /// Dispatch strategy for decoded execution (see sim/dispatch.hpp).
+  /// Auto = threaded when the build supports it, else the portable
+  /// switch; both produce bit-identical results.
+  DispatchMode dispatch = DispatchMode::Auto;
 };
 
 MachineConfig c6713_like();

@@ -18,6 +18,11 @@ obs::Counter& c_pc_misses() {
       obs::Registry::instance().counter("sim.program_cache.misses");
   return c;
 }
+obs::Counter& c_pc_evictions() {
+  static obs::Counter c =
+      obs::Registry::instance().counter("sim.program_cache.evictions");
+  return c;
+}
 obs::Histogram& h_decode_us() {
   static obs::Histogram h =
       obs::Registry::instance().histogram("sim.decode_us");
@@ -39,39 +44,59 @@ std::shared_ptr<const DecodedProgram> ProgramCache::get(
 std::shared_ptr<const DecodedProgram> ProgramCache::get(
     const ir::Module& mod, std::uint64_t fingerprint) {
   {
-    std::lock_guard<std::mutex> lock(mu_);
-    auto it = map_.find(fingerprint);
-    if (it != map_.end()) {
-      ++hits_;
-      c_pc_hits().add(1);
-      lru_.splice(lru_.begin(), lru_, it->second.lru_pos);
-      return it->second.program;
+    std::unique_lock<std::mutex> lock(mu_);
+    for (;;) {
+      auto it = map_.find(fingerprint);
+      if (it == map_.end()) break;
+      if (it->second.program != nullptr) {
+        ++hits_;
+        c_pc_hits().add(1);
+        lru_.splice(lru_.begin(), lru_, it->second.lru_pos);
+        return it->second.program;
+      }
+      // Another thread is decoding this fingerprint right now: wait for
+      // it to publish instead of decoding a duplicate. Re-check from
+      // scratch after waking — the leader may have failed and erased the
+      // placeholder, making this thread the new leader.
+      cv_.wait(lock);
     }
     ++misses_;
     c_pc_misses().add(1);
+    map_.emplace(fingerprint, Entry{});  // pending: this thread leads
   }
 
-  // Decode outside the lock: concurrent misses on the same fingerprint
-  // decode twice and the loser's copy is dropped — decoding is cheap and
-  // this keeps slow decodes from serializing unrelated lookups.
+  // Decode outside the lock so a slow decode never serializes unrelated
+  // lookups; followers of this fingerprint wait on cv_.
   std::shared_ptr<const DecodedProgram> decoded;
-  {
+  try {
     obs::ScopedTimerUs timer(h_decode_us());
     decoded = decode_program(mod);
+  } catch (...) {
+    std::lock_guard<std::mutex> lock(mu_);
+    auto it = map_.find(fingerprint);
+    if (it != map_.end() && it->second.program == nullptr) map_.erase(it);
+    cv_.notify_all();
+    throw;
   }
 
   std::lock_guard<std::mutex> lock(mu_);
+  // The placeholder is normally still ours, but clear() may have dropped
+  // it (and a new leader may have re-inserted one) while we decoded.
   auto it = map_.find(fingerprint);
-  if (it != map_.end()) {
-    lru_.splice(lru_.begin(), lru_, it->second.lru_pos);
-    return it->second.program;
+  if (it == map_.end()) it = map_.emplace(fingerprint, Entry{}).first;
+  if (it->second.program == nullptr) {
+    it->second.program = decoded;
+    lru_.push_front(fingerprint);
+    it->second.lru_pos = lru_.begin();
+    // Evict published entries only (pending ones are absent from lru_).
+    while (lru_.size() > capacity_) {
+      map_.erase(lru_.back());
+      lru_.pop_back();
+      ++evictions_;
+      c_pc_evictions().add(1);
+    }
   }
-  lru_.push_front(fingerprint);
-  map_.emplace(fingerprint, Entry{decoded, lru_.begin()});
-  while (map_.size() > capacity_) {
-    map_.erase(lru_.back());
-    lru_.pop_back();
-  }
+  cv_.notify_all();
   return decoded;
 }
 
@@ -90,10 +115,20 @@ std::uint64_t ProgramCache::misses() const {
   return misses_;
 }
 
-void ProgramCache::clear() {
+std::uint64_t ProgramCache::evictions() const {
   std::lock_guard<std::mutex> lock(mu_);
-  map_.clear();
-  lru_.clear();
+  return evictions_;
+}
+
+void ProgramCache::clear() {
+  {
+    std::lock_guard<std::mutex> lock(mu_);
+    map_.clear();
+    lru_.clear();
+  }
+  // Leaders whose placeholder vanished re-insert on publish; wake any
+  // followers so they re-check rather than wait on an erased entry.
+  cv_.notify_all();
 }
 
 }  // namespace ilc::sim

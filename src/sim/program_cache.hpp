@@ -12,8 +12,17 @@
 // Entries are immutable and handed out as shared_ptr<const>, so eviction
 // never invalidates a running Simulator. A bounded LRU keeps a long-lived
 // tuning service from accumulating one entry per candidate ever seen.
+//
+// Lookups are single-flight, mirroring the evaluator memo cache: when
+// several threads miss on the same fingerprint simultaneously (a parallel
+// GA generation full of identical offspring), the first inserts a pending
+// placeholder and decodes; the rest block on the condition variable and
+// pick up the published program. Every unique fingerprint is decoded
+// exactly once. Pending placeholders are not on the LRU list, so eviction
+// can never drop an in-flight decode.
 #pragma once
 
+#include <condition_variable>
 #include <cstdint>
 #include <list>
 #include <memory>
@@ -33,6 +42,7 @@ class ProgramCache {
 
   /// Decoded program for `mod`, decoding on miss. Fingerprints the module;
   /// use the two-argument form when the caller already has the print.
+  /// Thread-safe; concurrent misses on one fingerprint decode once.
   std::shared_ptr<const DecodedProgram> get(const ir::Module& mod);
   std::shared_ptr<const DecodedProgram> get(const ir::Module& mod,
                                             std::uint64_t fingerprint);
@@ -40,9 +50,13 @@ class ProgramCache {
   std::size_t size() const;
   std::uint64_t hits() const;
   std::uint64_t misses() const;
+  std::uint64_t evictions() const;
   void clear();
 
  private:
+  /// program == nullptr marks a pending entry: a leader thread is decoding
+  /// this fingerprint and will publish (or erase, on failure) under mu_.
+  /// lru_pos is valid only for published entries.
   struct Entry {
     std::shared_ptr<const DecodedProgram> program;
     std::list<std::uint64_t>::iterator lru_pos;
@@ -50,10 +64,12 @@ class ProgramCache {
 
   const std::size_t capacity_;
   mutable std::mutex mu_;
+  std::condition_variable cv_;
   std::unordered_map<std::uint64_t, Entry> map_;
-  std::list<std::uint64_t> lru_;  // front = most recently used
+  std::list<std::uint64_t> lru_;  // front = most recently used; published only
   std::uint64_t hits_ = 0;
   std::uint64_t misses_ = 0;
+  std::uint64_t evictions_ = 0;
 };
 
 }  // namespace ilc::sim
