@@ -1,0 +1,222 @@
+// Replication bench: how fast a follower catches a leader, in-process and
+// over TCP. Doubles as a correctness gate (the CI smoke): every pass must
+// end with the follower at the leader's exact durable position and the
+// store files byte-identical — catch-up is measured against the leader's
+// on-disk position, never against heartbeat lag, which reads zero between
+// ship batches.
+//
+//   kb_replication [--smoke] [--json <path>]
+//
+//   ILC_KBREPL_RECORDS   records in the leader store   (default 20000)
+//
+// Passes:
+//   pipe bootstrap    cold follower, in-process ShipSource -> Applier
+//                     (codec + store ceiling: no sockets, no threads)
+//   tcp bootstrap     two cold followers over loopback TCP, concurrent
+//   tcp live tail     write burst into the leader while both followers
+//                     stream; time from last write to both converged
+//   compaction        leader compacts mid-stream; followers must adopt
+//                     the snapshot and converge on the new generation
+#include <chrono>
+#include <cstdio>
+#include <cstdlib>
+#include <filesystem>
+#include <string>
+#include <thread>
+#include <vector>
+
+#include "bench_common.hpp"
+#include "kbstore/store.hpp"
+#include "repl/applier.hpp"
+#include "repl/ship.hpp"
+#include "repl/transport.hpp"
+#include "repl/wire.hpp"
+#include "support/table.hpp"
+
+using namespace ilc;
+
+namespace {
+
+namespace fs = std::filesystem;
+using Clock = std::chrono::steady_clock;
+
+kb::ExperimentRecord record(std::size_t i) {
+  kb::ExperimentRecord r;
+  r.program = "prog-" + std::to_string(i % 997);
+  r.machine = "amd-like";
+  r.kind = "sequence";
+  r.config = "constprop,dce,licm,peephole,unroll";
+  r.cycles = 10000 + i;
+  r.code_size = 128 + i % 64;
+  r.instructions = 5000 + i;
+  r.static_features = {1.0, 2.0, 3.0, 4.0};
+  r.dynamic_features = {0.5, 0.25, 0.125};
+  return r;
+}
+
+double secs_since(Clock::time_point t0) {
+  return std::chrono::duration<double>(Clock::now() - t0).count();
+}
+
+std::string fmt(double v) {
+  char buf[32];
+  std::snprintf(buf, sizeof buf, "%.0f", v);
+  return buf;
+}
+
+[[noreturn]] void die(const std::string& why) {
+  std::fprintf(stderr, "kb_replication: FAIL: %s\n", why.c_str());
+  std::exit(1);
+}
+
+std::uint64_t wal_bytes(const std::string& dir) {
+  std::error_code ec;
+  const auto n = fs::file_size(dir + "/wal.ilc", ec);
+  return ec ? 0 : static_cast<std::uint64_t>(n);
+}
+
+/// The convergence-and-divergence gate every pass ends with: follower at
+/// the leader's exact on-disk position, files byte-identical.
+void require_converged(const std::string& name, const std::string& leader_dir,
+                       const repl::Applier& a, const std::string& follower_dir,
+                       int timeout_ms) {
+  const auto deadline =
+      Clock::now() + std::chrono::milliseconds(timeout_ms);
+  for (;;) {
+    const auto target = repl::ShipSource(leader_dir).position();
+    if (target) {
+      const kbstore::WalPosition pos = a.position();
+      if (pos.generation == target->generation && pos.seq == target->seq &&
+          pos.chain_crc == target->chain_crc)
+        break;
+    }
+    if (Clock::now() >= deadline) die(name + ": catch-up timed out");
+    std::this_thread::sleep_for(std::chrono::milliseconds(2));
+  }
+  if (const auto d = repl::divergence(leader_dir, follower_dir))
+    die(name + ": divergence: " + *d);
+}
+
+}  // namespace
+
+int main(int argc, char** argv) {
+  const bench::Args args = bench::parse_args(argc, argv);
+  const std::size_t n =
+      args.smoke ? 2000 : bench::env_unsigned("ILC_KBREPL_RECORDS", 20000);
+  const std::string leader_dir = "kb_repl_bench_leader.kbd";
+  const std::string pipe_dir = "kb_repl_bench_pipe.kbd";
+  const std::string f1_dir = "kb_repl_bench_f1.kbd";
+  const std::string f2_dir = "kb_repl_bench_f2.kbd";
+  for (const auto* d : {&leader_dir, &pipe_dir, &f1_dir, &f2_dir})
+    fs::remove_all(*d);
+
+  std::printf("kb_replication bench: %zu records%s\n\n", n,
+              args.smoke ? " (smoke)" : "");
+  support::Table table({"pass", "seconds", "frames/s", "MB/s"});
+  bench::Json json;
+  json.integer("records", n);
+  json.boolean("smoke", args.smoke);
+
+  // --- populate the leader -----------------------------------------------
+  kbstore::Options lopts;
+  lopts.flush = kbstore::Options::Flush::Batched;
+  lopts.background_compaction = false;
+  auto leader = kbstore::Store::open(leader_dir, lopts);
+  if (!leader) die("cannot open leader store");
+  for (std::size_t i = 0; i < n; ++i) leader->append(record(i));
+  if (!leader->sync()) die("leader sync failed");
+  const double mb = static_cast<double>(wal_bytes(leader_dir)) / 1e6;
+
+  // --- pipe bootstrap: ShipSource -> Applier, no transport ---------------
+  {
+    auto a = repl::Applier::open(pipe_dir);
+    if (!a) die("cannot open pipe follower");
+    const Clock::time_point t0 = Clock::now();
+    repl::ShipSource src(leader_dir);
+    std::string out, why;
+    if (!src.handshake(a->hello(), out, &why)) die("pipe handshake: " + why);
+    const auto target = src.position();
+    while (true) {
+      out.clear();
+      if (!src.poll(out)) die("pipe poll failed");
+      repl::MsgReader reader;
+      reader.feed(out);
+      repl::Msg m;
+      while (reader.next(m) == repl::MsgReader::Status::Ok)
+        if (!a->apply(m, &why)) die("pipe apply: " + why);
+      const kbstore::WalPosition pos = a->position();
+      if (target && pos.generation == target->generation &&
+          pos.seq == target->seq)
+        break;
+    }
+    const double secs = secs_since(t0);
+    require_converged("pipe bootstrap", leader_dir, *a, pipe_dir, 1000);
+    table.add_row({"pipe bootstrap", std::to_string(secs).substr(0, 6),
+                   fmt(static_cast<double>(n) / secs), fmt(mb / secs)});
+    json.number("pipe_bootstrap_s", secs);
+    json.number("pipe_frames_per_s", static_cast<double>(n) / secs);
+  }
+
+  // --- tcp bootstrap: two cold followers, concurrent ---------------------
+  auto ship = repl::ShipServer::start(leader_dir, /*port=*/0);
+  if (!ship) die("cannot start ship server");
+  repl::Applier::Options f1o, f2o;
+  f1o.metric_prefix = "repl.bench.f1";
+  f2o.metric_prefix = "repl.bench.f2";
+  auto f1 = repl::Applier::open(f1_dir, f1o);
+  auto f2 = repl::Applier::open(f2_dir, f2o);
+  if (!f1 || !f2) die("cannot open tcp followers");
+  {
+    const Clock::time_point t0 = Clock::now();
+    auto c1 = repl::ShipClient::start(*f1, ship->port());
+    auto c2 = repl::ShipClient::start(*f2, ship->port());
+    require_converged("tcp bootstrap", leader_dir, *f1, f1_dir, 60000);
+    require_converged("tcp bootstrap", leader_dir, *f2, f2_dir, 60000);
+    const double secs = secs_since(t0);
+    table.add_row({"tcp bootstrap x2", std::to_string(secs).substr(0, 6),
+                   fmt(static_cast<double>(2 * n) / secs),
+                   fmt(2 * mb / secs)});
+    json.number("tcp_bootstrap_s", secs);
+
+    // --- tcp live tail: write burst while both followers stream ----------
+    const std::size_t burst = n / 4;
+    const Clock::time_point t1 = Clock::now();
+    for (std::size_t i = 0; i < burst; ++i) leader->append(record(n + i));
+    if (!leader->sync()) die("leader sync failed");
+    require_converged("tcp live tail", leader_dir, *f1, f1_dir, 60000);
+    require_converged("tcp live tail", leader_dir, *f2, f2_dir, 60000);
+    const double tail_secs = secs_since(t1);
+    table.add_row({"tcp live tail x2", std::to_string(tail_secs).substr(0, 6),
+                   fmt(static_cast<double>(2 * burst) / tail_secs), "-"});
+    json.number("tcp_live_tail_s", tail_secs);
+
+    // --- compaction mid-stream: followers adopt the snapshot --------------
+    const Clock::time_point t2 = Clock::now();
+    if (!leader->compact()) die("leader compact failed");
+    leader->append(record(0));
+    if (!leader->sync()) die("leader sync failed");
+    require_converged("compaction", leader_dir, *f1, f1_dir, 60000);
+    require_converged("compaction", leader_dir, *f2, f2_dir, 60000);
+    const double comp_secs = secs_since(t2);
+    if (f1->position().generation != leader->wal_generation())
+      die("follower did not adopt the post-compaction generation");
+    table.add_row({"compaction adopt x2",
+                   std::to_string(comp_secs).substr(0, 6), "-", "-"});
+    json.number("compaction_adopt_s", comp_secs);
+    json.boolean("zero_divergence", true);
+  }
+  ship->stop();
+
+  std::printf("%s\n", table.render().c_str());
+  std::printf("gates: converged to the leader's on-disk position, "
+              "zero divergence, snapshot adopted\n");
+
+  if (!args.json_path.empty()) {
+    std::ofstream out(args.json_path);
+    out << json.render() << "\n";
+    std::printf("wrote %s\n", args.json_path.c_str());
+  }
+  for (const auto* d : {&leader_dir, &pipe_dir, &f1_dir, &f2_dir})
+    fs::remove_all(*d);
+  return 0;
+}

@@ -8,6 +8,14 @@
 //   $ echo "tune fir budget=10" | ./tuning_server --kb my.kb
 //   $ ./tuning_server --kb my.kb --listen 7070   # epoll TCP front-end
 //
+// Sharded / replicated serving (ilc::repl):
+//
+//   # shard 0 of 2, leader, shipping its WAL to followers on port 7100:
+//   $ ./tuning_server --kb shard0.kb --listen 7070 --shard-of 0/2 --ship 7100
+//   # a read-only follower of that leader, serving replicated warm hits:
+//   $ ./tuning_server --kb replica0.kb --listen 7071 --shard-of 0/2 \
+//                     --follower-of 7100
+//
 // Tune commands are submitted asynchronously as they are read; responses
 // are printed in submission order (the net::Session slot FIFO), so a
 // script full of tunes exercises the scheduler's full concurrency. Both
@@ -19,13 +27,17 @@
 #include <cstring>
 #include <fstream>
 #include <iostream>
+#include <memory>
 #include <optional>
 #include <string>
 
 #include "net/server.hpp"
 #include "net/session.hpp"
 #include "obs/trace.hpp"
+#include "repl/applier.hpp"
+#include "repl/transport.hpp"
 #include "support/failpoint.hpp"
+#include "svc/cache.hpp"
 #include "svc/protocol.hpp"
 #include "svc/service.hpp"
 
@@ -44,7 +56,14 @@ int usage(const char* argv0) {
                "  --failpoints spec fault injection, e.g. "
                "\"svc.persist=error*3\" (also via ILC_FAILPOINTS)\n"
                "  --listen port     serve the protocol over TCP on "
-               "127.0.0.1:port (0 = ephemeral) instead of stdin\n",
+               "127.0.0.1:port (0 = ephemeral) instead of stdin\n"
+               "  --shard-of i/N    own only fingerprints with fp %% N == i; "
+               "other requests answer \"wrong shard\"\n"
+               "  --ship port       leader: ship the KB's WAL to replication "
+               "followers on 127.0.0.1:port (0 = ephemeral)\n"
+               "  --follower-of P   follower: replicate from the leader "
+               "shipping on port P (or 127.0.0.1:P) into --kb,\n"
+               "                    and serve it read-only (warm hits only)\n",
                argv0);
   return 2;
 }
@@ -130,6 +149,10 @@ int main(int argc, char** argv) {
   svc::TuningService::Options opts;
   net::ServerOptions net_opts;
   bool listen_mode = false;
+  bool ship_mode = false;
+  std::uint16_t ship_port = 0;
+  bool follower_mode = false;
+  std::uint16_t leader_port = 0;
   std::string script = "-";
   TraceDump trace_dump;
   for (int i = 1; i < argc; ++i) {
@@ -159,6 +182,32 @@ int main(int argc, char** argv) {
     } else if (!std::strcmp(argv[i], "--idle-timeout-ms") && i + 1 < argc) {
       net_opts.idle_timeout_ms =
           static_cast<std::uint64_t>(std::atoll(argv[++i]));
+    } else if (!std::strcmp(argv[i], "--shard-of") && i + 1 < argc) {
+      unsigned idx = 0, n = 0;
+      if (std::sscanf(argv[++i], "%u/%u", &idx, &n) != 2 || n == 0 ||
+          idx >= n) {
+        std::fprintf(stderr, "--shard-of wants i/N with i < N\n");
+        return usage(argv[0]);
+      }
+      opts.shard_index = idx;
+      opts.shard_count = n;
+    } else if (!std::strcmp(argv[i], "--ship") && i + 1 < argc) {
+      ship_mode = true;
+      ship_port = static_cast<std::uint16_t>(std::atoi(argv[++i]));
+    } else if (!std::strcmp(argv[i], "--follower-of") && i + 1 < argc) {
+      // "PORT" or "127.0.0.1:PORT" / "localhost:PORT" — loopback only,
+      // like every listener in this repo (the protocol is unauthenticated).
+      follower_mode = true;
+      std::string arg = argv[++i];
+      if (const auto colon = arg.rfind(':'); colon != std::string::npos) {
+        const std::string host = arg.substr(0, colon);
+        if (host != "127.0.0.1" && host != "localhost") {
+          std::fprintf(stderr, "--follower-of is loopback-only\n");
+          return usage(argv[0]);
+        }
+        arg = arg.substr(colon + 1);
+      }
+      leader_port = static_cast<std::uint16_t>(std::atoi(arg.c_str()));
     } else {
       return usage(argv[0]);
     }
@@ -187,12 +236,63 @@ int main(int argc, char** argv) {
     pthread_sigmask(SIG_BLOCK, &signals, nullptr);
   }
 
+  // Follower mode: --kb names the replica directory. The Applier owns it
+  // (follower stores are read-only), a ShipClient streams the leader's
+  // WAL into it, and the service serves it via follower_lookup with no
+  // kb_path of its own — the replicated store has exactly one writer.
+  std::unique_ptr<repl::Applier> applier;
+  std::unique_ptr<repl::ShipClient> ship_client;
+  if (follower_mode) {
+    if (ship_mode) {
+      std::fprintf(stderr, "--follower-of and --ship are exclusive\n");
+      return usage(argv[0]);
+    }
+    if (opts.kb_path.empty()) {
+      std::fprintf(stderr,
+                   "--follower-of requires --kb (the replica directory)\n");
+      return usage(argv[0]);
+    }
+    applier = repl::Applier::open(opts.kb_path);
+    if (!applier) {
+      std::fprintf(stderr, "cannot open replica store %s\n",
+                   opts.kb_path.c_str());
+      return 1;
+    }
+    ship_client = repl::ShipClient::start(*applier, leader_port);
+    opts.kb_path.clear();
+    opts.read_only = true;
+    opts.follower_lookup = [&a = *applier](const std::string& key,
+                                           const std::string& machine) {
+      return svc::ResultCache::lookup_store(a.store(), key, machine);
+    };
+    std::fprintf(stderr, "replicating from 127.0.0.1:%u\n",
+                 static_cast<unsigned>(leader_port));
+  }
+
   std::optional<svc::TuningService> service;
   try {
     service.emplace(opts);
   } catch (const std::exception& e) {
     std::fprintf(stderr, "cannot start service: %s\n", e.what());
     return 1;
+  }
+
+  // Leader mode: ship this service's KB WAL to followers. Started after
+  // the service so the store directory exists before the first Hello.
+  std::unique_ptr<repl::ShipServer> ship_server;
+  if (ship_mode) {
+    if (opts.kb_path.empty()) {
+      std::fprintf(stderr, "--ship requires --kb\n");
+      return usage(argv[0]);
+    }
+    ship_server = repl::ShipServer::start(opts.kb_path, ship_port);
+    if (!ship_server) {
+      std::fprintf(stderr, "cannot ship on 127.0.0.1:%u\n",
+                   static_cast<unsigned>(ship_port));
+      return 1;
+    }
+    std::fprintf(stderr, "shipping WAL on 127.0.0.1:%u\n",
+                 static_cast<unsigned>(ship_server->port()));
   }
 
   return listen_mode ? run_tcp(*service, net_opts, &signals)

@@ -75,4 +75,36 @@ ScannedLog scan_log(std::string_view bytes, char type) {
   return out;
 }
 
+WalkedFrames walk_frames(std::string_view bytes, std::uint64_t start) {
+  WalkedFrames out;
+  out.good_bytes = start;
+  std::uint64_t off = start;
+  while (off < bytes.size()) {
+    if (bytes.size() - off < kFrameOverhead) return out;  // torn length/crc
+    FrameBounds fb;
+    fb.offset = off;
+    fb.len = get_u32(bytes.data() + off);
+    fb.crc = get_u32(bytes.data() + off + 4);
+    if (fb.len > kMaxPayload ||
+        bytes.size() - off - kFrameOverhead < fb.len)
+      return out;  // insane length or torn payload
+    const std::string_view payload(bytes.data() + off + kFrameOverhead,
+                                   fb.len);
+    fb.crc_ok = support::crc32(payload) == fb.crc;
+    if (fb.crc_ok) {
+      if (auto rec = decode_record(payload)) {
+        fb.decodable = true;
+        fb.op = rec->op;
+      }
+    }
+    const bool bad = !fb.crc_ok || !fb.decodable;
+    out.frames.push_back(fb);
+    if (bad) return out;  // complete but corrupt: stop, flagged
+    off += fb.size();
+    out.good_bytes = off;
+  }
+  out.clean = true;
+  return out;
+}
+
 }  // namespace ilc::kbstore

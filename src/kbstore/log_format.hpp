@@ -51,4 +51,34 @@ struct ScannedLog {
 /// mismatch, or undecodable payload).
 ScannedLog scan_log(std::string_view bytes, char type);
 
+/// One frame's layout within a log image — where it sits, whether its
+/// checksum and payload held up — without materializing the record.
+/// Replication ships raw frame bytes by these bounds, and `kb_tool
+/// wal-dump` reports per-frame health from them.
+struct FrameBounds {
+  std::uint64_t offset = 0;  ///< of the length prefix, within the image
+  std::uint32_t len = 0;     ///< payload length
+  std::uint32_t crc = 0;     ///< stored checksum
+  bool crc_ok = false;
+  bool decodable = false;  ///< payload decoded as a LogRecord
+  Op op = Op::Append;      ///< meaningful when decodable
+  /// Whole frame (length prefix + crc + payload) as stored.
+  std::uint64_t size() const { return kFrameOverhead + len; }
+  std::uint64_t end() const { return offset + size(); }
+};
+
+struct WalkedFrames {
+  /// Every complete frame in order. A complete frame that fails its CRC
+  /// or decode is included — flagged — as the final element; walking
+  /// stops there (everything after it is suspect).
+  std::vector<FrameBounds> frames;
+  std::uint64_t good_bytes = 0;  ///< `start` + intact, decodable frames
+  bool clean = false;  ///< no torn, corrupt, or trailing bytes remain
+};
+
+/// Frame layout of a log image from byte `start` (pass kHeaderSize to
+/// walk past the header, 0 for a bare frame stream such as a shipped
+/// replication batch).
+WalkedFrames walk_frames(std::string_view bytes, std::uint64_t start);
+
 }  // namespace ilc::kbstore

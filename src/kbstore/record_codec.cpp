@@ -71,7 +71,9 @@ struct Cursor {
 
   bool doubles(std::vector<double>& v) {
     std::uint32_t n = 0;
-    if (!u32(n) || left < 8u * n) return false;
+    // 64-bit product: a corrupt count near 2^29 must not wrap the check
+    // and trigger a giant resize.
+    if (!u32(n) || left < std::uint64_t{8} * n) return false;
     v.resize(n);
     for (std::uint32_t i = 0; i < n; ++i) {
       std::uint64_t bits = 0;
@@ -122,7 +124,7 @@ std::optional<LogRecord> decode_record(std::string_view payload) {
       !c.u64(lr.rec.code_size) || !c.u64(lr.rec.instructions) ||
       !c.u32(ncounters))
     return std::nullopt;
-  if (c.left < 8u * ncounters) return std::nullopt;
+  if (c.left < std::uint64_t{8} * ncounters) return std::nullopt;
   // Tolerate counter-set growth/shrink across versions: extra stored
   // counters are dropped, missing ones stay zero.
   for (std::uint32_t i = 0; i < ncounters; ++i) {

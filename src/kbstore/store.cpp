@@ -7,6 +7,8 @@
 
 #include "kbstore/log_format.hpp"
 #include "obs/metrics.hpp"
+#include "support/assert.hpp"
+#include "support/crc32.hpp"
 #include "obs/timer.hpp"
 #include "support/failpoint.hpp"
 #include "support/hash.hpp"
@@ -67,6 +69,19 @@ obs::Histogram& h_compaction_us() {
       obs::Registry::instance().histogram("kbstore.compaction_us");
   return h;
 }
+// Durable-position gauges (replication lag is measured against these).
+// Process-wide like every kbstore metric: one serving store per process
+// is the deployment shape; in-process test fleets read positions via
+// Store::wal_position() instead.
+obs::Gauge& g_generation() {
+  static obs::Gauge g =
+      obs::Registry::instance().gauge("kbstore.wal_generation");
+  return g;
+}
+obs::Gauge& g_durable_seq() {
+  static obs::Gauge g = obs::Registry::instance().gauge("kbstore.durable_seq");
+  return g;
+}
 
 bool read_file_bytes(const std::string& path, std::string& out) {
   std::ifstream f(path, std::ios::binary);
@@ -115,7 +130,7 @@ std::unique_ptr<Store> Store::open(const std::string& dir, Options opts,
   c_torn_bytes().add(ri.torn_bytes);
   if (ri.stale_wal) c_stale_wals().add(1);
   if (info) *info = ri;
-  if (store->opts_.background_compaction)
+  if (store->opts_.background_compaction && !store->opts_.follower)
     store->bg_ = std::thread([s = store.get()] { s->background_loop(); });
   return store;
 }
@@ -191,6 +206,10 @@ bool Store::recover(RecoveryInfo& info) {
         if (!wal_) return false;
         wal_generation_ = scan.generation;
         wal_bytes_ = scan.good_bytes;
+        wal_seq_ = scan.records.size();
+        wal_chain_ = support::crc32(
+            std::string_view(bytes).substr(kHeaderSize,
+                                           scan.good_bytes - kHeaderSize));
       }
     }
   }
@@ -205,6 +224,7 @@ bool Store::recover(RecoveryInfo& info) {
       return false;
     wal_bytes_ = kHeaderSize;
   }
+  publish_position_locked();  // single-threaded here: open() owns the store
   return true;
 }
 
@@ -247,6 +267,8 @@ bool Store::apply(LogRecord&& lr) {
 }
 
 bool Store::log_and_apply(LogRecord lr) {
+  ILC_CHECK_MSG(!opts_.follower,
+                "store is a replication follower (read-only): " + dir_);
   obs::ScopedTimerUs timer(h_append_us());
   // Fault injection: "kbstore.wal_append" simulates an append that cannot
   // reach the log (disk full, I/O error). The error kind throws here too —
@@ -338,6 +360,135 @@ StoreStats Store::stats() const {
   return s;
 }
 
+WalPosition Store::wal_position() const {
+  std::lock_guard<std::mutex> lock(wal_mu_);
+  return {wal_generation_, wal_seq_, wal_chain_};
+}
+
+std::uint64_t Store::wal_generation() const {
+  std::lock_guard<std::mutex> lock(wal_mu_);
+  return wal_generation_;
+}
+
+std::uint64_t Store::durable_seq() const {
+  std::lock_guard<std::mutex> lock(wal_mu_);
+  return wal_seq_;
+}
+
+void Store::publish_position_locked() {
+  g_generation().set(static_cast<std::int64_t>(wal_generation_));
+  g_durable_seq().set(static_cast<std::int64_t>(wal_seq_));
+}
+
+// ---- replication follower ------------------------------------------------
+
+void Store::clear_index_locked() {
+  for (Shard& shard : shards_) {
+    std::unique_lock<std::shared_mutex> lock(shard.mu);
+    shard.map.clear();
+  }
+  live_ = 0;
+  dead_ = 0;
+  next_seq_ = 0;
+}
+
+bool Store::follower_append(std::string_view frames, std::size_t count) {
+  if (!opts_.follower) return false;
+  std::lock_guard<std::mutex> lock(wal_mu_);
+  if (!wal_) return false;
+  // Verify the whole batch before a byte lands: every frame complete,
+  // CRC-clean, decodable, and nothing else in the buffer.
+  const WalkedFrames walked = walk_frames(frames, 0);
+  if (!walked.clean || walked.frames.size() != count) return false;
+
+  // Fault injection: "kbstore.follower_torn" is the follower crashing
+  // mid-apply — a prefix of the batch reaches the file (cut mid-frame),
+  // the rest never does. Recovery truncates the torn tail and replication
+  // resumes from the surviving position.
+  if (support::failpoint("kbstore.follower_torn")) {
+    const std::size_t cut =
+        walked.frames.size() > 1 ? walked.frames.back().offset + 3
+                                 : frames.size() / 2;
+    std::fwrite(frames.data(), 1, cut, wal_);
+    std::fflush(wal_);
+    std::fclose(wal_);  // the "crash": no further appends land here;
+    wal_ = nullptr;     // reopening the store truncates the torn tail
+    return false;
+  }
+
+  if (std::fwrite(frames.data(), 1, frames.size(), wal_) != frames.size() ||
+      std::fflush(wal_) != 0)
+    return false;
+  if (opts_.fsync_on_flush && !fsync_file(wal_)) return false;
+
+  for (const FrameBounds& fb : walked.frames) {
+    auto rec = decode_record(
+        frames.substr(fb.offset + kFrameOverhead, fb.len));
+    apply(std::move(*rec));  // verified decodable above
+  }
+  wal_bytes_ += frames.size();
+  wal_seq_ += count;
+  wal_chain_ = support::crc32(frames, wal_chain_);
+  appends_ += count;
+  ++flushes_;
+  c_appends().add(count);
+  c_flushes().add(1);
+  publish_position_locked();
+  return true;
+}
+
+bool Store::follower_install_snapshot(std::string_view snapshot,
+                                      std::uint64_t wal_generation) {
+  if (!opts_.follower || wal_generation == 0) return false;
+  std::lock_guard<std::mutex> lock(wal_mu_);
+
+  ScannedLog scan;
+  if (!snapshot.empty()) {
+    scan = scan_log(snapshot, kSnapshotType);
+    if (!scan.header_ok || !scan.clean) return false;  // corrupt image
+    const std::string tmp = dir_ + "/snapshot.tmp";
+    std::FILE* f = std::fopen(tmp.c_str(), "wb");
+    if (!f) return false;
+    const bool ok =
+        std::fwrite(snapshot.data(), 1, snapshot.size(), f) ==
+            snapshot.size() &&
+        std::fflush(f) == 0 && (!opts_.fsync_on_flush || fsync_file(f));
+    std::fclose(f);
+    if (!ok) return false;
+    std::error_code ec;
+    fs::rename(tmp, snapshot_path(), ec);
+    if (ec) return false;
+  } else {
+    // The leader's history starts at this WAL: no snapshot to mirror.
+    std::error_code ec;
+    fs::remove(snapshot_path(), ec);
+  }
+
+  clear_index_locked();
+  for (auto& lr : scan.records) apply(std::move(lr));
+  dead_ = 0;
+
+  // Restart the WAL at the leader's generation; the header bytes are a
+  // pure function of (type, generation), so the files stay identical.
+  if (wal_) std::fclose(wal_);
+  wal_ = std::fopen(wal_path().c_str(), "wb");
+  if (!wal_) return false;
+  wal_generation_ = wal_generation;
+  const std::string header = log_header(kWalType, wal_generation_);
+  if (std::fwrite(header.data(), 1, header.size(), wal_) != header.size() ||
+      std::fflush(wal_) != 0)
+    return false;
+  if (opts_.fsync_on_flush && !fsync_file(wal_)) return false;
+  wal_bytes_ = kHeaderSize;
+  wal_seq_ = 0;
+  wal_chain_ = 0;
+  pending_.clear();
+  pending_records_ = 0;
+  ++compactions_;  // a follower "compaction": adopted from the leader
+  publish_position_locked();
+  return true;
+}
+
 // ---- durability ----------------------------------------------------------
 
 bool Store::flush_locked() {
@@ -354,10 +505,15 @@ bool Store::flush_locked() {
     return false;
   if (opts_.fsync_on_flush && !fsync_file(wal_)) return false;
   wal_bytes_ += pending_.size();
+  wal_seq_ += pending_records_;
+  // pending_ is a concatenation of whole frames, so chaining over the
+  // flushed bytes equals chaining frame-by-frame.
+  wal_chain_ = support::crc32(pending_, wal_chain_);
   pending_.clear();
   pending_records_ = 0;
   ++flushes_;
   c_flushes().add(1);
+  publish_position_locked();
   return true;
 }
 
@@ -382,6 +538,7 @@ void Store::maybe_request_compaction_locked() {
 }
 
 bool Store::compact() {
+  if (opts_.follower) return false;  // followers mirror leader compactions
   std::lock_guard<std::mutex> lock(wal_mu_);
   return compact_locked();
 }
@@ -432,9 +589,12 @@ bool Store::compact_locked() {
     return false;
   if (opts_.fsync_on_flush && !fsync_file(wal_)) return false;
   wal_bytes_ = kHeaderSize;
+  wal_seq_ = 0;
+  wal_chain_ = 0;
   dead_ = 0;
   ++compactions_;
   c_compactions().add(1);
+  publish_position_locked();
   return true;
 }
 

@@ -66,6 +66,23 @@ struct Options {
   /// Run compaction on a background thread when the trigger fires.
   /// When false, compaction only happens via explicit compact() calls.
   bool background_compaction = true;
+  /// Open as a replication follower: the regular write API (append /
+  /// upsert / erase / import_records) throws, compaction is disabled
+  /// (followers adopt the leader's compactions as snapshot installs),
+  /// and mutations arrive only through follower_append /
+  /// follower_install_snapshot — which mirror a leader's files
+  /// byte-for-byte.
+  bool follower = false;
+};
+
+/// A durable WAL position: the generation, how many frames of it have
+/// reached the file, and the CRC32 chained over their raw bytes. Two
+/// stores at the same position with the same chain hold byte-identical
+/// WALs — replication resumes from here and detects divergence with it.
+struct WalPosition {
+  std::uint64_t generation = 0;
+  std::uint64_t seq = 0;        ///< durable frames in this generation
+  std::uint32_t chain_crc = 0;  ///< crc32 chained over their raw bytes
 };
 
 /// What open() found on disk.
@@ -132,6 +149,28 @@ class Store {
 
   StoreStats stats() const;
 
+  /// Durable WAL position: generation, flushed frame count, chain CRC.
+  /// Un-flushed group-commit bytes are not included — the position is
+  /// what a crash (and therefore a replica) is guaranteed to see.
+  WalPosition wal_position() const;
+  std::uint64_t wal_generation() const;
+  std::uint64_t durable_seq() const;
+
+  // --- replication follower API (Options::follower only) ----------------
+  /// Append a verified batch of raw WAL frames shipped from a leader:
+  /// every frame must be complete, CRC-clean, and decodable, or nothing
+  /// is written. Bytes land verbatim (the follower WAL stays
+  /// byte-identical to the leader's) and are flushed before return, so
+  /// the follower's reported position never runs ahead of its disk.
+  bool follower_append(std::string_view frames, std::size_t count);
+
+  /// Adopt a leader's compacted state: install `snapshot` (a full
+  /// snapshot file image, verbatim; empty = leader has none) and restart
+  /// the WAL at `wal_generation`, resetting the index to the snapshot's
+  /// contents. Rejects a corrupt snapshot image without touching disk.
+  bool follower_install_snapshot(std::string_view snapshot,
+                                 std::uint64_t wal_generation);
+
   /// What open() found on disk for this store (same data as the open()
   /// out-parameter, kept for tooling that opens the store elsewhere).
   RecoveryInfo recovery() const { return recovery_; }
@@ -172,6 +211,8 @@ class Store {
 
   bool flush_locked();
   bool compact_locked();
+  void clear_index_locked();
+  void publish_position_locked();
   void maybe_request_compaction_locked();
   std::vector<Entry> collect_entries() const;  // sorted by seq
   void background_loop();
@@ -187,6 +228,8 @@ class Store {
   mutable std::mutex wal_mu_;
   std::FILE* wal_ = nullptr;
   std::uint64_t wal_generation_ = 1;
+  std::uint64_t wal_seq_ = 0;      // durable frames this generation
+  std::uint32_t wal_chain_ = 0;    // crc32 chained over their raw bytes
   std::string pending_;  // encoded frames awaiting group commit
   std::size_t pending_records_ = 0;
   std::uint64_t next_seq_ = 0;

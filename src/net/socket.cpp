@@ -4,6 +4,7 @@
 #include <fcntl.h>
 #include <netinet/in.h>
 #include <netinet/tcp.h>
+#include <poll.h>
 #include <sys/resource.h>
 #include <sys/socket.h>
 #include <unistd.h>
@@ -123,6 +124,31 @@ IoResult write_some(int fd, const char* buf, std::size_t n) {
       return {IoStatus::WouldBlock, 0};
     return {IoStatus::Error, 0};
   }
+}
+
+namespace {
+
+bool wait_for(int fd, short events, int timeout_ms) {
+  pollfd p{};
+  p.fd = fd;
+  p.events = events;
+  for (;;) {
+    const int r = ::poll(&p, 1, timeout_ms);
+    if (r > 0) return true;   // ready, or POLLERR/POLLHUP — caller's IO
+    if (r == 0) return false; // will surface the condition either way
+    if (errno == EINTR) continue;
+    return true;  // poll itself failed: let the IO call report the error
+  }
+}
+
+}  // namespace
+
+bool wait_readable(int fd, int timeout_ms) {
+  return wait_for(fd, POLLIN, timeout_ms);
+}
+
+bool wait_writable(int fd, int timeout_ms) {
+  return wait_for(fd, POLLOUT, timeout_ms);
 }
 
 std::size_t ensure_fd_capacity(std::size_t need) {

@@ -87,6 +87,15 @@ IoResult read_some(int fd, char* buf, std::size_t n);
 /// `net.write` short-write failpoint.
 IoResult write_some(int fd, const char* buf, std::size_t n);
 
+/// poll(2) for readability / writability with a millisecond timeout
+/// (negative = wait forever). True when the fd became ready (including
+/// error/hup readiness — the next read/write reports the real status);
+/// false on timeout. For the blocking-style loops of the replication
+/// transport, which runs on dedicated threads rather than the epoll
+/// event loop.
+bool wait_readable(int fd, int timeout_ms);
+bool wait_writable(int fd, int timeout_ms);
+
 /// Raise RLIMIT_NOFILE's soft limit toward the hard limit until at least
 /// `need` descriptors fit (best effort; returns the resulting soft
 /// limit). The load generator holds thousands of sockets per process.

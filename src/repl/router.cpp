@@ -1,0 +1,32 @@
+#include "repl/router.hpp"
+
+namespace ilc::repl {
+
+std::optional<Router::Route> Router::route(std::uint64_t fp) const {
+  if (shards_.empty()) return std::nullopt;
+  const std::size_t s = owner_of(fp, shards_.size());
+  const Shard& sh = shards_[s];
+  if (!down_[s][0]) return Route{sh.primary, s, /*read_only=*/false};
+  for (std::size_t k = 0; k < sh.followers.size(); ++k)
+    if (!down_[s][1 + k]) return Route{sh.followers[k], s, /*read_only=*/true};
+  return std::nullopt;
+}
+
+void Router::mark(const Endpoint& ep, bool down) {
+  for (std::size_t s = 0; s < shards_.size(); ++s) {
+    if (shards_[s].primary == ep) down_[s][0] = down;
+    for (std::size_t k = 0; k < shards_[s].followers.size(); ++k)
+      if (shards_[s].followers[k] == ep) down_[s][1 + k] = down;
+  }
+}
+
+bool Router::is_down(const Endpoint& ep) const {
+  for (std::size_t s = 0; s < shards_.size(); ++s) {
+    if (shards_[s].primary == ep && down_[s][0]) return true;
+    for (std::size_t k = 0; k < shards_[s].followers.size(); ++k)
+      if (shards_[s].followers[k] == ep && down_[s][1 + k]) return true;
+  }
+  return false;
+}
+
+}  // namespace ilc::repl

@@ -1,0 +1,195 @@
+#include "repl/ship.hpp"
+
+#include <filesystem>
+#include <fstream>
+#include <sstream>
+
+#include "kbstore/log_format.hpp"
+#include "obs/metrics.hpp"
+#include "support/crc32.hpp"
+
+namespace ilc::repl {
+
+namespace fs = std::filesystem;
+
+namespace {
+
+obs::Counter& c_frames_shipped() {
+  static obs::Counter c =
+      obs::Registry::instance().counter("repl.frames_shipped");
+  return c;
+}
+obs::Counter& c_bytes_shipped() {
+  static obs::Counter c =
+      obs::Registry::instance().counter("repl.bytes_shipped");
+  return c;
+}
+obs::Counter& c_snapshots_shipped() {
+  static obs::Counter c =
+      obs::Registry::instance().counter("repl.snapshots_shipped");
+  return c;
+}
+obs::Counter& c_rejects() {
+  static obs::Counter c = obs::Registry::instance().counter("repl.rejects");
+  return c;
+}
+
+bool read_file_bytes(const std::string& path, std::string& out) {
+  std::ifstream f(path, std::ios::binary);
+  if (!f) return false;
+  std::ostringstream os;
+  os << f.rdbuf();
+  out = os.str();
+  return true;
+}
+
+}  // namespace
+
+ShipSource::WalImage ShipSource::read_wal() const {
+  WalImage img;
+  if (!read_file_bytes(dir_ + "/wal.ilc", img.bytes)) return img;
+  if (img.bytes.size() < kbstore::kHeaderSize)
+    return img;  // mid-recreation (compaction window) or torn header
+  const kbstore::ScannedLog probe =
+      kbstore::scan_log(std::string_view(img.bytes).substr(
+                            0, kbstore::kHeaderSize),
+                        kbstore::kWalType);
+  if (!probe.header_ok) return img;
+  img.generation = probe.generation;
+  img.walked = kbstore::walk_frames(img.bytes, kbstore::kHeaderSize);
+  // A complete-but-corrupt frame inside the durable region is real
+  // corruption; the torn tail of an in-progress flush is just "not yet".
+  if (!img.walked.frames.empty() &&
+      (!img.walked.frames.back().crc_ok ||
+       !img.walked.frames.back().decodable))
+    img.walked.frames.pop_back();
+  img.ok = true;
+  return img;
+}
+
+std::optional<kbstore::WalPosition> ShipSource::position() const {
+  const WalImage img = read_wal();
+  if (!img.ok) return std::nullopt;
+  kbstore::WalPosition pos;
+  pos.generation = img.generation;
+  pos.seq = img.walked.frames.size();
+  pos.chain_crc = support::crc32(
+      std::string_view(img.bytes)
+          .substr(kbstore::kHeaderSize,
+                  img.walked.good_bytes - kbstore::kHeaderSize));
+  return pos;
+}
+
+bool ShipSource::handshake(const Msg& hello, std::string& out,
+                           std::string* why) {
+  const auto fail = [&](const std::string& reason) {
+    if (why) *why = reason;
+    encode_msg(out, Msg::reject(reason));
+    c_rejects().add(1);
+    positioned_ = false;
+    return false;
+  };
+  if (hello.type != MsgType::Hello) return fail("protocol error: not a hello");
+
+  const WalImage img = read_wal();
+  if (!img.ok) return fail("leader store unreadable: " + dir_);
+  const std::uint64_t leader_seq = img.walked.frames.size();
+
+  if (hello.a > img.generation)
+    return fail("split-brain: follower generation " + std::to_string(hello.a) +
+                " is ahead of leader generation " +
+                std::to_string(img.generation));
+  if (hello.a == img.generation) {
+    if (hello.b > leader_seq)
+      return fail("split-brain: follower holds " + std::to_string(hello.b) +
+                  " frames, leader only " + std::to_string(leader_seq) +
+                  " at generation " + std::to_string(img.generation));
+    // The follower's history must be a byte-prefix of ours: chain the CRC
+    // over our first `hello.b` frames and compare.
+    const std::uint64_t prefix_end =
+        hello.b == 0 ? kbstore::kHeaderSize : img.walked.frames[hello.b - 1].end();
+    const std::uint32_t chain = support::crc32(
+        std::string_view(img.bytes)
+            .substr(kbstore::kHeaderSize, prefix_end - kbstore::kHeaderSize));
+    if (chain != hello.hello_chain())
+      return fail("split-brain: follower history diverges from leader at "
+                  "generation " + std::to_string(hello.a) + ", frame " +
+                  std::to_string(hello.b));
+    gen_ = img.generation;
+    next_seq_ = hello.b;
+  } else {
+    // Older generation: bootstrap from the snapshot on the next poll.
+    gen_ = 0;
+    next_seq_ = 0;
+  }
+  positioned_ = true;
+  return true;
+}
+
+bool ShipSource::poll(std::string& out) {
+  if (!positioned_) return false;
+  const WalImage img = read_wal();
+  if (!img.ok) return true;  // compaction window / transient: retry later
+
+  if (img.generation != gen_) {
+    // The leader compacted (or this session needs its bootstrap): ship
+    // the snapshot image — verbatim — and restart frame shipping at 0.
+    std::string snap;
+    if (fs::is_regular_file(dir_ + "/snapshot.ilc") &&
+        !read_file_bytes(dir_ + "/snapshot.ilc", snap))
+      return false;
+    if (!snap.empty()) {
+      const kbstore::ScannedLog scan =
+          kbstore::scan_log(snap, kbstore::kSnapshotType);
+      if (!scan.header_ok || !scan.clean) return false;  // corrupt leader
+      // Snapshot renamed but WAL not yet recreated: the on-disk pair is
+      // (new snapshot, old WAL) and this WAL's generation will be <= the
+      // snapshot's. Ship nothing yet; the recreated WAL arrives next poll.
+      if (scan.generation >= img.generation) return true;
+    }
+    encode_msg(out, Msg::snapshot(img.generation, std::move(snap)));
+    c_snapshots_shipped().add(1);
+    gen_ = img.generation;
+    next_seq_ = 0;
+  }
+
+  const std::uint64_t leader_seq = img.walked.frames.size();
+  if (next_seq_ > leader_seq) {
+    // The WAL shrank within a generation: impossible in a healthy store
+    // (only compaction truncates, and that bumps the generation).
+    return false;
+  }
+  if (next_seq_ < leader_seq) {
+    const std::uint64_t from = img.walked.frames[next_seq_].offset;
+    const std::uint64_t to = img.walked.frames[leader_seq - 1].end();
+    encode_msg(out, Msg::frames(gen_, next_seq_,
+                                img.bytes.substr(from, to - from)));
+    c_frames_shipped().add(leader_seq - next_seq_);
+    c_bytes_shipped().add(to - from);
+    next_seq_ = leader_seq;
+  }
+  encode_msg(out, Msg::heartbeat(gen_, leader_seq));
+  return true;
+}
+
+std::optional<std::string> divergence(const std::string& leader_dir,
+                                      const std::string& follower_dir) {
+  for (const char* name : {"/snapshot.ilc", "/wal.ilc"}) {
+    std::string a, b;
+    const bool has_a = read_file_bytes(leader_dir + name, a);
+    const bool has_b = read_file_bytes(follower_dir + name, b);
+    if (has_a != has_b)
+      return std::string(name + 1) + ": present only on " +
+             (has_a ? "leader" : "follower");
+    if (a != b) {
+      std::size_t i = 0;
+      while (i < a.size() && i < b.size() && a[i] == b[i]) ++i;
+      return std::string(name + 1) + ": differs at byte " +
+             std::to_string(i) + " (leader " + std::to_string(a.size()) +
+             " bytes, follower " + std::to_string(b.size()) + ")";
+    }
+  }
+  return std::nullopt;
+}
+
+}  // namespace ilc::repl

@@ -56,18 +56,22 @@ std::string ResultCache::key(std::uint64_t fingerprint,
   return os.str();
 }
 
+std::optional<CachedResult> ResultCache::lookup_store(
+    const kbstore::Store& store, const std::string& key,
+    const std::string& machine) {
+  const auto best = store.find(key, machine, kBestKind);
+  if (!best) return std::nullopt;
+  CachedResult out;
+  out.config = best->config;
+  out.best_metric = best->cycles;
+  const auto baseline = store.find(key, machine, kBaseKind);
+  out.baseline_metric = baseline ? baseline->cycles : best->cycles;
+  return out;
+}
+
 std::optional<CachedResult> ResultCache::lookup(
     const std::string& key, const std::string& machine) const {
-  if (store_) {
-    const auto best = store_->find(key, machine, kBestKind);
-    if (!best) return std::nullopt;
-    CachedResult out;
-    out.config = best->config;
-    out.best_metric = best->cycles;
-    const auto baseline = store_->find(key, machine, kBaseKind);
-    out.baseline_metric = baseline ? baseline->cycles : best->cycles;
-    return out;
-  }
+  if (store_) return lookup_store(*store_, key, machine);
   const kb::ExperimentRecord* best = base_.find(key, machine, kBestKind);
   if (!best) return std::nullopt;
   CachedResult out;

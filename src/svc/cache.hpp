@@ -67,6 +67,14 @@ class ResultCache {
   std::optional<CachedResult> lookup(const std::string& key,
                                      const std::string& machine) const;
 
+  /// The durable-mode lookup against an explicit store — the same
+  /// svc-best/svc-base record pairing lookup() uses, exposed so a
+  /// replication follower can serve warm hits straight from its
+  /// replicated kbstore without constructing a ResultCache around it.
+  static std::optional<CachedResult> lookup_store(const kbstore::Store& store,
+                                                  const std::string& key,
+                                                  const std::string& machine);
+
   /// Keep the better of the stored and offered result for `key` (lower
   /// metric wins; first write always stored).
   void store(const std::string& key, const std::string& machine,

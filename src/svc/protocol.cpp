@@ -25,6 +25,7 @@ const char* source_name(Source s) {
     case Source::TimedOut: return "timeout";
     case Source::Rejected: return "rejected";
     case Source::StaleCache: return "stale";
+    case Source::Follower: return "follower";
   }
   return "?";
 }

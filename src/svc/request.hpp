@@ -53,6 +53,8 @@ enum class Source {
   Rejected,   // load shed: admission queue full, nothing cached to serve
   StaleCache, // overload fallback: last known in-memory result, possibly
               // not durable (e.g. computed but its KB persist failed)
+  Follower,   // answered from a replicated follower KB (read-only: the
+              // owning shard runs the searches, this process mirrors them)
 };
 
 const char* source_name(Source s);

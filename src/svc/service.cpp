@@ -5,6 +5,7 @@
 
 #include "ir/fingerprint.hpp"
 #include "ir/parser.hpp"
+#include "obs/metrics.hpp"
 #include "obs/trace.hpp"
 #include "support/assert.hpp"
 #include "support/failpoint.hpp"
@@ -20,6 +21,19 @@ std::uint64_t elapsed_us(std::chrono::steady_clock::time_point start) {
       std::chrono::duration_cast<std::chrono::microseconds>(
           std::chrono::steady_clock::now() - start)
           .count());
+}
+
+// Sharding/replication counters live in the global registry rather than
+// the per-service Metrics digest, whose wire format is frozen (the
+// metrics line is byte-compatible across versions).
+obs::Counter& c_follower_hits() {
+  static obs::Counter c =
+      obs::Registry::instance().counter("svc.follower_hits");
+  return c;
+}
+obs::Counter& c_wrong_shard() {
+  static obs::Counter c = obs::Registry::instance().counter("svc.wrong_shard");
+  return c;
 }
 
 }  // namespace
@@ -189,6 +203,22 @@ std::shared_future<TuningResponse> TuningService::submit(
   }
 
   const std::uint64_t fp = ir::fingerprint(*module);
+
+  // Fingerprint sharding: refuse work another shard owns, before any
+  // cache or queue state is touched — a misrouted search must never land
+  // results in this shard's KB (its replicas would diverge from the
+  // owning shard's).
+  if (opts_.shard_count > 1 && fp % opts_.shard_count != opts_.shard_index) {
+    TuningResponse r;
+    r.program = req.program;
+    r.error = "wrong shard: owner=" + std::to_string(fp % opts_.shard_count) +
+              " shards=" + std::to_string(opts_.shard_count);
+    r.latency_us = elapsed_us(start);
+    metrics_.on_error(r.latency_us);
+    c_wrong_shard().add(1);
+    return resolved(std::move(r));
+  }
+
   const std::string cache_key = ResultCache::key(fp, req.objective);
   const std::string flight_key = cache_key + '|' + req.machine.name;
 
@@ -220,6 +250,39 @@ std::shared_future<TuningResponse> TuningService::submit(
       r.source = Source::WarmCache;
       r.latency_us = elapsed_us(start);
       metrics_.on_warm_hit(r.latency_us);
+      return resolved(std::move(r));
+    }
+    // Replication follower fallback: the replicated store answers warm
+    // hits that the local cache (usually empty on a follower — its
+    // kb_path is unset so the leader's store stays single-writer) misses.
+    if (opts_.follower_lookup) {
+      if (auto hit = opts_.follower_lookup(cache_key, req.machine.name)) {
+        lookup.annotate("outcome", "follower_hit");
+        TuningResponse r;
+        r.ok = true;
+        r.program = req.program;
+        r.config = hit->config;
+        r.baseline_metric = hit->baseline_metric;
+        r.best_metric = hit->best_metric;
+        r.speedup = hit->best_metric
+                        ? static_cast<double>(hit->baseline_metric) /
+                              static_cast<double>(hit->best_metric)
+                        : 0.0;
+        r.source = Source::Follower;
+        r.latency_us = elapsed_us(start);
+        metrics_.on_warm_hit(r.latency_us);
+        c_follower_hits().add(1);
+        return resolved(std::move(r));
+      }
+    }
+    if (opts_.read_only) {
+      lookup.annotate("outcome", "read_only_miss");
+      TuningResponse r;
+      r.program = req.program;
+      r.error = "read-only follower: result not replicated yet; "
+                "ask the owning shard's primary";
+      r.latency_us = elapsed_us(start);
+      metrics_.on_error(r.latency_us);
       return resolved(std::move(r));
     }
     // Bounded admission: a full queue sheds load instead of growing an

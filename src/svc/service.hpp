@@ -69,6 +69,26 @@ class TuningService {
     /// recently used are evicted beyond it, so a long-running service
     /// tuning many distinct modules holds bounded memory. 0 = unbounded.
     std::size_t evaluator_cache = 64;
+
+    // --- fingerprint sharding & replication (ilc::repl) -------------------
+    /// When shard_count > 1 this instance owns only the fingerprints with
+    /// fp % shard_count == shard_index; a request for any other
+    /// fingerprint is refused with "wrong shard: owner=<k> shards=<n>" so
+    /// a misrouted client learns where to go instead of polluting this
+    /// shard's KB. 0 (and 1) = unsharded.
+    std::size_t shard_index = 0;
+    std::size_t shard_count = 0;
+    /// Serve only from caches; never run a search or write the KB. The
+    /// mode of a replication follower: a miss is an error ("read-only
+    /// follower"), directing the client at the shard's primary.
+    bool read_only = false;
+    /// Warm-hit fallback consulted after the service's own cache misses —
+    /// a follower process points this at its replicated store (see
+    /// ResultCache::lookup_store). Hits answer as Source::Follower.
+    /// Called with mu_ held; must not call back into the service.
+    std::function<std::optional<CachedResult>(const std::string& cache_key,
+                                              const std::string& machine)>
+        follower_lookup;
   };
 
   /// Loads Options::kb_path when present; an unparsable file throws

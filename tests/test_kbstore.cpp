@@ -6,9 +6,12 @@
 
 #include <atomic>
 #include <chrono>
+#include <cmath>
 #include <cstdint>
 #include <filesystem>
 #include <fstream>
+#include <limits>
+#include <random>
 #include <string>
 #include <thread>
 #include <vector>
@@ -531,6 +534,228 @@ TEST(KbStore, ConcurrentWritersAndReadersKeepPerKeyOrder) {
     EXPECT_EQ(store->find(program, "amd-like", "flags")->cycles,
               kPerWriter - 1);
   }
+}
+
+// --- codec fuzz (randomized, but seeded: failures reproduce) -------------
+
+kb::ExperimentRecord random_record(std::mt19937_64& rng) {
+  auto rand_string = [&rng](std::size_t max_len) {
+    std::uniform_int_distribution<std::size_t> len(0, max_len);
+    // Full byte range: embedded NULs, newlines, commas, 0xFF — the codec
+    // is length-prefixed binary and must not care.
+    std::uniform_int_distribution<int> byte(0, 255);
+    std::string s(len(rng), '\0');
+    for (auto& c : s) c = static_cast<char>(byte(rng));
+    return s;
+  };
+  auto rand_doubles = [&rng](std::size_t max_len) {
+    std::uniform_int_distribution<std::size_t> len(0, max_len);
+    std::uniform_int_distribution<int> pick(0, 4);
+    std::uniform_real_distribution<double> uni(-1e18, 1e18);
+    std::vector<double> v(len(rng));
+    for (auto& d : v) {
+      switch (pick(rng)) {
+        case 0: d = uni(rng); break;
+        case 1: d = std::numeric_limits<double>::infinity(); break;
+        case 2: d = -std::numeric_limits<double>::infinity(); break;
+        case 3: d = std::numeric_limits<double>::denorm_min(); break;
+        default: d = 0.0; break;
+      }
+    }
+    return v;
+  };
+  std::uniform_int_distribution<std::uint64_t> u64;
+  kb::ExperimentRecord r;
+  r.program = rand_string(64);
+  r.machine = rand_string(16);
+  r.kind = rand_string(16);
+  r.config = rand_string(128);
+  r.cycles = u64(rng);
+  r.code_size = u64(rng);
+  r.instructions = u64(rng);
+  for (unsigned c = 0; c < sim::kNumCounters; ++c)
+    r.counters[static_cast<sim::Counter>(c)] = u64(rng);
+  r.static_features = rand_doubles(24);
+  r.dynamic_features = rand_doubles(24);
+  return r;
+}
+
+TEST(KbStoreCodecFuzz, RandomRecordsRoundTripExactly) {
+  std::mt19937_64 rng(2008);
+  std::uniform_int_distribution<int> op(1, 3);  // Op::Append..Op::Erase
+  for (int i = 0; i < 200; ++i) {
+    LogRecord in;
+    in.op = static_cast<Op>(op(rng));
+    in.rec = random_record(rng);
+    const std::string payload = kbstore::encode_record(in);
+    const auto out = kbstore::decode_record(payload);
+    ASSERT_TRUE(out.has_value()) << "iteration " << i;
+    EXPECT_EQ(out->op, in.op);
+    EXPECT_EQ(out->rec.program, in.rec.program);
+    EXPECT_EQ(out->rec.machine, in.rec.machine);
+    EXPECT_EQ(out->rec.kind, in.rec.kind);
+    if (in.op == Op::Erase) continue;  // tombstones carry only the key
+    EXPECT_EQ(out->rec.config, in.rec.config);
+    EXPECT_EQ(out->rec.cycles, in.rec.cycles);
+    EXPECT_EQ(out->rec.code_size, in.rec.code_size);
+    EXPECT_EQ(out->rec.instructions, in.rec.instructions);
+    EXPECT_EQ(out->rec.counters, in.rec.counters);
+    EXPECT_EQ(out->rec.static_features, in.rec.static_features);
+    EXPECT_EQ(out->rec.dynamic_features, in.rec.dynamic_features);
+  }
+}
+
+TEST(KbStoreCodecFuzz, NaNFeaturesSurviveByBitPattern) {
+  LogRecord in;
+  in.rec = sample("nan", 1);
+  in.rec.static_features = {std::numeric_limits<double>::quiet_NaN(), 1.0};
+  const auto out = kbstore::decode_record(kbstore::encode_record(in));
+  ASSERT_TRUE(out.has_value());
+  ASSERT_EQ(out->rec.static_features.size(), 2u);
+  EXPECT_TRUE(std::isnan(out->rec.static_features[0]));
+  EXPECT_EQ(out->rec.static_features[1], 1.0);
+}
+
+TEST(KbStoreCodecFuzz, RandomRecordsRejectEveryTruncation) {
+  std::mt19937_64 rng(42);
+  for (int i = 0; i < 25; ++i) {
+    LogRecord in;
+    in.rec = random_record(rng);
+    const std::string payload = kbstore::encode_record(in);
+    for (std::size_t n = 0; n < payload.size(); ++n)
+      ASSERT_FALSE(kbstore::decode_record(payload.substr(0, n)).has_value())
+          << "iteration " << i << ": prefix of " << n << " bytes decoded";
+    ASSERT_FALSE(kbstore::decode_record(payload + 'y').has_value())
+        << "iteration " << i << ": trailing garbage accepted";
+  }
+}
+
+TEST(KbStoreCodecFuzz, EveryBitFlipDecodesSanelyOrNotAtAll) {
+  // Deterministic single-bit-flip sweep: the decoder must never crash,
+  // hang, or return a record that could not have been encoded (a length
+  // field pointing past the buffer). A flip may legitimately decode —
+  // e.g. inside a feature double — but the string fields must still fit
+  // inside the payload that produced them.
+  std::mt19937_64 rng(7);
+  for (int i = 0; i < 10; ++i) {
+    LogRecord in;
+    in.rec = random_record(rng);
+    const std::string payload = kbstore::encode_record(in);
+    for (std::size_t byte = 0; byte < payload.size(); ++byte) {
+      for (int bit = 0; bit < 8; ++bit) {
+        std::string mut = payload;
+        mut[byte] = static_cast<char>(mut[byte] ^ (1 << bit));
+        const auto out = kbstore::decode_record(mut);
+        if (!out) continue;
+        EXPECT_LE(out->rec.program.size() + out->rec.machine.size() +
+                      out->rec.kind.size() + out->rec.config.size(),
+                  mut.size())
+            << "decoded strings larger than the buffer they came from";
+      }
+    }
+  }
+}
+
+// --- frame walking + durable position accessors --------------------------
+
+TEST(KbStoreLog, WalkFramesReportsBoundsHealthAndTornTail) {
+  std::string image = kbstore::log_header(kbstore::kWalType, 3);
+  LogRecord a, b, c;
+  a.rec = sample("a", 1);
+  b.rec = sample("b", 2);
+  b.op = Op::Erase;
+  c.rec = sample("c", 3);
+  kbstore::append_frame(image, kbstore::encode_record(a));
+  kbstore::append_frame(image, kbstore::encode_record(b));
+  kbstore::append_frame(image, kbstore::encode_record(c));
+
+  const auto walked = kbstore::walk_frames(image, kbstore::kHeaderSize);
+  EXPECT_TRUE(walked.clean);
+  EXPECT_EQ(walked.good_bytes, image.size());
+  ASSERT_EQ(walked.frames.size(), 3u);
+  EXPECT_EQ(walked.frames[0].offset, kbstore::kHeaderSize);
+  for (std::size_t i = 1; i < walked.frames.size(); ++i)
+    EXPECT_EQ(walked.frames[i].offset, walked.frames[i - 1].end());
+  for (const auto& fb : walked.frames) {
+    EXPECT_TRUE(fb.crc_ok);
+    EXPECT_TRUE(fb.decodable);
+  }
+  EXPECT_EQ(walked.frames[1].op, Op::Erase);
+
+  // Torn tail: a partial final frame is not reported as a frame at all.
+  const auto torn = kbstore::walk_frames(
+      std::string_view(image).substr(0, image.size() - 3),
+      kbstore::kHeaderSize);
+  EXPECT_FALSE(torn.clean);
+  ASSERT_EQ(torn.frames.size(), 2u);
+  EXPECT_EQ(torn.good_bytes, walked.frames[1].end());
+
+  // Corrupt interior frame: included, flagged, and walking stops there.
+  std::string flipped = image;
+  flipped[walked.frames[1].offset + kbstore::kFrameOverhead] ^= 0x80;
+  const auto bad = kbstore::walk_frames(flipped, kbstore::kHeaderSize);
+  EXPECT_FALSE(bad.clean);
+  ASSERT_EQ(bad.frames.size(), 2u);
+  EXPECT_TRUE(bad.frames[0].crc_ok);
+  EXPECT_FALSE(bad.frames[1].crc_ok);
+  EXPECT_EQ(bad.good_bytes, walked.frames[0].end());
+}
+
+TEST(KbStore, WalPositionTracksDurableFramesAcrossReopenAndCompaction) {
+  TempStoreDir dir("kbstore_test_walpos");
+  auto store = Store::open(dir.path, every_append());
+  ASSERT_NE(store, nullptr);
+  const kbstore::WalPosition fresh = store->wal_position();
+  EXPECT_EQ(fresh.generation, 1u);
+  EXPECT_EQ(fresh.seq, 0u);
+  EXPECT_EQ(fresh.chain_crc, 0u);
+
+  store->append(sample("a", 1));
+  store->append(sample("b", 2));
+  store->upsert(sample("a", 3));
+  const kbstore::WalPosition pos = store->wal_position();
+  EXPECT_EQ(pos.generation, store->wal_generation());
+  EXPECT_EQ(pos.seq, store->durable_seq());
+  EXPECT_EQ(pos.seq, 3u);
+  EXPECT_NE(pos.chain_crc, 0u);
+
+  // The position is a pure function of the durable bytes: reopening the
+  // store (which re-walks the WAL) reproduces it exactly.
+  store.reset();
+  store = Store::open(dir.path, every_append());
+  ASSERT_NE(store, nullptr);
+  const kbstore::WalPosition reopened = store->wal_position();
+  EXPECT_EQ(reopened.generation, pos.generation);
+  EXPECT_EQ(reopened.seq, pos.seq);
+  EXPECT_EQ(reopened.chain_crc, pos.chain_crc);
+
+  // Compaction folds the log into a snapshot: new generation, empty WAL.
+  ASSERT_TRUE(store->compact());
+  const kbstore::WalPosition compacted = store->wal_position();
+  EXPECT_EQ(compacted.generation, pos.generation + 1);
+  EXPECT_EQ(compacted.seq, 0u);
+  EXPECT_EQ(compacted.chain_crc, 0u);
+}
+
+TEST(KbStore, WalPositionAdvancesOnlyWithDurability) {
+  TempStoreDir dir("kbstore_test_walpos_batch");
+  kbstore::Options opts;
+  opts.flush = kbstore::Options::Flush::Manual;
+  opts.background_compaction = false;
+  auto store = Store::open(dir.path, opts);
+  ASSERT_NE(store, nullptr);
+
+  // Un-flushed group-commit bytes are readable in-process but are not
+  // durable — the position (what replication may ship) must not move.
+  store->append(sample("a", 1));
+  store->append(sample("b", 2));
+  EXPECT_EQ(store->size(), 2u);
+  EXPECT_EQ(store->wal_position().seq, 0u);
+
+  ASSERT_TRUE(store->sync());
+  const kbstore::WalPosition synced = store->wal_position();
+  EXPECT_EQ(synced.seq, 2u);
+  EXPECT_NE(synced.chain_crc, 0u);
 }
 
 }  // namespace
