@@ -12,6 +12,10 @@
 //   $ ./kb_tool import my.kb my.kbd     # legacy CSV -> durable store
 //   $ ./kb_tool export my.kbd my.kb     # durable store -> legacy CSV
 //   $ ./kb_tool wal-dump my.kbd         # frame-level WAL inspector
+//   $ ./kb_tool repl-status my.kbd [leader-dir]
+//                                       # durable WalPosition (generation /
+//                                       # seq / chain CRC); with a leader
+//                                       # dir, follower lag + divergence
 #include <cstdio>
 #include <cstdlib>
 #include <cstring>
@@ -23,6 +27,7 @@
 #include "controller/kb_builder.hpp"
 #include "kbstore/log_format.hpp"
 #include "kbstore/store.hpp"
+#include "repl/ship.hpp"
 #include "search/evaluator.hpp"
 #include "support/table.hpp"
 #include "workloads/workloads.hpp"
@@ -263,6 +268,53 @@ int cmd_wal_dump(const char* dir) {
   return walked.clean ? 0 : 1;
 }
 
+/// Replication status from disk: the store's durable WalPosition — the
+/// exact identity replication resumes from and promotion chooses by —
+/// and, given the leader's directory, the follower's lag and a
+/// byte-divergence verdict. Reads through ShipSource (flushed bytes
+/// only, no Store locks), so it is safe to run against a live store.
+int cmd_repl_status(const char* dir, const char* leader_dir) {
+  const auto pos = repl::ShipSource(dir).position();
+  if (!pos) {
+    std::fprintf(stderr, "cannot read a WAL position from %s\n", dir);
+    return 1;
+  }
+  std::printf("%s: generation=%llu seq=%llu chain_crc=%08x\n", dir,
+              static_cast<unsigned long long>(pos->generation),
+              static_cast<unsigned long long>(pos->seq), pos->chain_crc);
+  if (leader_dir == nullptr) return 0;
+
+  const auto lpos = repl::ShipSource(leader_dir).position();
+  if (!lpos) {
+    std::fprintf(stderr, "cannot read a WAL position from %s\n", leader_dir);
+    return 1;
+  }
+  std::printf("%s: generation=%llu seq=%llu chain_crc=%08x (leader)\n",
+              leader_dir, static_cast<unsigned long long>(lpos->generation),
+              static_cast<unsigned long long>(lpos->seq), lpos->chain_crc);
+  if (pos->generation == lpos->generation) {
+    if (pos->seq > lpos->seq) {
+      std::printf("lag: follower is AHEAD by %llu frames (split-brain — a "
+                  "leader would reject this follower)\n",
+                  static_cast<unsigned long long>(pos->seq - lpos->seq));
+    } else {
+      std::printf("lag: %llu frames behind the leader\n",
+                  static_cast<unsigned long long>(lpos->seq - pos->seq));
+    }
+  } else {
+    std::printf("lag: generations differ (follower %llu vs leader %llu) — "
+                "snapshot bootstrap pending or stale leader\n",
+                static_cast<unsigned long long>(pos->generation),
+                static_cast<unsigned long long>(lpos->generation));
+  }
+  const auto div = repl::divergence(leader_dir, dir);
+  if (div)
+    std::printf("divergence: %s\n", div->c_str());
+  else
+    std::printf("divergence: none (files byte-identical)\n");
+  return 0;
+}
+
 void usage() {
   std::fprintf(stderr,
                "usage: kb_tool build <file> [budget]\n"
@@ -271,7 +323,8 @@ void usage() {
                "       kb_tool predict <file-or-dir> <workload>\n"
                "       kb_tool import <csv-file> <store-dir>\n"
                "       kb_tool export <store-dir> <csv-file>\n"
-               "       kb_tool wal-dump <store-dir>\n");
+               "       kb_tool wal-dump <store-dir>\n"
+               "       kb_tool repl-status <store-dir> [leader-dir]\n");
 }
 
 }  // namespace
@@ -295,6 +348,8 @@ int main(int argc, char** argv) {
   if (std::strcmp(argv[1], "export") == 0 && argc > 3)
     return cmd_export(argv[2], argv[3]);
   if (std::strcmp(argv[1], "wal-dump") == 0) return cmd_wal_dump(argv[2]);
+  if (std::strcmp(argv[1], "repl-status") == 0)
+    return cmd_repl_status(argv[2], argc > 3 ? argv[3] : nullptr);
   usage();
   return 2;
 }

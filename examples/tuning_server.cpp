@@ -26,11 +26,13 @@
 #include <cstdio>
 #include <cstring>
 #include <fstream>
+#include <functional>
 #include <iostream>
 #include <memory>
 #include <optional>
 #include <string>
 
+#include "cluster/registry.hpp"
 #include "net/server.hpp"
 #include "net/session.hpp"
 #include "obs/trace.hpp"
@@ -63,7 +65,13 @@ int usage(const char* argv0) {
                "followers on 127.0.0.1:port (0 = ephemeral)\n"
                "  --follower-of P   follower: replicate from the leader "
                "shipping on port P (or 127.0.0.1:P) into --kb,\n"
-               "                    and serve it read-only (warm hits only)\n",
+               "                    and serve it read-only (warm hits only)\n"
+               "  --registry port   also serve the cluster registry (the "
+               "shard map) on 127.0.0.1:port (0 = ephemeral)\n"
+               "  --join host:port  announce this node to the registry at "
+               "host:port once listening (leader by default,\n"
+               "                    follower with --follower-of); replaces "
+               "hand-wired topology on the client side\n",
                argv0);
   return 2;
 }
@@ -114,9 +122,12 @@ int run_stdio(svc::TuningService& service, std::istream& in) {
 }
 
 /// The TCP transport: start the epoll front-end, then park until a
-/// SIGINT/SIGTERM arrives and shut down gracefully.
+/// SIGINT/SIGTERM arrives and shut down gracefully. `on_listening`
+/// (optional) fires once with the bound port — the --join announcement
+/// hook, invoked only after the node can actually serve.
 int run_tcp(svc::TuningService& service, net::ServerOptions net_opts,
-            sigset_t* signals) {
+            sigset_t* signals,
+            const std::function<void(std::uint16_t)>& on_listening) {
   std::optional<net::Server> server;
   try {
     server.emplace(service, net_opts);
@@ -126,6 +137,7 @@ int run_tcp(svc::TuningService& service, net::ServerOptions net_opts,
   }
   std::fprintf(stderr, "listening on 127.0.0.1:%u\n",
                static_cast<unsigned>(server->port()));
+  if (on_listening) on_listening(server->port());
   int sig = 0;
   sigwait(signals, &sig);
   std::fprintf(stderr, "signal %d: draining connections...\n", sig);
@@ -153,6 +165,10 @@ int main(int argc, char** argv) {
   std::uint16_t ship_port = 0;
   bool follower_mode = false;
   std::uint16_t leader_port = 0;
+  bool registry_mode = false;
+  std::uint16_t registry_port = 0;
+  bool join_mode = false;
+  repl::Endpoint join_ep;
   std::string script = "-";
   TraceDump trace_dump;
   for (int i = 1; i < argc; ++i) {
@@ -208,9 +224,31 @@ int main(int argc, char** argv) {
         arg = arg.substr(colon + 1);
       }
       leader_port = static_cast<std::uint16_t>(std::atoi(arg.c_str()));
+    } else if (!std::strcmp(argv[i], "--registry") && i + 1 < argc) {
+      registry_mode = true;
+      registry_port = static_cast<std::uint16_t>(std::atoi(argv[++i]));
+    } else if (!std::strcmp(argv[i], "--join") && i + 1 < argc) {
+      // host:port or bare port; loopback-only like --follower-of.
+      join_mode = true;
+      std::string arg = argv[++i];
+      std::string host = "127.0.0.1";
+      if (const auto colon = arg.rfind(':'); colon != std::string::npos) {
+        host = arg.substr(0, colon);
+        if (host != "127.0.0.1" && host != "localhost") {
+          std::fprintf(stderr, "--join is loopback-only\n");
+          return usage(argv[0]);
+        }
+        host = "127.0.0.1";
+        arg = arg.substr(colon + 1);
+      }
+      join_ep = {host, static_cast<std::uint16_t>(std::atoi(arg.c_str()))};
     } else {
       return usage(argv[0]);
     }
+  }
+  if (join_mode && !listen_mode) {
+    std::fprintf(stderr, "--join requires --listen (the announced port)\n");
+    return usage(argv[0]);
   }
 
   std::ifstream file;
@@ -295,6 +333,56 @@ int main(int argc, char** argv) {
                  static_cast<unsigned>(ship_server->port()));
   }
 
-  return listen_mode ? run_tcp(*service, net_opts, &signals)
+  // Registry mode: this node also serves the authoritative shard map.
+  // Any node can carry it (it is just another line-protocol listener);
+  // by convention it rides on shard 0's leader.
+  std::unique_ptr<cluster::Registry> registry;
+  std::unique_ptr<cluster::RegistryServer> registry_server;
+  if (registry_mode) {
+    registry = std::make_unique<cluster::Registry>(
+        opts.shard_count > 0 ? opts.shard_count : 1);
+    registry_server = cluster::RegistryServer::start(*registry, registry_port);
+    if (!registry_server) {
+      std::fprintf(stderr, "cannot serve registry on 127.0.0.1:%u\n",
+                   static_cast<unsigned>(registry_port));
+      return 1;
+    }
+    std::fprintf(stderr, "registry on 127.0.0.1:%u (%u shards)\n",
+                 static_cast<unsigned>(registry_server->port()),
+                 static_cast<unsigned>(opts.shard_count > 0 ? opts.shard_count
+                                                            : 1));
+  }
+
+  // --join: announce to the registry once the TCP front-end is bound,
+  // so the map never names an endpoint that cannot serve yet. Leaders
+  // carry their ship port into the map; followers just register.
+  std::function<void(std::uint16_t)> on_listening;
+  if (join_mode) {
+    on_listening = [&join_ep, &ship_server, shard = opts.shard_index,
+                    follower_mode](std::uint16_t port) {
+      cluster::RegistryClient client(join_ep);
+      std::string why;
+      if (!client.fetch(&why)) {
+        std::fprintf(stderr, "join: cannot reach registry at %s: %s\n",
+                     join_ep.to_string().c_str(), why.c_str());
+        return;
+      }
+      const repl::Endpoint self{"127.0.0.1", port};
+      const bool ok =
+          follower_mode
+              ? client.follow(shard, self, &why)
+              : client.lead(shard, self,
+                            ship_server ? ship_server->port() : 0,
+                            client.epoch(), &why);
+      if (ok)
+        std::fprintf(stderr, "joined shard %u as %s\n",
+                     static_cast<unsigned>(shard),
+                     follower_mode ? "follower" : "leader");
+      else
+        std::fprintf(stderr, "join refused: %s\n", why.c_str());
+    };
+  }
+
+  return listen_mode ? run_tcp(*service, net_opts, &signals, on_listening)
                      : run_stdio(*service, in);
 }

@@ -1,0 +1,78 @@
+// cluster::ScatterClient — cross-shard queries over the sharded fleet.
+// Fingerprint routing answers "which shard owns this module"; scatter
+// answers the questions that span all of them: fleet-wide `metrics`
+// roll-ups, `ping` sweeps, any line-protocol query whose answer is the
+// union of per-shard answers.
+//
+// One query() fans the request line to every shard concurrently (one
+// thread per shard — shard counts are small and the latency is one
+// round trip, not N). Per shard the Router picks the healthy endpoint:
+// the primary, or a follower (read-only) when the primary is marked
+// down. An IO failure marks the endpoint down in the Router — scatter
+// doubles as a passive health signal — and retries the shard once
+// through the re-routed table before giving up on it.
+//
+// Degradation is explicit, never silent: the result carries one entry
+// per shard in shard order, each flagged ok/failed, and `partial` is
+// set when any shard could not answer. A caller that needs
+// every-shard-or-error checks one bit; a caller that can use partial
+// data (a metrics dashboard) uses what arrived.
+#pragma once
+
+#include <cstddef>
+#include <string>
+#include <vector>
+
+#include "obs/metrics.hpp"
+#include "repl/router.hpp"
+
+namespace ilc::cluster {
+
+struct ScatterOptions {
+  int timeout_ms = 1000;  ///< per-shard round-trip budget
+  std::string metric_prefix = "cluster";
+  obs::Registry* registry = nullptr;  ///< nullptr = process-wide
+};
+
+struct ShardReply {
+  std::size_t shard = 0;
+  repl::Endpoint endpoint;  ///< who answered (or last endpoint tried)
+  bool ok = false;
+  bool read_only = false;  ///< a follower answered (primary was down)
+  std::string line;        ///< the response line ("" when !ok)
+  std::string error;       ///< why the shard failed ("" when ok)
+};
+
+struct ScatterResult {
+  std::vector<ShardReply> replies;  ///< one per shard, in shard order
+  std::size_t responded = 0;
+  bool partial = false;  ///< some shard did not answer
+
+  bool complete() const { return !partial; }
+};
+
+class ScatterClient {
+ public:
+  /// The Router provides the topology and health view, and receives
+  /// mark-downs for endpoints that fail mid-scatter. Must outlive the
+  /// client.
+  ScatterClient(repl::Router& router, ScatterOptions opts = {});
+
+  /// Send one protocol line to every shard concurrently.
+  ScatterResult query(const std::string& line);
+
+  /// Merge `metrics`-shaped replies ("metrics k=v k=v ...") by summing
+  /// each key across the responding shards, keys in first-seen order.
+  static std::string merge_metrics(const ScatterResult& result);
+
+ private:
+  ShardReply query_shard(std::size_t shard, const std::string& line);
+
+  repl::Router* router_;
+  ScatterOptions opts_;
+  obs::Counter queries_;
+  obs::Counter partials_;
+  obs::Counter shard_errors_;
+};
+
+}  // namespace ilc::cluster

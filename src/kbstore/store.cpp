@@ -104,7 +104,7 @@ bool fsync_file(std::FILE* f) {
 }  // namespace
 
 Store::Store(std::string dir, Options opts)
-    : dir_(std::move(dir)), opts_(opts) {}
+    : dir_(std::move(dir)), opts_(opts), follower_(opts.follower) {}
 
 Store::~Store() {
   if (bg_.joinable()) {
@@ -267,7 +267,7 @@ bool Store::apply(LogRecord&& lr) {
 }
 
 bool Store::log_and_apply(LogRecord lr) {
-  ILC_CHECK_MSG(!opts_.follower,
+  ILC_CHECK_MSG(!is_follower(),
                 "store is a replication follower (read-only): " + dir_);
   obs::ScopedTimerUs timer(h_append_us());
   // Fault injection: "kbstore.wal_append" simulates an append that cannot
@@ -393,7 +393,7 @@ void Store::clear_index_locked() {
 }
 
 bool Store::follower_append(std::string_view frames, std::size_t count) {
-  if (!opts_.follower) return false;
+  if (!is_follower()) return false;
   std::lock_guard<std::mutex> lock(wal_mu_);
   if (!wal_) return false;
   // Verify the whole batch before a byte lands: every frame complete,
@@ -439,7 +439,7 @@ bool Store::follower_append(std::string_view frames, std::size_t count) {
 
 bool Store::follower_install_snapshot(std::string_view snapshot,
                                       std::uint64_t wal_generation) {
-  if (!opts_.follower || wal_generation == 0) return false;
+  if (!is_follower() || wal_generation == 0) return false;
   std::lock_guard<std::mutex> lock(wal_mu_);
 
   ScannedLog scan;
@@ -538,9 +538,26 @@ void Store::maybe_request_compaction_locked() {
 }
 
 bool Store::compact() {
-  if (opts_.follower) return false;  // followers mirror leader compactions
+  if (is_follower()) return false;  // followers mirror leader compactions
   std::lock_guard<std::mutex> lock(wal_mu_);
   return compact_locked();
+}
+
+bool Store::promote_to_leader() {
+  {
+    std::lock_guard<std::mutex> lock(wal_mu_);
+    if (!follower_.load(std::memory_order_relaxed)) return false;
+    // The fencing compaction: publish the replicated state as a snapshot
+    // and restart the WAL one generation up. Any stream the old leader
+    // still produces is now for a dead generation, and any follower of
+    // the old history that Hellos us gets bootstrapped (or rejected by
+    // the chain check) rather than silently extended.
+    if (!compact_locked()) return false;
+    follower_.store(false, std::memory_order_release);
+  }
+  if (opts_.background_compaction && !bg_.joinable())
+    bg_ = std::thread([this] { background_loop(); });
+  return true;
 }
 
 bool Store::compact_locked() {

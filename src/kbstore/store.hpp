@@ -31,6 +31,7 @@
 #pragma once
 
 #include <array>
+#include <atomic>
 #include <condition_variable>
 #include <cstdint>
 #include <cstdio>
@@ -71,7 +72,8 @@ struct Options {
   /// (followers adopt the leader's compactions as snapshot installs),
   /// and mutations arrive only through follower_append /
   /// follower_install_snapshot — which mirror a leader's files
-  /// byte-for-byte.
+  /// byte-for-byte. A follower can later be flipped into a leader with
+  /// promote_to_leader() (cluster failover).
   bool follower = false;
 };
 
@@ -171,6 +173,22 @@ class Store {
   bool follower_install_snapshot(std::string_view snapshot,
                                  std::uint64_t wal_generation);
 
+  /// Whether the store is currently in follower mode. Starts as
+  /// Options::follower; promote_to_leader() flips it off.
+  bool is_follower() const {
+    return follower_.load(std::memory_order_acquire);
+  }
+
+  /// Cluster failover: flip a follower into a leader. Starts a fresh WAL
+  /// generation via an immediate compaction — the generation bump is the
+  /// fence that makes the old leader's stream unacceptable here (and this
+  /// store's stream reject any follower still loyal to the old leader's
+  /// history, via the existing split-brain checks). After a true return
+  /// the full write API is live and background compaction (when
+  /// configured) is running. False when the store is not a follower or
+  /// the fencing compaction could not be written.
+  bool promote_to_leader();
+
   /// What open() found on disk for this store (same data as the open()
   /// out-parameter, kept for tooling that opens the store elsewhere).
   RecoveryInfo recovery() const { return recovery_; }
@@ -219,6 +237,10 @@ class Store {
 
   const std::string dir_;
   const Options opts_;
+  /// Live follower/leader mode. Seeded from opts_.follower; flipped (at
+  /// most once) by promote_to_leader(). Atomic because the write API
+  /// checks it before taking wal_mu_.
+  std::atomic<bool> follower_;
   RecoveryInfo recovery_;  // written once by open(), read-only after
 
   std::array<Shard, kShards> shards_;

@@ -161,6 +161,13 @@ void Session::feed_line(const std::string& line,
       });
       break;
     }
+    case svc::Command::Kind::Ping:
+      // Answered synchronously — a ping must not queue behind tunes, or
+      // a merely-busy server would look dead to the health monitor.
+      push_ready("ok pong shard=" + std::to_string(service_.shard_index()) +
+                 "/" + std::to_string(service_.shard_count()) +
+                 " read_only=" + (service_.read_only() ? "1" : "0"));
+      break;
     case svc::Command::Kind::Quit: {
       std::lock_guard<std::mutex> lock(mu_);
       quit_ = true;

@@ -33,6 +33,10 @@ Msg Applier::hello() const { return Msg::hello(store_->wal_position()); }
 bool Applier::apply(const Msg& m, std::string* why) {
   {
     std::lock_guard<std::mutex> lk(mu_);
+    if (promoted_) {
+      set_why(why, "applier promoted to leader: replication stream refused");
+      return false;
+    }
     if (rejected_) {
       set_why(why, "session rejected by leader: " + reject_reason_);
       return false;
@@ -132,6 +136,28 @@ std::uint64_t Applier::lag() const {
     return leader_seq_ > pos.seq ? leader_seq_ - pos.seq : 0;
   // Mid-bootstrap (snapshot not yet installed): everything is behind.
   return leader_seq_ + 1;
+}
+
+std::shared_ptr<kbstore::Store> Applier::promote(std::string* why) {
+  {
+    std::lock_guard<std::mutex> lk(mu_);
+    if (promoted_) {
+      set_why(why, "already promoted");
+      return nullptr;
+    }
+    promoted_ = true;  // refuse replication traffic from here on
+  }
+  if (!store_->promote_to_leader()) {
+    set_why(why, "store promotion failed (not a follower, or the fencing "
+                 "compaction could not be written)");
+    return nullptr;
+  }
+  return store_;
+}
+
+bool Applier::promoted() const {
+  std::lock_guard<std::mutex> lk(mu_);
+  return promoted_;
 }
 
 bool Applier::rejected(std::string* why) const {

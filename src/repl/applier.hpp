@@ -77,15 +77,29 @@ class Applier {
   }
   const kbstore::Store& store() const { return *store_; }
 
+  /// Cluster failover: drain this follower into a leader. The caller
+  /// must have stopped the shipping transport first (ShipClient::stop
+  /// joins its thread, so everything received has been applied). Flips
+  /// the store onto a fresh generation (Store::promote_to_leader — the
+  /// fence) and returns it; the Applier keeps serving reads through the
+  /// same store but refuses every further replication message, so a
+  /// stream from a resurrected old leader cannot land here. nullptr when
+  /// already promoted or the store flip fails; `why` says which.
+  std::shared_ptr<kbstore::Store> promote(std::string* why = nullptr);
+
+  /// True once promote() succeeded: this replica is now a leader.
+  bool promoted() const;
+
  private:
   Applier() = default;
 
-  std::unique_ptr<kbstore::Store> store_;
+  std::shared_ptr<kbstore::Store> store_;
 
-  mutable std::mutex mu_;  // leader position + reject state
+  mutable std::mutex mu_;  // leader position + reject/promote state
   std::uint64_t leader_gen_ = 0;
   std::uint64_t leader_seq_ = 0;
   bool rejected_ = false;
+  bool promoted_ = false;
   std::string reject_reason_;
 
   obs::Counter frames_applied_;

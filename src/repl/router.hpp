@@ -13,17 +13,31 @@
 // primary is marked down, route() falls back to one of that shard's
 // followers *read-only* — a follower can serve warm-cache hits from the
 // replicated KB but cannot run searches or accept writes, so the caller
-// must treat a read_only route as "cache hit or nothing". Health is
-// caller-maintained (set_down after a connect/IO failure, set_up after a
-// successful probe); the Router itself never does IO.
+// must treat a read_only route as "cache hit or nothing". Health comes
+// from callers (set_down after a connect/IO failure, set_up after a
+// successful probe) or from a cluster::HealthMonitor driving those same
+// hooks from active probes; the Router itself never does IO. All methods
+// are thread-safe: a monitor thread marks endpoints while client threads
+// route.
+//
+// Observability (process-wide registry unless one is injected):
+//   repl.router.fallback_serves   routes answered by a follower
+//   repl.router.unroutable        routes with no healthy endpoint at all
+//   repl.router.mark_down         up -> down endpoint transitions
+//   repl.router.mark_up           down -> up endpoint transitions
+//   repl.router.wrong_shard       wrong-shard refusals reported by callers
+//                                 (a stale shard map on this client)
 #pragma once
 
 #include <algorithm>
 #include <cstddef>
 #include <cstdint>
+#include <mutex>
 #include <optional>
 #include <string>
 #include <vector>
+
+#include "obs/metrics.hpp"
 
 namespace ilc::repl {
 
@@ -38,6 +52,9 @@ struct Endpoint {
   }
   friend bool operator==(const Endpoint& x, const Endpoint& y) {
     return x.port == y.port && x.host == y.host;
+  }
+  friend bool operator!=(const Endpoint& x, const Endpoint& y) {
+    return !(x == y);
   }
 };
 
@@ -60,18 +77,20 @@ class Router {
     bool read_only = false;
   };
 
-  explicit Router(std::vector<Shard> shards) : shards_(std::move(shards)) {
-    down_.resize(shards_.size());
-    for (auto& d : down_) d.resize(1 + max_followers(), false);
-  }
+  explicit Router(std::vector<Shard> shards,
+                  obs::Registry* registry = nullptr);
 
   std::size_t shard_count() const { return shards_.size(); }
-  const Shard& shard(std::size_t i) const { return shards_[i]; }
+  Shard shard(std::size_t i) const;
 
   /// Where to send work keyed by `fp`: the owning primary, or — when it
   /// is down — the first healthy follower of that shard, flagged
   /// read_only. nullopt when the whole shard is unreachable.
   std::optional<Route> route(std::uint64_t fp) const;
+
+  /// Same policy addressed by shard index instead of key — the
+  /// scatter-gather path, which visits every shard.
+  std::optional<Route> route_shard(std::size_t shard) const;
 
   /// Mark an endpoint unhealthy / healthy again. Unknown endpoints are
   /// ignored (a stale config entry is not an error).
@@ -79,17 +98,32 @@ class Router {
   void set_up(const Endpoint& ep) { mark(ep, false); }
   bool is_down(const Endpoint& ep) const;
 
- private:
-  std::size_t max_followers() const {
-    std::size_t n = 0;
-    for (const auto& s : shards_) n = std::max(n, s.followers.size());
-    return n;
-  }
-  void mark(const Endpoint& ep, bool down);
+  /// A service refused our request as wrong-shard: our map is stale
+  /// relative to the fleet. Counted so operators can see clients that
+  /// need a registry refresh.
+  void note_wrong_shard();
 
+  /// Failover bookkeeping: `new_primary` (one of the shard's followers)
+  /// becomes the primary, marked up; the old primary is demoted to the
+  /// back of the follower list and marked down (it may resurrect as a
+  /// follower after re-sync). False when `shard` is out of range or
+  /// `new_primary` is not a follower of it.
+  bool promote(std::size_t shard, const Endpoint& new_primary);
+
+ private:
+  void mark(const Endpoint& ep, bool down);
+  std::optional<Route> route_shard_locked(std::size_t s) const;
+
+  mutable std::mutex mu_;  // guards shards_ and down_
   std::vector<Shard> shards_;
   // down_[shard][0] = primary, down_[shard][1 + k] = followers[k].
   std::vector<std::vector<bool>> down_;
+
+  obs::Counter fallback_serves_;
+  obs::Counter unroutable_;
+  obs::Counter mark_down_;
+  obs::Counter mark_up_;
+  obs::Counter wrong_shard_;
 };
 
 }  // namespace ilc::repl

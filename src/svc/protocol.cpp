@@ -143,6 +143,10 @@ Command parse_command(const std::string& line) {
     if (words.size() > 1) c.path = words[1];
     return c;
   }
+  if (words[0] == "ping") {
+    c.kind = Command::Kind::Ping;
+    return c;
+  }
   if (words[0] == "quit") {
     c.kind = Command::Kind::Quit;
     return c;

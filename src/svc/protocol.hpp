@@ -11,6 +11,9 @@
 //                               "tune <name>" submits it
 //   metrics                   — emit a metrics snapshot line
 //   save [path]               — persist the knowledge base
+//   ping                      — liveness/identity probe: answered
+//                               immediately (never queued), so health
+//                               monitors can probe a busy server
 //   quit
 //
 // Response lines:
@@ -19,6 +22,7 @@
 //   err <message>          (also: timeout / rejection / persist failures)
 //   metrics requests=<n> warm_hits=<n> coalesced=<n> searches=<n>
 //      errors=<n> rejected=<n> timed_out=<n> shed=<n> persist_errors=<n> ...
+//   ok pong shard=<i>/<n> read_only=<0|1>     (ping)
 //
 // Values inside config="..." escape embedded quotes and backslashes with
 // a backslash; option values with embedded control characters are
@@ -49,6 +53,7 @@ struct Command {
     Module,   // read `module_lines` lines of IR as `module_name`
     Metrics,
     Save,     // `path` may be empty = service default
+    Ping,     // liveness/identity probe (cluster health monitoring)
     Quit,
     Invalid,  // `error` says why
   };

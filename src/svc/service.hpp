@@ -134,6 +134,12 @@ class TuningService {
   std::size_t kb_size() const;
   std::size_t workers() const { return pool_.size(); }
 
+  /// Shard identity, for the protocol's `ping` reply (cluster health
+  /// probes confirm they reached the endpoint they think they probed).
+  std::size_t shard_index() const { return opts_.shard_index; }
+  std::size_t shard_count() const { return opts_.shard_count; }
+  bool read_only() const { return opts_.read_only; }
+
  private:
   struct Job;
   class Completion;

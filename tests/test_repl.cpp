@@ -643,4 +643,141 @@ TEST(ReplServing, FollowerServiceServesReplicatedHitsReadOnly) {
   EXPECT_EQ(m.simulations, 0u);
 }
 
+// --- router edge cases ----------------------------------------------------
+
+TEST(ReplRouter, AllEndpointsDownIsUnroutableAndCounted) {
+  obs::Registry metrics;
+  const repl::Endpoint primary{"127.0.0.1", 9300};
+  const repl::Endpoint follower{"127.0.0.1", 9301};
+  repl::Router router({{primary, {follower}}}, &metrics);
+
+  router.set_down(primary);
+  router.set_down(follower);
+  router.set_down(follower);  // already down: not a transition
+  EXPECT_FALSE(router.route(0).has_value());
+  EXPECT_FALSE(router.route_shard(0).has_value());
+  EXPECT_EQ(metrics.counter("repl.router.unroutable").value(), 2u);
+  EXPECT_EQ(metrics.counter("repl.router.mark_down").value(), 2u);
+
+  // One endpoint back: routable again (read-only: it is the follower).
+  router.set_up(follower);
+  const auto r = router.route_shard(0);
+  ASSERT_TRUE(r.has_value());
+  EXPECT_TRUE(r->read_only);
+  EXPECT_EQ(metrics.counter("repl.router.mark_up").value(), 1u);
+  EXPECT_EQ(metrics.counter("repl.router.fallback_serves").value(), 1u);
+
+  // Stale-map feedback from services is counted for operators.
+  router.note_wrong_shard();
+  EXPECT_EQ(metrics.counter("repl.router.wrong_shard").value(), 1u);
+}
+
+TEST(ReplRouter, SingleShardOwnsEveryFingerprintAndOutOfRangeIsRefused) {
+  obs::Registry metrics;
+  repl::Router router({{{"127.0.0.1", 9400}, {}}}, &metrics);
+  for (const std::uint64_t fp : {0ull, 1ull, 0xffffffffffffffffull}) {
+    const auto r = router.route(fp);
+    ASSERT_TRUE(r.has_value());
+    EXPECT_EQ(r->shard, 0u);
+    EXPECT_EQ(r->endpoint.port, 9400);
+  }
+  // A shard index beyond the map (stale client) is unroutable, not UB.
+  EXPECT_FALSE(router.route_shard(7).has_value());
+  EXPECT_EQ(metrics.counter("repl.router.unroutable").value(), 1u);
+}
+
+TEST(ReplRouter, PromoteRewiresTheShardTable) {
+  const repl::Endpoint primary{"127.0.0.1", 9500};
+  const repl::Endpoint f1{"127.0.0.1", 9501};
+  const repl::Endpoint f2{"127.0.0.1", 9502};
+  repl::Router router({{primary, {f1, f2}}});
+
+  EXPECT_FALSE(router.promote(3, f1));       // no such shard
+  EXPECT_FALSE(router.promote(0, primary));  // not a follower
+  ASSERT_TRUE(router.promote(0, f1));
+
+  const repl::Router::Shard shard = router.shard(0);
+  EXPECT_EQ(shard.primary, f1);
+  ASSERT_EQ(shard.followers.size(), 2u);
+  EXPECT_EQ(shard.followers[0], f2);
+  EXPECT_EQ(shard.followers[1], primary);  // demoted to the back, down
+  EXPECT_TRUE(router.is_down(primary));
+
+  const auto r = router.route_shard(0);
+  ASSERT_TRUE(r.has_value());
+  EXPECT_EQ(r->endpoint, f1);
+  EXPECT_FALSE(r->read_only);
+}
+
+TEST(ReplRouter, FallbackMidCatchUpServesOnlyTheReplicatedPrefix) {
+  TempDir leader("repl_midcatchup_leader");
+  TempDir follower("repl_midcatchup_follower");
+
+  svc::TuningRequest early;
+  early.program = "fir";
+  early.budget = 2;
+  svc::TuningRequest late;
+  late.program = "crc32";
+  late.budget = 2;
+
+  svc::TuningService::Options lopts;
+  lopts.workers = 1;
+  lopts.kb_path = leader.path;
+  {
+    svc::TuningService leader_svc(lopts);
+    ASSERT_TRUE(leader_svc.tune(early).ok);
+    ASSERT_TRUE(leader_svc.save());
+  }
+
+  // Replicate what exists so far, then let the leader advance: the
+  // follower is now mid-catch-up, durable but behind.
+  auto a = repl::Applier::open(follower.path);
+  ASSERT_TRUE(a);
+  ASSERT_TRUE(pipe_replicate(leader.path, *a));
+  {
+    svc::TuningService leader_svc(lopts);  // leader restarts and moves on
+    ASSERT_TRUE(leader_svc.tune(late).ok);
+    ASSERT_TRUE(leader_svc.save());
+  }
+  const auto target = repl::ShipSource(leader.path).position();
+  ASSERT_TRUE(target.has_value());
+  const kbstore::WalPosition behind = a->position();
+  EXPECT_TRUE(behind.generation != target->generation ||
+              behind.seq < target->seq);
+
+  // The primary dies; the router falls back to the lagging follower.
+  obs::Registry metrics;
+  const repl::Endpoint primary{"127.0.0.1", 9600};
+  const repl::Endpoint replica{"127.0.0.1", 9601};
+  repl::Router router({{primary, {replica}}}, &metrics);
+  router.set_down(primary);
+  const auto r = router.route_shard(0);
+  ASSERT_TRUE(r.has_value());
+  EXPECT_TRUE(r->read_only);
+  EXPECT_EQ(r->endpoint, replica);
+
+  // What that fallback can actually serve: the replicated prefix, and
+  // nothing the leader committed after the follower fell behind.
+  svc::TuningService::Options fopts;
+  fopts.workers = 1;
+  fopts.read_only = true;
+  fopts.follower_lookup = [&a](const std::string& key,
+                               const std::string& machine) {
+    return svc::ResultCache::lookup_store(a->store(), key, machine);
+  };
+  svc::TuningService follower_svc(fopts);
+  const svc::TuningResponse hit = follower_svc.tune(early);
+  EXPECT_TRUE(hit.ok);
+  EXPECT_EQ(hit.source, svc::Source::Follower);
+  const svc::TuningResponse miss = follower_svc.tune(late);
+  EXPECT_FALSE(miss.ok);
+  EXPECT_EQ(miss.simulations, 0u);
+
+  // Catch-up completes; the late record becomes servable.
+  ASSERT_TRUE(pipe_replicate(leader.path, *a));
+  const svc::TuningResponse now = follower_svc.tune(late);
+  EXPECT_TRUE(now.ok);
+  EXPECT_EQ(now.source, svc::Source::Follower);
+}
+
 }  // namespace
