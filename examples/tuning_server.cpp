@@ -55,6 +55,10 @@ int usage(const char* argv0) {
                "[--idle-timeout-ms N]\n"
                "  --queue-depth N   bounded admission: max queued jobs "
                "(0 = unbounded; overload sheds/rejects)\n"
+               "  --seed-kb path    legacy-CSV KB whose sequence records "
+               "build the clustered seed bank; requests opt in\n"
+               "                    with seeding=on (and objective=pareto "
+               "tracks the (cycles, size) front)\n"
                "  --failpoints spec fault injection, e.g. "
                "\"svc.persist=error*3\" (also via ILC_FAILPOINTS)\n"
                "  --listen port     serve the protocol over TCP on "
@@ -183,6 +187,8 @@ int main(int argc, char** argv) {
       }
     } else if (!std::strcmp(argv[i], "--kb") && i + 1 < argc) {
       opts.kb_path = argv[++i];
+    } else if (!std::strcmp(argv[i], "--seed-kb") && i + 1 < argc) {
+      opts.seed_kb_path = argv[++i];
     } else if (!std::strcmp(argv[i], "--script") && i + 1 < argc) {
       script = argv[++i];
     } else if (!std::strcmp(argv[i], "--trace") && i + 1 < argc) {
@@ -314,6 +320,9 @@ int main(int argc, char** argv) {
     std::fprintf(stderr, "cannot start service: %s\n", e.what());
     return 1;
   }
+  if (!opts.seed_kb_path.empty())
+    std::fprintf(stderr, "seed bank: %zu programs clustered\n",
+                 service->seed_bank_programs());
 
   // Leader mode: ship this service's KB WAL to followers. Started after
   // the service so the store directory exists before the first Hello.

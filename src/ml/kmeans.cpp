@@ -1,0 +1,133 @@
+#include "ml/kmeans.hpp"
+
+#include <limits>
+
+#include "support/assert.hpp"
+
+namespace ilc::ml {
+
+namespace {
+
+double sq_dist(const std::vector<double>& a, const std::vector<double>& b) {
+  double d = 0.0;
+  for (std::size_t i = 0; i < a.size(); ++i) {
+    const double diff = a[i] - b[i];
+    d += diff * diff;
+  }
+  return d;
+}
+
+}  // namespace
+
+std::size_t nearest_centroid(
+    const std::vector<std::vector<double>>& centroids,
+    const std::vector<double>& x) {
+  ILC_CHECK(!centroids.empty());
+  std::size_t best = 0;
+  double best_d = sq_dist(centroids[0], x);
+  for (std::size_t c = 1; c < centroids.size(); ++c) {
+    const double d = sq_dist(centroids[c], x);
+    if (d < best_d) {
+      best_d = d;
+      best = c;
+    }
+  }
+  return best;
+}
+
+KMeansResult kmeans(const std::vector<std::vector<double>>& rows, unsigned k,
+                    support::Rng& rng, unsigned max_iters) {
+  KMeansResult out;
+  if (rows.empty() || k == 0) return out;
+  const std::size_t n = rows.size();
+  const std::size_t dim = rows[0].size();
+  for (const auto& r : rows) ILC_CHECK(r.size() == dim);
+  const std::size_t kk = std::min<std::size_t>(k, n);
+
+  // k-means++ seeding: first centroid uniform, the rest drawn with
+  // probability proportional to squared distance from the nearest chosen
+  // centroid. A degenerate draw (all points already covered) falls back
+  // to the first uncovered-by-value index, keeping the run deterministic.
+  out.centroids.push_back(rows[rng.next_below(n)]);
+  std::vector<double> d2(n, 0.0);
+  while (out.centroids.size() < kk) {
+    double total = 0.0;
+    for (std::size_t i = 0; i < n; ++i) {
+      double best = std::numeric_limits<double>::infinity();
+      for (const auto& c : out.centroids)
+        best = std::min(best, sq_dist(c, rows[i]));
+      d2[i] = best;
+      total += best;
+    }
+    if (total <= 0.0) {
+      // Every row coincides with a centroid: duplicate rows. Take the
+      // lowest-index row not yet a centroid (exists because kk <= n).
+      std::size_t pick = 0;
+      for (std::size_t i = 0; i < n; ++i) {
+        bool used = false;
+        for (const auto& c : out.centroids) used = used || c == rows[i];
+        if (!used) {
+          pick = i;
+          break;
+        }
+      }
+      out.centroids.push_back(rows[pick]);
+      continue;
+    }
+    out.centroids.push_back(rows[rng.next_weighted(d2)]);
+  }
+
+  out.assignment.assign(n, -1);
+  for (unsigned iter = 0; iter < max_iters; ++iter) {
+    ++out.iterations;
+    bool changed = false;
+    for (std::size_t i = 0; i < n; ++i) {
+      const int c = static_cast<int>(nearest_centroid(out.centroids, rows[i]));
+      if (c != out.assignment[i]) {
+        out.assignment[i] = c;
+        changed = true;
+      }
+    }
+    if (!changed && iter > 0) break;
+
+    // Recompute centroids; an emptied cluster adopts the row farthest
+    // from its current centroid (lowest index on ties), the standard
+    // deterministic repair.
+    std::vector<std::vector<double>> sums(out.centroids.size(),
+                                          std::vector<double>(dim, 0.0));
+    std::vector<std::size_t> counts(out.centroids.size(), 0);
+    for (std::size_t i = 0; i < n; ++i) {
+      const auto c = static_cast<std::size_t>(out.assignment[i]);
+      for (std::size_t j = 0; j < dim; ++j) sums[c][j] += rows[i][j];
+      ++counts[c];
+    }
+    for (std::size_t c = 0; c < out.centroids.size(); ++c) {
+      if (counts[c] == 0) {
+        std::size_t far = 0;
+        double far_d = -1.0;
+        for (std::size_t i = 0; i < n; ++i) {
+          const auto owner = static_cast<std::size_t>(out.assignment[i]);
+          const double d = sq_dist(out.centroids[owner], rows[i]);
+          if (d > far_d) {
+            far_d = d;
+            far = i;
+          }
+        }
+        out.centroids[c] = rows[far];
+        continue;
+      }
+      for (std::size_t j = 0; j < dim; ++j)
+        out.centroids[c][j] = sums[c][j] / static_cast<double>(counts[c]);
+    }
+    if (!changed) break;
+  }
+
+  out.inertia = 0.0;
+  for (std::size_t i = 0; i < n; ++i)
+    out.inertia +=
+        sq_dist(out.centroids[static_cast<std::size_t>(out.assignment[i])],
+                rows[i]);
+  return out;
+}
+
+}  // namespace ilc::ml

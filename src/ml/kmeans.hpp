@@ -1,0 +1,38 @@
+// k-means clustering over dense feature rows — the unsupervised primitive
+// behind GRACE-style representation-aware program clustering (PAPERS.md):
+// group prior programs by normalized feature/counter vectors so a new
+// program can be assigned to the cluster whose tuning history it should
+// inherit.
+//
+// Deterministic for a fixed Rng seed: k-means++ initialization draws from
+// the caller's Rng, Lloyd iterations are order-stable, and every tie
+// (equidistant centroids, empty-cluster repair) breaks toward the lowest
+// index. No hidden global state.
+#pragma once
+
+#include <cstdint>
+#include <vector>
+
+#include "support/rng.hpp"
+
+namespace ilc::ml {
+
+struct KMeansResult {
+  std::vector<std::vector<double>> centroids;  // [cluster][dim]
+  std::vector<int> assignment;                 // [row] -> cluster
+  double inertia = 0.0;  // sum of squared distances to assigned centroid
+  unsigned iterations = 0;
+};
+
+/// Lloyd's algorithm with k-means++ seeding. `k` is clamped to the number
+/// of rows; rows must share one dimension. Converges when no assignment
+/// changes or after `max_iters` rounds.
+KMeansResult kmeans(const std::vector<std::vector<double>>& rows, unsigned k,
+                    support::Rng& rng, unsigned max_iters = 64);
+
+/// Index of the centroid nearest to `x` (lowest index wins ties).
+std::size_t nearest_centroid(
+    const std::vector<std::vector<double>>& centroids,
+    const std::vector<double>& x);
+
+}  // namespace ilc::ml

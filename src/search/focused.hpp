@@ -82,4 +82,12 @@ SearchTrace focused_search(Evaluator& eval, const FocusedModel& model,
                            Objective obj = Objective::Cycles,
                            unsigned workers = 1);
 
+/// Seeded variant: evaluate the cluster's seed sequences first (skipping
+/// any that the space rejects), then fill the remaining budget from the
+/// focused model.
+SearchTrace focused_search(Evaluator& eval, const FocusedModel& model,
+                           const Seeding& seeding, support::Rng& rng,
+                           unsigned budget, Objective obj = Objective::Cycles,
+                           unsigned workers = 1);
+
 }  // namespace ilc::search

@@ -1,0 +1,59 @@
+#include "search/pareto.hpp"
+
+#include <algorithm>
+
+namespace ilc::search {
+
+bool dominates(const ParetoPoint& a, const ParetoPoint& b) {
+  if (a.cycles > b.cycles || a.code_size > b.code_size) return false;
+  return a.cycles < b.cycles || a.code_size < b.code_size;
+}
+
+bool ParetoArchive::non_dominated(const ParetoPoint& p) const {
+  for (const auto& q : front_) {
+    if (dominates(q, p)) return false;
+    if (q.cycles == p.cycles && q.code_size == p.code_size) return false;
+  }
+  return true;
+}
+
+bool ParetoArchive::insert(ParetoPoint p) {
+  if (!non_dominated(p)) return false;
+  front_.erase(std::remove_if(front_.begin(), front_.end(),
+                              [&](const ParetoPoint& q) {
+                                return dominates(p, q);
+                              }),
+               front_.end());
+  auto pos = std::lower_bound(front_.begin(), front_.end(), p,
+                              [](const ParetoPoint& a, const ParetoPoint& b) {
+                                if (a.cycles != b.cycles)
+                                  return a.cycles < b.cycles;
+                                return a.code_size < b.code_size;
+                              });
+  front_.insert(pos, std::move(p));
+  return true;
+}
+
+double ParetoArchive::hypervolume(std::uint64_t ref_cycles,
+                                  std::uint64_t ref_size) const {
+  // Front is sorted by cycles ascending; along a Pareto front code_size is
+  // then strictly descending, so the dominated region decomposes into
+  // disjoint slabs swept left-to-right: slab i spans [c_i, c_{i+1})
+  // (ref_cycles for the last) with height (ref_size - s_i).
+  double hv = 0.0;
+  std::vector<const ParetoPoint*> kept;
+  for (const auto& p : front_)
+    if (p.cycles < ref_cycles && p.code_size < ref_size) kept.push_back(&p);
+  for (std::size_t i = 0; i < kept.size(); ++i) {
+    const double c0 = static_cast<double>(kept[i]->cycles);
+    const double c1 = (i + 1 < kept.size())
+                          ? static_cast<double>(kept[i + 1]->cycles)
+                          : static_cast<double>(ref_cycles);
+    hv += (c1 - c0) *
+          (static_cast<double>(ref_size) -
+           static_cast<double>(kept[i]->code_size));
+  }
+  return hv;
+}
+
+}  // namespace ilc::search

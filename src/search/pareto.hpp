@@ -1,0 +1,58 @@
+// Pareto front maintenance over (cycles, code_size) — the MLComp-style
+// multi-objective view of sequence selection (PAPERS.md): instead of
+// collapsing the two axes into one scalar, search maintains the set of
+// non-dominated configurations and reports the whole trade-off curve.
+//
+// Everything is deterministic: the archive is kept sorted by (cycles,
+// code_size), insertion is order-independent in its final contents, and
+// hypervolume is a pure function of the front and the reference point —
+// so fixed-seed searches produce bit-identical archives at any worker
+// count (evaluation order never touches the archive's final state).
+#pragma once
+
+#include <cstdint>
+#include <vector>
+
+#include "opt/pass.hpp"
+
+namespace ilc::search {
+
+/// One evaluated configuration on (or off) the front.
+struct ParetoPoint {
+  std::vector<opt::PassId> seq;
+  std::uint64_t cycles = 0;
+  std::uint64_t code_size = 0;
+};
+
+/// Minimization dominance: a dominates b when a is no worse on both axes
+/// and strictly better on at least one.
+bool dominates(const ParetoPoint& a, const ParetoPoint& b);
+
+class ParetoArchive {
+ public:
+  /// Offer a point. Returns true when the point enters the archive (it is
+  /// not dominated by any member); dominated members are evicted. A
+  /// duplicate of an existing (cycles, code_size) pair is ignored, so the
+  /// archive holds one representative sequence per objective vector.
+  bool insert(ParetoPoint p);
+
+  /// The current front, sorted by cycles ascending (code_size strictly
+  /// descending along it).
+  const std::vector<ParetoPoint>& front() const { return front_; }
+  std::size_t size() const { return front_.size(); }
+  bool empty() const { return front_.empty(); }
+
+  /// Would `p` enter the archive? (No mutation.)
+  bool non_dominated(const ParetoPoint& p) const;
+
+  /// 2-D hypervolume dominated by the front with respect to a reference
+  /// point that every interesting configuration should beat (typically
+  /// the -O0 measurement). Points at or beyond the reference contribute
+  /// nothing. Returned in absolute (cycles x bytes) units.
+  double hypervolume(std::uint64_t ref_cycles, std::uint64_t ref_size) const;
+
+ private:
+  std::vector<ParetoPoint> front_;  // sorted by (cycles, code_size) asc
+};
+
+}  // namespace ilc::search

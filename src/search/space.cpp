@@ -15,7 +15,13 @@ bool SequenceSpace::valid(const std::vector<opt::PassId>& seq) const {
     if (!in_space) return false;
     if (opt::is_unroll(id)) ++unrolls;
   }
-  return !unroll_at_most_once || unrolls <= 1;
+  if (!unroll_at_most_once || unrolls <= 1) return true;
+  // The constraint is waived when the space offers no non-unroll pass:
+  // otherwise every sequence of length >= 2 would be invalid and sample()
+  // would rejection-loop forever.
+  for (opt::PassId p : passes)
+    if (!opt::is_unroll(p)) return false;
+  return true;
 }
 
 std::uint64_t SequenceSpace::count() const {
@@ -24,7 +30,8 @@ std::uint64_t SequenceSpace::count() const {
   for (opt::PassId id : passes)
     if (opt::is_unroll(id)) ++u;
   const std::uint64_t nu = p - u;
-  if (!unroll_at_most_once) {
+  if (!unroll_at_most_once || nu == 0) {
+    // nu == 0: unroll-only space, constraint waived (see valid()).
     std::uint64_t total = 1;
     for (unsigned i = 0; i < length; ++i) total *= p;
     return total;

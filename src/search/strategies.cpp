@@ -1,8 +1,12 @@
 #include "search/strategies.hpp"
 
+#include <algorithm>
 #include <memory>
 #include <unordered_set>
+#include <utility>
 
+#include "obs/metrics.hpp"
+#include "search/seedbank.hpp"
 #include "support/assert.hpp"
 #include "support/thread_pool.hpp"
 
@@ -10,22 +14,52 @@ namespace ilc::search {
 
 namespace {
 
+obs::Counter& c_estimator_skipped() {
+  static obs::Counter c =
+      obs::Registry::instance().counter("search.estimator.skipped");
+  return c;
+}
+
 /// Evaluate a pre-sampled candidate batch and commit it to the trace in
 /// submission order. The evaluation itself consumes no RNG, so fanning it
 /// out over the pool cannot perturb a fixed-seed run.
 void eval_batch(Evaluator& eval, const std::vector<std::vector<opt::PassId>>& seqs,
                 Objective obj, support::ThreadPool* pool, SearchTrace& trace) {
-  std::vector<std::uint64_t> metrics(seqs.size());
+  std::vector<std::pair<std::uint64_t, std::uint64_t>> metrics(seqs.size());
   support::parallel_for(pool, 0, seqs.size(), [&](std::size_t i) {
-    metrics[i] = metric_of(eval.eval_sequence(seqs[i]), obj);
+    const EvalResult r = eval.eval_sequence(seqs[i]);
+    metrics[i] = {r.cycles, r.code_size};
   });
   for (std::size_t i = 0; i < seqs.size(); ++i)
-    trace.record(seqs[i], metrics[i]);
+    trace.record(seqs[i], metrics[i].first, metrics[i].second, obj);
 }
 
 std::unique_ptr<support::ThreadPool> make_pool(unsigned workers) {
   if (workers <= 1) return nullptr;
   return std::make_unique<support::ThreadPool>(workers);
+}
+
+/// Keep the `want` candidates with the lowest predicted metric, in their
+/// original (stable) order; count the rest as estimator skips. Pure and
+/// RNG-free, so it never perturbs fixed-seed determinism.
+std::vector<std::vector<opt::PassId>> prefilter(
+    const std::vector<std::vector<opt::PassId>>& cands,
+    const PerfEstimator& est, std::size_t want) {
+  if (cands.size() <= want) return cands;
+  std::vector<std::size_t> idx(cands.size());
+  for (std::size_t i = 0; i < idx.size(); ++i) idx[i] = i;
+  std::vector<double> pred(cands.size());
+  for (std::size_t i = 0; i < cands.size(); ++i) pred[i] = est.predict(cands[i]);
+  std::stable_sort(idx.begin(), idx.end(), [&](std::size_t a, std::size_t b) {
+    return pred[a] < pred[b];
+  });
+  idx.resize(want);
+  std::sort(idx.begin(), idx.end());  // preserve submission order
+  std::vector<std::vector<opt::PassId>> out;
+  out.reserve(want);
+  for (std::size_t i : idx) out.push_back(cands[i]);
+  c_estimator_skipped().add(cands.size() - want);
+  return out;
 }
 
 }  // namespace
@@ -40,12 +74,43 @@ void SearchTrace::record(const std::vector<opt::PassId>& seq,
   best_so_far.push_back(best_metric);
 }
 
+void SearchTrace::record(const std::vector<opt::PassId>& seq,
+                         std::uint64_t cycles, std::uint64_t code_size,
+                         Objective obj) {
+  if (obj == Objective::Pareto) pareto.insert({seq, cycles, code_size});
+  record(seq, obj == Objective::CodeSize ? code_size : cycles);
+}
+
 SearchTrace random_search(Evaluator& eval, const SequenceSpace& space,
                           support::Rng& rng, unsigned budget, Objective obj,
                           unsigned workers) {
   SearchTrace trace;
   std::vector<std::vector<opt::PassId>> seqs(budget);
   for (auto& seq : seqs) seq = space.sample(rng);
+  eval_batch(eval, seqs, obj, make_pool(workers).get(), trace);
+  return trace;
+}
+
+SearchTrace seeded_random_search(Evaluator& eval, const SequenceSpace& space,
+                                 const Seeding& seeding, support::Rng& rng,
+                                 unsigned budget, Objective obj,
+                                 unsigned workers) {
+  SearchTrace trace;
+  std::vector<std::vector<opt::PassId>> seqs;
+  seqs.reserve(budget);
+  for (const auto& seed : seeding.seeds) {
+    if (seqs.size() >= budget) break;
+    if (space.valid(seed)) seqs.push_back(seed);
+  }
+  const std::size_t tail = budget - seqs.size();
+  if (tail > 0) {
+    const bool filter = seeding.estimator != nullptr && seeding.oversample > 1;
+    const std::size_t draw = filter ? tail * seeding.oversample : tail;
+    std::vector<std::vector<opt::PassId>> cands(draw);
+    for (auto& seq : cands) seq = space.sample(rng);
+    if (filter) cands = prefilter(cands, *seeding.estimator, tail);
+    for (auto& seq : cands) seqs.push_back(std::move(seq));
+  }
   eval_batch(eval, seqs, obj, make_pool(workers).get(), trace);
   return trace;
 }

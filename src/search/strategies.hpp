@@ -19,15 +19,21 @@
 #include <vector>
 
 #include "search/evaluator.hpp"
+#include "search/pareto.hpp"
 #include "search/space.hpp"
 #include "support/rng.hpp"
 
 namespace ilc::search {
 
-enum class Objective { Cycles, CodeSize };
+class PerfEstimator;  // search/seedbank.hpp
+
+/// What the search minimizes. `Pareto` tracks the full (cycles, code_size)
+/// front in SearchTrace::pareto; its scalar projection (best_metric,
+/// best_so_far) is cycles, so single-objective consumers keep working.
+enum class Objective { Cycles, CodeSize, Pareto };
 
 inline std::uint64_t metric_of(const EvalResult& r, Objective obj) {
-  return obj == Objective::Cycles ? r.cycles : r.code_size;
+  return obj == Objective::CodeSize ? r.code_size : r.cycles;
 }
 
 struct SearchTrace {
@@ -35,8 +41,25 @@ struct SearchTrace {
   std::vector<opt::PassId> best_seq;
   std::uint64_t best_metric = ~0ULL;
   unsigned evaluations = 0;
+  ParetoArchive pareto;  // populated only under Objective::Pareto
 
   void record(const std::vector<opt::PassId>& seq, std::uint64_t metric);
+  /// Full-result variant: feeds the Pareto archive under Objective::Pareto
+  /// and falls through to the scalar projection for the trace.
+  void record(const std::vector<opt::PassId>& seq, std::uint64_t cycles,
+              std::uint64_t code_size, Objective obj);
+};
+
+/// Warm-start material for a search: prior-best sequences from the
+/// program's KB cluster, plus an optional learned estimator that
+/// pre-filters candidates before simulation budget is spent (skips are
+/// counted on `search.estimator.skipped`).
+struct Seeding {
+  std::vector<std::vector<opt::PassId>> seeds;
+  const PerfEstimator* estimator = nullptr;
+  /// Candidate multiplier when the estimator is present: draw
+  /// `oversample` x as many candidates, keep the predicted-best subset.
+  unsigned oversample = 4;
 };
 
 /// Evaluate `budget` uniform random sequences.
@@ -44,6 +67,17 @@ SearchTrace random_search(Evaluator& eval, const SequenceSpace& space,
                           support::Rng& rng, unsigned budget,
                           Objective obj = Objective::Cycles,
                           unsigned workers = 1);
+
+/// Random search warm-started from a SeedBank cluster: the seeds are
+/// evaluated first, then the remaining budget is filled with uniform
+/// samples — oversampled and pre-filtered by the estimator when one is
+/// provided. Candidate sampling and filtering happen on the calling
+/// thread, so fixed-seed traces are bit-identical at any worker count.
+SearchTrace seeded_random_search(Evaluator& eval, const SequenceSpace& space,
+                                 const Seeding& seeding, support::Rng& rng,
+                                 unsigned budget,
+                                 Objective obj = Objective::Cycles,
+                                 unsigned workers = 1);
 
 /// Hill-climbing: mutate the best-so-far sequence one position at a time,
 /// restarting from a random point when stuck.
@@ -69,9 +103,18 @@ struct GaParams {
   /// Evaluation fan-out per generation; breeding stays sequential, so the
   /// trace is identical at any value.
   unsigned workers = 1;
+  /// Cluster-best sequences injected into the initial population (invalid
+  /// or wrong-length seeds are replaced by uniform samples).
+  std::vector<std::vector<opt::PassId>> seeds;
+  /// When set, each generation breeds `oversample` x the needed children
+  /// and keeps the predicted-best subset before spending simulations.
+  const PerfEstimator* estimator = nullptr;
+  unsigned oversample = 2;
 };
 
-/// Generational GA in the style of Cooper et al.'s code-size work.
+/// Generational GA in the style of Cooper et al.'s code-size work. Under
+/// Objective::Pareto, selection is NSGA-II-lite: non-dominated rank then
+/// crowding distance, with deterministic (cycles, code_size) tie-breaks.
 SearchTrace genetic_search(Evaluator& eval, const SequenceSpace& space,
                            support::Rng& rng, unsigned budget,
                            Objective obj = Objective::Cycles,

@@ -51,8 +51,10 @@ std::optional<ResultCache> ResultCache::open_durable(
 std::string ResultCache::key(std::uint64_t fingerprint,
                              search::Objective objective) {
   std::ostringstream os;
-  os << "fp:" << std::hex << fingerprint << std::dec << '+'
-     << (objective == search::Objective::Cycles ? "cycles" : "size");
+  const char* obj = objective == search::Objective::Cycles    ? "cycles"
+                    : objective == search::Objective::CodeSize ? "size"
+                                                               : "pareto";
+  os << "fp:" << std::hex << fingerprint << std::dec << '+' << obj;
   return os.str();
 }
 

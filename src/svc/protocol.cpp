@@ -78,7 +78,12 @@ std::string apply_option(TuningRequest& req, const std::string& key,
   } else if (key == "objective") {
     if (value == "cycles") req.objective = search::Objective::Cycles;
     else if (value == "size") req.objective = search::Objective::CodeSize;
-    else return "unknown objective '" + value + "' (cycles|size)";
+    else if (value == "pareto") req.objective = search::Objective::Pareto;
+    else return "unknown objective '" + value + "' (cycles|size|pareto)";
+  } else if (key == "seeding") {
+    if (value == "on") req.seeding = true;
+    else if (value == "off") req.seeding = false;
+    else return "bad seeding '" + value + "' (on|off)";
   } else if (key == "strategy") {
     if (value == "random") req.strategy = Strategy::Random;
     else if (value == "greedy") req.strategy = Strategy::Greedy;
@@ -201,6 +206,12 @@ std::string format_response(const TuningResponse& r) {
   os.precision(3);
   os << " speedup=" << std::fixed << r.speedup << " sims=" << r.simulations
      << " latency_us=" << r.latency_us;
+  if (r.pareto_front > 0) {
+    // Pareto-objective extras, appended so single-objective clients that
+    // parse positionally keep working.
+    os << " front=" << r.pareto_front << " hv=" << std::fixed
+       << r.hypervolume;
+  }
   return os.str();
 }
 

@@ -30,6 +30,10 @@ struct TuningRequest {
   unsigned budget = 20;  // evaluations a cache miss may spend
   search::Objective objective = search::Objective::Cycles;
   Strategy strategy = Strategy::Random;
+  /// Warm-start the search from the service's seed bank (clustered KB
+  /// seeding + learned estimator pre-filter). Ignored when the service
+  /// has no seed bank configured, or for Strategy::Greedy.
+  bool seeding = false;
 
   /// Higher priorities are scheduled first; equal priorities run FIFO.
   int priority = 0;
@@ -72,6 +76,12 @@ struct TuningResponse {
   Source source = Source::Error;
   std::size_t simulations = 0;  // real simulator runs this request caused
   std::uint64_t latency_us = 0;
+
+  /// Pareto-objective extras (zero unless the request ran with
+  /// objective=pareto): archive size and the hypervolume dominated with
+  /// the -O0 measurement as reference point.
+  std::size_t pareto_front = 0;
+  double hypervolume = 0.0;
 };
 
 }  // namespace ilc::svc

@@ -3,6 +3,7 @@
 #include <exception>
 #include <sstream>
 
+#include "features/features.hpp"
 #include "ir/fingerprint.hpp"
 #include "ir/parser.hpp"
 #include "obs/metrics.hpp"
@@ -148,6 +149,12 @@ TuningService::TuningService(Options opts)
     ILC_CHECK_MSG(cache.has_value(),
                   "not a valid knowledge base: " + opts_.kb_path);
     cache_ = std::move(*cache);
+  }
+  if (!opts_.seed_kb_path.empty()) {
+    auto kb = kb::KnowledgeBase::load(opts_.seed_kb_path);
+    ILC_CHECK_MSG(kb.has_value(),
+                  "not a valid seed knowledge base: " + opts_.seed_kb_path);
+    seed_bank_ = search::SeedBank(*kb, search::SequenceSpace{});
   }
 }
 
@@ -383,10 +390,23 @@ TuningResponse TuningService::execute(const Job& job) {
   support::Rng rng(req.seed);
   search::SequenceSpace space;
   search::SearchTrace trace;
+  // Clustered KB seeding: resolve the module's cluster once, up front, so
+  // both the GA population and the random-search warm start draw from it.
+  search::Seeding seeding;
+  const bool seeded = req.seeding && !seed_bank_.empty();
+  if (seeded) {
+    seeding = seed_bank_.seeding_for(feat::extract_static(*job.module));
+    span.annotate("seeds", std::to_string(seeding.seeds.size()));
+  }
   switch (req.strategy) {
     case Strategy::Random:
-      trace = search::random_search(*eval, space, rng, req.budget,
-                                    req.objective, opts_.search_workers);
+      if (seeded)
+        trace = search::seeded_random_search(*eval, space, seeding, rng,
+                                             req.budget, req.objective,
+                                             opts_.search_workers);
+      else
+        trace = search::random_search(*eval, space, rng, req.budget,
+                                      req.objective, opts_.search_workers);
       break;
     case Strategy::Greedy:
       trace = search::greedy_search(*eval, space, rng, req.budget,
@@ -395,6 +415,10 @@ TuningResponse TuningService::execute(const Job& job) {
     case Strategy::Genetic: {
       search::GaParams ga;
       ga.workers = opts_.search_workers;
+      if (seeded) {
+        ga.seeds = seeding.seeds;
+        ga.estimator = seeding.estimator;
+      }
       trace = search::genetic_search(*eval, space, rng, req.budget,
                                      req.objective, ga);
       break;
@@ -418,6 +442,16 @@ TuningResponse TuningService::execute(const Job& job) {
                             : 0.0;
   r.source = Source::Search;
   r.simulations = eval->simulations() - sims_before;
+  if (req.objective == search::Objective::Pareto) {
+    // The -O0 configuration is always an available answer; folding it in
+    // means the served front never sits entirely above the baseline. The
+    // reference point one past the baseline then credits any front that
+    // at least matches -O0 with nonzero dominated area.
+    trace.pareto.insert({{}, baseline.cycles, baseline.code_size});
+    r.pareto_front = trace.pareto.size();
+    r.hypervolume = trace.pareto.hypervolume(baseline.cycles + 1,
+                                             baseline.code_size + 1);
+  }
   span.annotate("simulations", std::to_string(r.simulations));
   return r;
 }

@@ -37,6 +37,7 @@
 #include <vector>
 
 #include "search/evaluator.hpp"
+#include "search/seedbank.hpp"
 #include "svc/cache.hpp"
 #include "svc/metrics.hpp"
 #include "svc/request.hpp"
@@ -69,6 +70,12 @@ class TuningService {
     /// recently used are evicted beyond it, so a long-running service
     /// tuning many distinct modules holds bounded memory. 0 = unbounded.
     std::size_t evaluator_cache = 64;
+    /// Legacy-CSV knowledge base whose "sequence" records seed a
+    /// search::SeedBank at startup (clustered KB seeding, ROADMAP item 3).
+    /// Requests opting in with seeding=on warm-start from the cluster
+    /// nearest to their module's static features. Empty = no seed bank;
+    /// an unreadable file throws at construction.
+    std::string seed_kb_path;
 
     // --- fingerprint sharding & replication (ilc::repl) -------------------
     /// When shard_count > 1 this instance owns only the fingerprints with
@@ -124,6 +131,8 @@ class TuningService {
   void drain();
 
   Metrics metrics() const { return metrics_.snapshot(); }
+  /// Programs clustered into the seed bank (0 without seed_kb_path).
+  std::size_t seed_bank_programs() const { return seed_bank_.num_programs(); }
   /// Evaluators currently cached (bounded by Options::evaluator_cache).
   std::size_t evaluator_count() const;
   /// Make the KB durable at Options::kb_path: syncs the store's WAL
@@ -161,6 +170,9 @@ class TuningService {
                              const TuningResponse& resp);
 
   Options opts_;
+  /// Immutable after construction; read concurrently by workers without
+  /// locking (assign/seeds_for/estimator_for are const and pure).
+  search::SeedBank seed_bank_;
 
   mutable std::mutex mu_;  // guards cache_, queue_, inflight_, evaluators_
   ResultCache cache_;

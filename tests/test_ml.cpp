@@ -2,6 +2,7 @@
 // probability outputs are sane, and the validation protocols behave.
 #include <gtest/gtest.h>
 
+#include "ml/kmeans.hpp"
 #include "ml/ml.hpp"
 #include "support/rng.hpp"
 
@@ -168,6 +169,68 @@ TEST(Determinism, SameDataSameModel) {
     const std::vector<double> x = {static_cast<double>(i) - 10, 0.5};
     EXPECT_EQ(a.predict(x), b.predict(x));
   }
+}
+
+// --- k-means --------------------------------------------------------------
+
+std::vector<std::vector<double>> two_blobs(unsigned per_blob) {
+  std::vector<std::vector<double>> rows;
+  Rng rng(29);
+  for (unsigned i = 0; i < per_blob; ++i)
+    rows.push_back({10.0 + rng.next_double(), 10.0 + rng.next_double()});
+  for (unsigned i = 0; i < per_blob; ++i)
+    rows.push_back({-10.0 + rng.next_double(), -10.0 + rng.next_double()});
+  return rows;
+}
+
+TEST(KMeans, SeparatesWellSeparatedBlobs) {
+  const auto rows = two_blobs(20);
+  Rng rng(7);
+  const auto km = kmeans(rows, 2, rng);
+  ASSERT_EQ(km.centroids.size(), 2u);
+  ASSERT_EQ(km.assignment.size(), rows.size());
+  // Every member of a blob lands in the same cluster; the two blobs in
+  // different clusters.
+  for (unsigned i = 1; i < 20; ++i)
+    EXPECT_EQ(km.assignment[i], km.assignment[0]);
+  for (unsigned i = 21; i < 40; ++i)
+    EXPECT_EQ(km.assignment[i], km.assignment[20]);
+  EXPECT_NE(km.assignment[0], km.assignment[20]);
+  // Inertia of a tight blob clustering is small relative to the spread.
+  EXPECT_LT(km.inertia, 40.0);
+}
+
+TEST(KMeans, NearestCentroidBreaksTiesTowardLowestIndex) {
+  const std::vector<std::vector<double>> centroids = {{1.0}, {3.0}, {1.0}};
+  EXPECT_EQ(nearest_centroid(centroids, {1.0}), 0u);  // exact tie: 0 wins
+  EXPECT_EQ(nearest_centroid(centroids, {2.0}), 0u);  // equidistant: 0 wins
+  EXPECT_EQ(nearest_centroid(centroids, {2.9}), 1u);
+}
+
+TEST(KMeans, SameSeedSameClustering) {
+  const auto rows = two_blobs(15);
+  Rng a(123), b(123);
+  const auto ka = kmeans(rows, 3, a);
+  const auto kb = kmeans(rows, 3, b);
+  EXPECT_EQ(ka.assignment, kb.assignment);
+  EXPECT_EQ(ka.centroids, kb.centroids);
+  EXPECT_EQ(ka.inertia, kb.inertia);
+}
+
+TEST(KMeans, ClampsKToRowCountAndHandlesDuplicates) {
+  const std::vector<std::vector<double>> rows = {{1.0, 1.0}, {1.0, 1.0},
+                                                 {2.0, 2.0}};
+  Rng rng(5);
+  const auto km = kmeans(rows, 8, rng);
+  EXPECT_EQ(km.centroids.size(), 3u);  // k clamped to n
+  EXPECT_DOUBLE_EQ(km.inertia, 0.0);   // every row sits on a centroid
+}
+
+TEST(KMeans, EmptyInputYieldsEmptyResult) {
+  Rng rng(1);
+  const auto km = kmeans({}, 4, rng);
+  EXPECT_TRUE(km.centroids.empty());
+  EXPECT_TRUE(km.assignment.empty());
 }
 
 }  // namespace

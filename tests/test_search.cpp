@@ -3,8 +3,12 @@
 // the FOCUSSED model's learning behaviour.
 #include <gtest/gtest.h>
 
+#include "kb/knowledge_base.hpp"
+#include "obs/metrics.hpp"
 #include "search/evaluator.hpp"
 #include "search/focused.hpp"
+#include "search/pareto.hpp"
+#include "search/seedbank.hpp"
 #include "search/space.hpp"
 #include "search/strategies.hpp"
 #include "workloads/workloads.hpp"
@@ -277,6 +281,323 @@ TEST(Focused, GeneratorSearchUsesModelSamples) {
       eval, [&] { return model.sample(rng); }, 15);
   EXPECT_EQ(trace.evaluations, 15u);
   EXPECT_TRUE(model.space().valid(trace.best_seq));
+}
+
+TEST(Focused, SeededSearchEvaluatesSeedsFirst) {
+  wl::Workload w = wl::make_workload("fir");
+  Evaluator eval(w.module, sim::amd_like());
+  FocusedModel model = toy_model();
+  model.set_target({9.0, 1.0});
+  Seeding seeding;
+  seeding.seeds = {{PassId::Licm, PassId::Unroll4, PassId::Licm,
+                    PassId::Schedule, PassId::Dce}};
+  Evaluator probe(w.module, sim::amd_like());
+  const std::uint64_t seed_cycles =
+      probe.eval_sequence(seeding.seeds[0]).cycles;
+  support::Rng rng(47);
+  const auto trace = focused_search(eval, model, seeding, rng, 10);
+  EXPECT_EQ(trace.evaluations, 10u);
+  EXPECT_EQ(trace.best_so_far[0], seed_cycles);
+}
+
+// --- GA edge-case regressions ---------------------------------------------
+
+TEST(SpaceMath, UnrollOnlySpaceWaivesAtMostOnceConstraint) {
+  // A space of nothing but unroll passes used to make every sequence of
+  // length >= 2 invalid under unroll_at_most_once: count() said 0 and
+  // sample() rejection-looped forever. The constraint is waived when
+  // there is no non-unroll alternative.
+  SequenceSpace space;
+  space.passes = {PassId::Unroll2, PassId::Unroll4, PassId::Unroll8};
+  space.length = 3;
+  EXPECT_EQ(space.count(), 27u);
+  support::Rng rng(5);
+  const auto seq = space.sample(rng);
+  EXPECT_TRUE(space.valid(seq));
+}
+
+TEST(GaRegression, UnrollOnlySpaceTerminatesWithinBudget) {
+  // repair() indexed non_unroll[rng.next_below(0)] for unroll-only
+  // spaces — undefined behavior on a child with two unrolls. It now
+  // keeps the extra unroll (valid() waives the constraint).
+  SequenceSpace space;
+  space.passes = {PassId::Unroll2, PassId::Unroll4, PassId::Unroll8};
+  space.length = 3;
+  wl::Workload w = wl::make_workload("fir");
+  Evaluator eval(w.module, sim::amd_like());
+  support::Rng rng(5);
+  const auto trace = genetic_search(eval, space, rng, 24);
+  EXPECT_EQ(trace.evaluations, 24u);
+  EXPECT_TRUE(space.valid(trace.best_seq));
+}
+
+TEST(GaRegression, SurvivorsBelowElitesTerminatesWithinBudget) {
+  // elites > population drives the survivor count below params.elites:
+  // the old breeding guard computed next.size() - params.elites on
+  // unsigned sizes, underflowed, bred zero children, and the generation
+  // loop spun forever with zero evaluations of progress.
+  wl::Workload w = wl::make_workload("crc32");
+  Evaluator eval(w.module, sim::amd_like());
+  support::Rng rng(3);
+  GaParams params;
+  params.population = 4;
+  params.elites = 8;
+  const auto trace =
+      genetic_search(eval, SequenceSpace{}, rng, 40, Objective::Cycles, params);
+  EXPECT_GE(trace.evaluations, 4u);
+  EXPECT_LE(trace.evaluations, 40u);
+}
+
+// --- Pareto archive -------------------------------------------------------
+
+TEST(Pareto, DominanceIsStrictOnAtLeastOneAxis) {
+  ParetoPoint a{{}, 10, 10};
+  ParetoPoint b{{}, 10, 12};
+  ParetoPoint c{{}, 12, 8};
+  EXPECT_TRUE(dominates(a, b));
+  EXPECT_FALSE(dominates(b, a));
+  EXPECT_FALSE(dominates(a, c));  // trade-off: neither dominates
+  EXPECT_FALSE(dominates(c, a));
+  EXPECT_FALSE(dominates(a, a));  // equal points do not dominate
+}
+
+TEST(Pareto, InsertPrunesDominatedAndKeepsSortedFront) {
+  ParetoArchive archive;
+  EXPECT_TRUE(archive.insert({{}, 10, 100}));
+  EXPECT_TRUE(archive.insert({{}, 20, 50}));   // trade-off, kept
+  EXPECT_FALSE(archive.insert({{}, 25, 60}));  // dominated by (20,50)
+  EXPECT_FALSE(archive.insert({{}, 20, 50}));  // duplicate objective vector
+  EXPECT_TRUE(archive.insert({{}, 5, 120}));   // new best-cycles corner
+  EXPECT_TRUE(archive.insert({{}, 8, 90}));    // dominates (10,100)
+  ASSERT_EQ(archive.size(), 3u);
+  EXPECT_EQ(archive.front()[0].cycles, 5u);
+  EXPECT_EQ(archive.front()[1].cycles, 8u);
+  EXPECT_EQ(archive.front()[2].cycles, 20u);
+  for (std::size_t i = 1; i < archive.size(); ++i)
+    EXPECT_LT(archive.front()[i].code_size, archive.front()[i - 1].code_size);
+}
+
+TEST(Pareto, HypervolumeMatchesHandComputedRectangles) {
+  ParetoArchive archive;
+  archive.insert({{}, 2, 8});
+  archive.insert({{}, 5, 4});
+  // Reference (10, 10): slabs [2,5)x(10-8) + [5,10)x(10-4) = 6 + 30.
+  EXPECT_DOUBLE_EQ(archive.hypervolume(10, 10), 36.0);
+  // Points at or beyond the reference contribute nothing.
+  archive.insert({{}, 1, 12});
+  EXPECT_DOUBLE_EQ(archive.hypervolume(10, 10), 36.0);
+  EXPECT_DOUBLE_EQ(ParetoArchive{}.hypervolume(10, 10), 0.0);
+}
+
+TEST(Pareto, GaTracksFrontAndProjectsCycles) {
+  wl::Workload w = wl::make_workload("adpcm");
+  Evaluator eval(w.module, sim::amd_like());
+  support::Rng rng(23);
+  SequenceSpace space;
+  const auto trace = genetic_search(eval, space, rng, 60, Objective::Pareto);
+  ASSERT_GE(trace.pareto.size(), 1u);
+  // The archive's best-cycles corner is the scalar projection.
+  EXPECT_EQ(trace.best_metric, trace.pareto.front().front().cycles);
+  // Front is non-dominated and sorted by cycles ascending.
+  const auto& front = trace.pareto.front();
+  for (std::size_t i = 1; i < front.size(); ++i) {
+    EXPECT_GT(front[i].cycles, front[i - 1].cycles);
+    EXPECT_LT(front[i].code_size, front[i - 1].code_size);
+  }
+  const auto o0 = eval.eval_sequence({});
+  EXPECT_GT(trace.pareto.hypervolume(o0.cycles + 1, o0.code_size + 1), 0.0);
+}
+
+// --- seeding + estimator --------------------------------------------------
+
+TEST(Seeding, EstimatorRecoversLinearTargetRanking) {
+  // Target is a pure linear function of the encoding (count of Dce), so
+  // ridge regression recovers the ranking exactly.
+  SequenceSpace space;
+  support::Rng rng(11);
+  std::vector<std::vector<PassId>> seqs;
+  std::vector<double> rel;
+  for (unsigned i = 0; i < 32; ++i) {
+    auto seq = space.sample(rng);
+    double dce = 0;
+    for (PassId p : seq)
+      if (p == PassId::Dce) dce += 1.0;
+    seqs.push_back(seq);
+    rel.push_back(1.0 - 0.1 * dce);
+  }
+  PerfEstimator est;
+  est.fit(seqs, rel);
+  ASSERT_TRUE(est.ok());
+  const std::vector<PassId> no_dce = {PassId::Licm, PassId::Cse,
+                                      PassId::CopyProp, PassId::Peephole,
+                                      PassId::Schedule};
+  const std::vector<PassId> all_dce = {PassId::Dce, PassId::Dce, PassId::Dce,
+                                       PassId::Dce, PassId::Dce};
+  EXPECT_LT(est.predict(all_dce), est.predict(no_dce));
+}
+
+TEST(Seeding, EstimatorBelowMinRowsStaysOff) {
+  PerfEstimator est;
+  est.fit({{PassId::Dce, PassId::Cse}}, {0.5});
+  EXPECT_FALSE(est.ok());
+}
+
+TEST(Seeding, SeededRandomSearchEvaluatesSeedsFirstAndCountsSkips) {
+  SequenceSpace space;
+  wl::Workload w = wl::make_workload("fir");
+
+  Seeding seeding;
+  seeding.seeds = {{PassId::Licm, PassId::Unroll4, PassId::Licm,
+                    PassId::Schedule, PassId::Dce},
+                   {PassId::Cse, PassId::CopyProp, PassId::Cse,
+                    PassId::Peephole, PassId::Dce}};
+  Evaluator probe(w.module, sim::amd_like());
+  const std::uint64_t first_seed_cycles =
+      probe.eval_sequence(seeding.seeds[0]).cycles;
+
+  // Estimator trained on uniform samples; any consistent model works.
+  support::Rng train_rng(13);
+  std::vector<std::vector<PassId>> seqs;
+  std::vector<double> rel;
+  for (unsigned i = 0; i < 16; ++i) {
+    seqs.push_back(space.sample(train_rng));
+    rel.push_back(1.0 - 0.01 * static_cast<double>(i % 5));
+  }
+  PerfEstimator est;
+  est.fit(seqs, rel);
+  ASSERT_TRUE(est.ok());
+  seeding.estimator = &est;
+  seeding.oversample = 3;
+
+  const std::uint64_t skipped_before =
+      obs::Registry::instance().counter("search.estimator.skipped").value();
+  Evaluator eval(w.module, sim::amd_like());
+  support::Rng rng(7);
+  const auto trace = seeded_random_search(eval, space, seeding, rng, 12);
+  EXPECT_EQ(trace.evaluations, 12u);
+  EXPECT_EQ(trace.best_so_far[0], first_seed_cycles);
+  // 10 tail slots drawn at 3x oversampling: 20 candidates skipped.
+  const std::uint64_t skipped_after =
+      obs::Registry::instance().counter("search.estimator.skipped").value();
+  EXPECT_EQ(skipped_after - skipped_before, 20u);
+}
+
+// --- SeedBank -------------------------------------------------------------
+
+kb::KnowledgeBase seed_kb() {
+  // Two well-separated program groups: "loopy" programs whose best
+  // sequences are licm-ish, "scalar" programs favoring cse. Each program
+  // contributes several sequence records so cluster estimators get data.
+  kb::KnowledgeBase kb;
+  const std::vector<PassId> licm_best = {PassId::Licm, PassId::Unroll4,
+                                         PassId::Licm, PassId::Schedule,
+                                         PassId::Dce};
+  const std::vector<PassId> cse_best = {PassId::Cse, PassId::CopyProp,
+                                        PassId::Cse, PassId::Peephole,
+                                        PassId::Dce};
+  auto add_program = [&kb](const std::string& name,
+                           const std::vector<double>& features,
+                           const std::vector<PassId>& best) {
+    SequenceSpace space;
+    support::Rng rng(name.size() * 131 +
+                     static_cast<unsigned char>(name.back()));
+    for (unsigned i = 0; i < 8; ++i) {
+      kb::ExperimentRecord rec;
+      rec.program = name;
+      rec.machine = "amd";
+      rec.kind = "sequence";
+      rec.config = sequence_to_string(i == 0 ? best : space.sample(rng));
+      rec.cycles = i == 0 ? 100 : 150 + 10 * i;  // best first, rest worse
+      rec.code_size = 40 + i;
+      rec.static_features = features;
+      kb.add(std::move(rec));
+    }
+  };
+  add_program("loopy1", {10.0, 0.0, 1.0}, licm_best);
+  add_program("loopy2", {11.0, 0.5, 1.0}, licm_best);
+  add_program("scalar1", {0.0, 10.0, 1.0}, cse_best);
+  add_program("scalar2", {0.5, 11.0, 1.0}, cse_best);
+  return kb;
+}
+
+TEST(SeedBank, ClustersProgramsAndServesClusterBestSeeds) {
+  SequenceSpace space;
+  SeedBankOptions opts;
+  opts.clusters = 2;
+  const SeedBank bank(seed_kb(), space, opts);
+  EXPECT_EQ(bank.num_programs(), 4u);
+  EXPECT_EQ(bank.num_clusters(), 2u);
+
+  // A new program near the loopy group inherits the licm-ish best.
+  const auto licm_seeds = bank.seeds_for({10.5, 0.2, 1.0}, 4);
+  ASSERT_FALSE(licm_seeds.empty());
+  const std::vector<PassId> licm_best = {PassId::Licm, PassId::Unroll4,
+                                         PassId::Licm, PassId::Schedule,
+                                         PassId::Dce};
+  EXPECT_EQ(licm_seeds[0], licm_best);
+
+  const auto cse_seeds = bank.seeds_for({0.2, 10.5, 1.0}, 4);
+  ASSERT_FALSE(cse_seeds.empty());
+  const std::vector<PassId> cse_best = {PassId::Cse, PassId::CopyProp,
+                                        PassId::Cse, PassId::Peephole,
+                                        PassId::Dce};
+  EXPECT_EQ(cse_seeds[0], cse_best);
+
+  // Different groups land in different clusters.
+  EXPECT_NE(bank.assign({10.5, 0.2, 1.0}), bank.assign({0.2, 10.5, 1.0}));
+
+  // Each cluster saw 16 runs: the estimator has enough rows.
+  EXPECT_NE(bank.estimator_for({10.5, 0.2, 1.0}), nullptr);
+  for (const auto& seq : licm_seeds) EXPECT_TRUE(space.valid(seq));
+}
+
+TEST(SeedBank, LeaveOneOutExcludesTheTargetProgram) {
+  SequenceSpace space;
+  SeedBankOptions opts;
+  opts.clusters = 2;
+  opts.exclude_program = "loopy1";
+  const SeedBank bank(seed_kb(), space, opts);
+  EXPECT_EQ(bank.num_programs(), 3u);
+}
+
+TEST(SeedBank, RebuildIsDeterministic) {
+  SequenceSpace space;
+  SeedBankOptions opts;
+  opts.clusters = 2;
+  const SeedBank a(seed_kb(), space, opts);
+  const SeedBank b(seed_kb(), space, opts);
+  const std::vector<double> probe = {10.5, 0.2, 1.0};
+  EXPECT_EQ(a.assign(probe), b.assign(probe));
+  EXPECT_EQ(a.seeds_for(probe), b.seeds_for(probe));
+}
+
+TEST(SeedBank, EmptyKbYieldsEmptyBankAndEmptySeeding) {
+  const SeedBank bank(kb::KnowledgeBase{}, SequenceSpace{});
+  EXPECT_TRUE(bank.empty());
+  const Seeding s = bank.seeding_for({1.0, 2.0, 3.0});
+  EXPECT_TRUE(s.seeds.empty());
+  EXPECT_EQ(s.estimator, nullptr);
+}
+
+TEST(Seeding, GaSeedsEnterInitialPopulation) {
+  // Budget == 1: only the first individual is ever evaluated, and seeds
+  // occupy the head of the initial population.
+  SequenceSpace space;
+  wl::Workload w = wl::make_workload("fir");
+  Evaluator probe(w.module, sim::amd_like());
+  const std::vector<PassId> seed = {PassId::Licm, PassId::Unroll4,
+                                    PassId::Licm, PassId::Schedule,
+                                    PassId::Dce};
+  const std::uint64_t seed_cycles = probe.eval_sequence(seed).cycles;
+
+  Evaluator eval(w.module, sim::amd_like());
+  support::Rng rng(19);
+  GaParams params;
+  params.seeds = {seed};
+  const auto trace =
+      genetic_search(eval, space, rng, 1, Objective::Cycles, params);
+  ASSERT_EQ(trace.evaluations, 1u);
+  EXPECT_EQ(trace.best_metric, seed_cycles);
 }
 
 }  // namespace

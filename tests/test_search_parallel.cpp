@@ -10,6 +10,7 @@
 #include <vector>
 
 #include "ir/fingerprint.hpp"
+#include "search/seedbank.hpp"
 #include "search/strategies.hpp"
 #include "workloads/workloads.hpp"
 
@@ -100,6 +101,106 @@ TEST(ParallelSearch, GeneticRespectsBudgetTruncationWhenParallel) {
   const search::SearchTrace trace = search::genetic_search(
       eval, space, rng, 7, search::Objective::Cycles, params);
   expect_same_trace(trace, reference);
+}
+
+// --- seeding + Pareto (ROADMAP item 3) ------------------------------------
+
+// A hand-built seeding bundle: a couple of fixed valid sequences plus an
+// estimator fit on synthetic relative-cycles data.
+search::Seeding toy_seeding(const search::SequenceSpace& space,
+                            search::PerfEstimator& est) {
+  search::Seeding seeding;
+  support::Rng rng(41);
+  std::vector<std::vector<opt::PassId>> train;
+  std::vector<double> rel;
+  for (unsigned i = 0; i < 24; ++i) {
+    auto seq = space.sample(rng);
+    // Synthetic but deterministic target: shorter encodings of unrolls
+    // predict better relative cycles.
+    double y = 1.0;
+    for (opt::PassId p : seq)
+      if (opt::is_unroll(p)) y -= 0.05;
+    train.push_back(seq);
+    rel.push_back(y);
+  }
+  est.fit(train, rel);
+  seeding.seeds = {train[0], train[1], train[2]};
+  seeding.estimator = est.ok() ? &est : nullptr;
+  return seeding;
+}
+
+TEST(ParallelSearch, SeededGaTraceBitIdenticalAcrossWorkerCounts) {
+  const search::SequenceSpace space;
+  search::PerfEstimator est;
+  const search::Seeding seeding = toy_seeding(space, est);
+  ASSERT_TRUE(seeding.estimator != nullptr);
+
+  auto run = [&](unsigned workers) {
+    search::Evaluator eval = make_eval();
+    support::Rng rng(2008);
+    search::GaParams params;
+    params.workers = workers;
+    params.seeds = seeding.seeds;
+    params.estimator = seeding.estimator;
+    return search::genetic_search(eval, space, rng, 50,
+                                  search::Objective::Cycles, params);
+  };
+  const search::SearchTrace reference = run(1);
+  for (const unsigned workers : {2u, 4u, 8u}) {
+    SCOPED_TRACE("workers=" + std::to_string(workers));
+    expect_same_trace(run(workers), reference);
+  }
+}
+
+TEST(ParallelSearch, SeededRandomTraceBitIdenticalAcrossWorkerCounts) {
+  const search::SequenceSpace space;
+  search::PerfEstimator est;
+  const search::Seeding seeding = toy_seeding(space, est);
+
+  auto run = [&](unsigned workers) {
+    search::Evaluator eval = make_eval();
+    support::Rng rng(7);
+    return search::seeded_random_search(eval, space, seeding, rng, 30,
+                                        search::Objective::Cycles, workers);
+  };
+  const search::SearchTrace reference = run(1);
+  expect_same_trace(run(4), reference);
+  // The seeds were evaluated first: the trace starts with their metrics.
+  ASSERT_EQ(reference.evaluations, 30u);
+}
+
+void expect_same_front(const search::ParetoArchive& a,
+                       const search::ParetoArchive& b) {
+  ASSERT_EQ(a.size(), b.size());
+  for (std::size_t i = 0; i < a.size(); ++i) {
+    EXPECT_EQ(a.front()[i].cycles, b.front()[i].cycles);
+    EXPECT_EQ(a.front()[i].code_size, b.front()[i].code_size);
+    EXPECT_EQ(a.front()[i].seq, b.front()[i].seq);
+  }
+}
+
+TEST(ParallelSearch, ParetoGaArchiveDeterministicAcrossWorkerCounts) {
+  const search::SequenceSpace space;
+  auto run = [&](unsigned workers) {
+    search::Evaluator eval = make_eval();
+    support::Rng rng(2008);
+    search::GaParams params;
+    params.workers = workers;
+    return search::genetic_search(eval, space, rng, 60,
+                                  search::Objective::Pareto, params);
+  };
+  const search::SearchTrace reference = run(1);
+  EXPECT_GE(reference.pareto.size(), 1u);
+  // Scalar projection of the Pareto run is cycles.
+  EXPECT_EQ(reference.best_metric, reference.pareto.front().front().cycles);
+  for (const unsigned workers : {2u, 4u}) {
+    SCOPED_TRACE("workers=" + std::to_string(workers));
+    const search::SearchTrace trace = run(workers);
+    expect_same_trace(trace, reference);
+    expect_same_front(trace.pareto, reference.pareto);
+    EXPECT_DOUBLE_EQ(trace.pareto.hypervolume(1u << 20, 1u << 20),
+                     reference.pareto.hypervolume(1u << 20, 1u << 20));
+  }
 }
 
 // --- single-flight memo cache ---------------------------------------------

@@ -13,11 +13,15 @@
 #include <thread>
 #include <vector>
 
+#include "features/features.hpp"
 #include "ir/fingerprint.hpp"
 #include "ir/printer.hpp"
+#include "kb/knowledge_base.hpp"
 #include "obs/trace.hpp"
+#include "search/space.hpp"
 #include "support/assert.hpp"
 #include "support/failpoint.hpp"
+#include "support/rng.hpp"
 #include "svc/cache.hpp"
 #include "svc/protocol.hpp"
 #include "svc/service.hpp"
@@ -71,6 +75,64 @@ TEST(Svc, SearchWorkersDoNotChangeResults) {
   EXPECT_EQ(a.config, b.config);
   EXPECT_EQ(a.best_metric, b.best_metric);
   EXPECT_EQ(a.baseline_metric, b.baseline_metric);
+}
+
+// A Pareto request reports the archive — a non-empty front and its
+// hypervolume against the -O0 reference — while the scalar projection
+// (cycles) keeps driving best_metric/speedup. Scalar requests carry no
+// archive.
+TEST(Svc, ParetoObjectiveReportsFrontAndHypervolume) {
+  svc::TuningService service({.workers = 1});
+  svc::TuningRequest req = request("fir", 30);
+  req.objective = search::Objective::Pareto;
+  req.strategy = svc::Strategy::Genetic;
+  const svc::TuningResponse r = service.tune(req);
+  ASSERT_TRUE(r.ok) << r.error;
+  EXPECT_GE(r.pareto_front, 1u);
+  EXPECT_GT(r.hypervolume, 0.0);
+  EXPECT_LE(r.best_metric, r.baseline_metric);
+
+  const svc::TuningResponse scalar = service.tune(request("fir", 6));
+  ASSERT_TRUE(scalar.ok) << scalar.error;
+  EXPECT_EQ(scalar.pareto_front, 0u);
+  EXPECT_EQ(scalar.hypervolume, 0.0);
+}
+
+// A service constructed over a seed KB clusters its programs once at
+// startup and warm-starts searches that opt in with seeding=on.
+TEST(Svc, SeedKbWarmStartsWhenRequested) {
+  const char* path = "svc_test_seeds.kb";
+  {
+    kb::KnowledgeBase kb;
+    search::SequenceSpace space;
+    support::Rng rng(17);
+    for (const char* name : {"dotprod", "matmul"}) {
+      const auto features =
+          feat::extract_static(wl::make_workload(name).module);
+      for (unsigned i = 0; i < 8; ++i) {
+        kb::ExperimentRecord rec;
+        rec.program = name;
+        rec.machine = "amd-like";
+        rec.kind = "sequence";
+        rec.config = search::sequence_to_string(space.sample(rng));
+        rec.cycles = 100 + 10 * i;
+        rec.code_size = 40 + i;
+        rec.static_features = features;
+        kb.add(std::move(rec));
+      }
+    }
+    ASSERT_TRUE(kb.save(path));
+  }
+
+  svc::TuningService service({.workers = 1, .seed_kb_path = path});
+  EXPECT_EQ(service.seed_bank_programs(), 2u);
+  svc::TuningRequest req = request("fir", 12);
+  req.strategy = svc::Strategy::Genetic;
+  req.seeding = true;
+  const svc::TuningResponse r = service.tune(req);
+  EXPECT_TRUE(r.ok) << r.error;
+  EXPECT_LE(r.best_metric, r.baseline_metric);
+  std::remove(path);
 }
 
 // (a) N identical concurrent requests trigger exactly one search; every
@@ -572,6 +634,47 @@ TEST(SvcProtocol, ParsesTimeoutMs) {
   EXPECT_EQ(c.request.timeout_ms, 250u);
   EXPECT_EQ(svc::parse_command("tune fir timeout_ms=soon").kind,
             svc::Command::Kind::Invalid);
+}
+
+TEST(SvcProtocol, ParsesParetoObjectiveAndSeeding) {
+  const svc::Command c =
+      svc::parse_command("tune fir objective=pareto seeding=on");
+  ASSERT_EQ(c.kind, svc::Command::Kind::Tune);
+  EXPECT_EQ(c.request.objective, search::Objective::Pareto);
+  EXPECT_TRUE(c.request.seeding);
+
+  const svc::Command off = svc::parse_command("tune fir seeding=off");
+  ASSERT_EQ(off.kind, svc::Command::Kind::Tune);
+  EXPECT_FALSE(off.request.seeding);
+
+  EXPECT_EQ(svc::parse_command("tune fir seeding=maybe").kind,
+            svc::Command::Kind::Invalid);
+  EXPECT_EQ(svc::parse_command("tune fir objective=area").kind,
+            svc::Command::Kind::Invalid);
+}
+
+TEST(SvcProtocol, FormatsParetoFrontOnlyWhenPresent) {
+  svc::TuningResponse r;
+  r.ok = true;
+  r.program = "p";
+  r.config = "dce";
+  const std::string scalar = svc::format_response(r);
+  EXPECT_EQ(scalar.find("front="), std::string::npos) << scalar;
+
+  r.pareto_front = 3;
+  r.hypervolume = 1234.5;
+  const std::string pareto = svc::format_response(r);
+  EXPECT_NE(pareto.find(" front=3"), std::string::npos) << pareto;
+  EXPECT_NE(pareto.find(" hv=1234.5"), std::string::npos) << pareto;
+}
+
+TEST(SvcCache, ObjectivesKeySeparately) {
+  const std::string cycles = svc::ResultCache::key(7, search::Objective::Cycles);
+  const std::string size = svc::ResultCache::key(7, search::Objective::CodeSize);
+  const std::string pareto = svc::ResultCache::key(7, search::Objective::Pareto);
+  EXPECT_NE(cycles, size);
+  EXPECT_NE(cycles, pareto);
+  EXPECT_NE(size, pareto);
 }
 
 TEST(SvcProtocol, EscapesConfigQuotesAndBackslashes) {
